@@ -1,0 +1,73 @@
+//! Criterion benches for the codec substrate: intra/inter encode, decode,
+//! and motion estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gss_codec::{estimate_motion, Decoder, Encoder, EncoderConfig};
+use gss_frame::{Frame, Plane};
+use gss_render::{GameId, GameWorkload};
+use std::hint::black_box;
+
+fn game_frame(t: usize, w: usize, h: usize) -> Frame {
+    GameWorkload::new(GameId::G5).render_frame(t, w, h).frame
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_encode");
+    group.sample_size(10);
+    for (w, h) in [(320usize, 180usize), (640, 360)] {
+        let f0 = game_frame(0, w, h);
+        let f1 = game_frame(2, w, h);
+        group.bench_with_input(BenchmarkId::new("intra", format!("{w}x{h}")), &f0, |b, f| {
+            b.iter(|| {
+                let mut enc = Encoder::new(EncoderConfig::default());
+                black_box(enc.encode(f).unwrap())
+            })
+        });
+        group.bench_function(BenchmarkId::new("inter", format!("{w}x{h}")), |b| {
+            b.iter(|| {
+                let mut enc = Encoder::new(EncoderConfig::default());
+                enc.encode(&f0).unwrap();
+                black_box(enc.encode(&f1).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_decode");
+    group.sample_size(10);
+    let f0 = game_frame(0, 320, 180);
+    let f1 = game_frame(2, 320, 180);
+    let mut enc = Encoder::new(EncoderConfig::default());
+    let p0 = enc.encode(&f0).unwrap();
+    let p1 = enc.encode(&f1).unwrap();
+    group.bench_function("intra_320x180", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new();
+            black_box(dec.decode(&p0).unwrap())
+        })
+    });
+    group.bench_function("gop2_320x180", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new();
+            dec.decode(&p0).unwrap();
+            black_box(dec.decode(&p1).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_motion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("motion_estimation");
+    group.sample_size(10);
+    let a: Plane<f32> = game_frame(0, 320, 180).y().clone();
+    let b_: Plane<f32> = game_frame(2, 320, 180).y().clone();
+    group.bench_function("three_step_320x180", |b| {
+        b.iter(|| black_box(estimate_motion(&b_, &a, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_motion);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches for the server-side RoI machinery: depth-map
+//! preprocessing and Algorithm 1's two-phase window search (coarse-only
+//! ablation included).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gamestreamsr::roi::{preprocess, search_roi, PreprocessConfig, SearchConfig};
+use gss_render::{GameId, GameWorkload};
+use std::hint::black_box;
+
+fn bench_roi(c: &mut Criterion) {
+    let workload = GameWorkload::new(GameId::G3);
+    let mut group = c.benchmark_group("roi");
+    group.sample_size(20);
+
+    for (w, h, win) in [(320usize, 180usize, 75usize), (640, 360, 150), (1280, 720, 300)] {
+        let depth = workload.render_frame(0, w, h).depth;
+        group.bench_with_input(
+            BenchmarkId::new("preprocess", format!("{w}x{h}")),
+            &depth,
+            |b, d| b.iter(|| black_box(preprocess(d, &PreprocessConfig::default()))),
+        );
+        let stages = preprocess(&depth, &PreprocessConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("search_two_phase", format!("{w}x{h}")),
+            &stages.processed,
+            |b, p| {
+                b.iter(|| black_box(search_roi(p, (win, win), &SearchConfig::default())))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("search_coarse_only", format!("{w}x{h}")),
+            &stages.processed,
+            |b, p| {
+                b.iter(|| {
+                    black_box(search_roi(
+                        p,
+                        (win, win),
+                        &SearchConfig {
+                            coarse_only: true,
+                            ..SearchConfig::default()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_roi);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches for the upscalers (Fig. 3's latency-vs-input-size
+//! characterization, here measured on the actual Rust implementations) and
+//! the EDSR forward pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gss_frame::Plane;
+use gss_sr::edsr::{Edsr, EdsrConfig};
+use gss_sr::{resize_plane, InterpKernel, InterpUpscaler, NeuralSr, NeuralSrConfig, Upscaler};
+use std::hint::black_box;
+
+fn textured(w: usize, h: usize) -> Plane<f32> {
+    Plane::from_fn(w, h, |x, y| {
+        let v = (x as f32 * 0.37).sin() * (y as f32 * 0.21).cos();
+        128.0 + 90.0 * v
+    })
+}
+
+fn bench_upscalers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upscalers_x2");
+    group.sample_size(20);
+    for side in [64usize, 128, 256] {
+        let plane = textured(side, side);
+        for kernel in [
+            InterpKernel::Nearest,
+            InterpKernel::Bilinear,
+            InterpKernel::Bicubic,
+            InterpKernel::Lanczos3,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name(), side),
+                &plane,
+                |b, p| {
+                    let up = InterpUpscaler::new(kernel, 2);
+                    b.iter(|| black_box(up.upscale_plane(p)))
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("neural_proxy", side), &plane, |b, p| {
+            let sr = NeuralSr::new(NeuralSrConfig::default());
+            b.iter(|| black_box(sr.upscale_plane(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_resize_factors(c: &mut Criterion) {
+    // Fig. 3a's shape: cost falls as the input (for a fixed output) shrinks
+    let mut group = c.benchmark_group("resize_to_fixed_output");
+    group.sample_size(20);
+    for factor in [2usize, 3, 4, 6] {
+        let input = textured(288 / factor, 288 / factor);
+        group.bench_with_input(
+            BenchmarkId::new("bicubic_to_288", format!("x{factor}")),
+            &input,
+            |b, p| b.iter(|| black_box(resize_plane(p, 288, 288, InterpKernel::Bicubic))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_edsr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edsr_forward");
+    group.sample_size(10);
+    // small configs: the full EDSR-16/64 on real frames is NPU territory;
+    // these benches verify the implementation's scaling behaviour
+    let model = Edsr::new(EdsrConfig {
+        channels: 8,
+        blocks: 4,
+        scale: 2,
+    });
+    for side in [16usize, 32] {
+        let frame = gss_frame::Frame::filled(side, side, [100.0, 128.0, 128.0]);
+        group.bench_with_input(BenchmarkId::new("c8b4", side), &frame, |b, f| {
+            b.iter(|| black_box(model.forward(f)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_upscalers, bench_resize_factors, bench_edsr);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [--quick] [experiment-id ...]
+//! ```
+//!
+//! With no ids, every experiment runs in report order.
+
+use gss_bench::{run_experiment, RunOptions, ALL_EXPERIMENTS};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("usage: figures [--quick] [experiment-id ...]");
+                println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    let options = RunOptions { quick };
+    for id in &ids {
+        println!("\n################ {id} ################\n");
+        if let Err(e) = run_experiment(id, &options) {
+            eprintln!("error: {e}");
+            eprintln!("known experiments: {}", ALL_EXPERIMENTS.join(" "));
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,63 @@
+//! Shared session configurations for the experiments.
+
+use gamestreamsr::session::SessionConfig;
+use gss_platform::DeviceProfile;
+use gss_render::GameId;
+
+/// Canvas used by latency/energy experiments (data-path content does not
+/// affect modeled numbers beyond byte volumes, which are scale-corrected).
+pub const FAST_CANVAS: (usize, usize) = (128, 72);
+
+/// Canvas used by quality experiments: 320×180 → 640×360 at the paper's
+/// ×2 factor; motion is replayed at deployment pixel velocity.
+pub const QUALITY_CANVAS: (usize, usize) = (320, 180);
+
+/// A latency/energy session (quality metrics off) over full GOPs.
+pub fn fast_cfg(game: GameId, device: DeviceProfile, frames: usize) -> SessionConfig {
+    SessionConfig {
+        frames,
+        gop_size: 60,
+        lr_size: FAST_CANVAS,
+        ..SessionConfig::new(game, device)
+    }
+    .without_quality()
+}
+
+/// Quality canvas honoring quick mode (smoke tests shrink the canvas).
+pub fn quality_canvas(options: &crate::RunOptions) -> (usize, usize) {
+    if options.quick {
+        (160, 90)
+    } else {
+        QUALITY_CANVAS
+    }
+}
+
+/// A quality-evaluating session over full GOPs.
+pub fn quality_cfg(
+    game: GameId,
+    device: DeviceProfile,
+    frames: usize,
+    options: &crate::RunOptions,
+) -> SessionConfig {
+    SessionConfig {
+        frames,
+        gop_size: 60,
+        lr_size: quality_canvas(options),
+        ..SessionConfig::new(game, device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_differ_only_where_expected() {
+        let f = fast_cfg(GameId::G1, DeviceProfile::s8_tab(), 10);
+        let q = quality_cfg(GameId::G1, DeviceProfile::s8_tab(), 10, &crate::RunOptions::default());
+        assert!(!f.evaluate_quality);
+        assert!(q.evaluate_quality);
+        assert_eq!(f.gop_size, 60);
+        assert_eq!(q.lr_size, QUALITY_CANVAS);
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per paper table/figure.
+
+pub mod ablation;
+pub mod common;
+pub mod fig10;
+pub mod fig11_12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig2;
+pub mod fig3;
+pub mod fig7;
+pub mod fig9;
+pub mod loss;
+pub mod server_side;
+pub mod table1;

@@ -1,0 +1,84 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (see `DESIGN.md` § per-experiment index and `EXPERIMENTS.md`
+//! for recorded paper-vs-measured values).
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p gss-bench --bin figures
+//! ```
+//!
+//! or a single experiment by id (`table1`, `fig2`, `fig3a`, `fig3b`,
+//! `fig7`, `fig9`, `fig10a`, `fig10b`, `fig10c`, `fig11`, `fig12`,
+//! `fig13`, `fig14a`, `fig14b`, `fig15`, `server`, `ablation`):
+//!
+//! ```text
+//! cargo run --release -p gss-bench --bin figures -- fig10a
+//! ```
+//!
+//! Each experiment prints the same rows/series the paper reports. `--quick`
+//! shrinks frame counts for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+
+pub use table::Table;
+
+/// Global knobs shared by all experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Shrink frame counts (smoke mode).
+    pub quick: bool,
+}
+
+impl RunOptions {
+    /// `full` frames normally, `quick` frames in smoke mode.
+    pub fn frames(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// All experiment ids in report order.
+pub const ALL_EXPERIMENTS: [&str; 18] = [
+    "table1", "fig2", "fig3a", "fig3b", "fig7", "fig9", "fig10a", "fig10b", "fig10c", "fig11",
+    "fig12", "fig13", "fig14a", "fig14b", "fig15", "server", "ablation", "loss",
+];
+
+/// Runs one experiment by id, printing its rows to stdout.
+///
+/// # Errors
+///
+/// Returns a description for unknown ids; experiment-internal failures
+/// panic (they indicate bugs, not user error).
+pub fn run_experiment(id: &str, options: &RunOptions) -> Result<(), String> {
+    use experiments as e;
+    match id {
+        "table1" => e::table1::run(options),
+        "fig2" => e::fig2::run(options),
+        "fig3a" => e::fig3::run_a(options),
+        "fig3b" => e::fig3::run_b(options),
+        "fig7" => e::fig7::run(options),
+        "fig9" => e::fig9::run(options),
+        "fig10a" => e::fig10::run_a(options),
+        "fig10b" => e::fig10::run_b(options),
+        "fig10c" => e::fig10::run_c(options),
+        "fig11" => e::fig11_12::run_savings(options),
+        "fig12" => e::fig11_12::run_breakdown(options),
+        "fig13" => e::fig13::run(options),
+        "fig14a" => e::fig14::run_psnr(options),
+        "fig14b" => e::fig14::run_perceptual(options),
+        "fig15" => e::fig15::run(options),
+        "server" => e::server_side::run(options),
+        "ablation" => e::ablation::run(options),
+        "loss" => e::loss::run(options),
+        other => return Err(format!("unknown experiment id: {other}")),
+    }
+    Ok(())
+}

@@ -1,0 +1,239 @@
+//! Bit-level I/O and exponential-Golomb coding, the entropy layer's
+//! foundation.
+
+use crate::CodecError;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Writes individual bits MSB-first into a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    current: u8,
+    filled: u8,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends a single bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        self.current = (self.current << 1) | bit as u8;
+        self.filled += 1;
+        if self.filled == 8 {
+            self.buf.put_u8(self.current);
+            self.current = 0;
+            self.filled = 0;
+        }
+    }
+
+    /// Appends the `count` low bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count > 32`.
+    pub fn put_bits(&mut self, value: u32, count: u8) {
+        assert!(count <= 32, "at most 32 bits at a time");
+        for i in (0..count).rev() {
+            self.put_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Unsigned exponential-Golomb code (as in H.264/H.265).
+    pub fn put_ue(&mut self, value: u32) {
+        let v = value + 1;
+        let bits = 32 - v.leading_zeros() as u8;
+        for _ in 0..bits - 1 {
+            self.put_bit(false);
+        }
+        self.put_bits(v, bits);
+    }
+
+    /// Signed exponential-Golomb code (0, 1, −1, 2, −2, …).
+    pub fn put_se(&mut self, value: i32) {
+        let mapped = if value > 0 {
+            (value as u32) * 2 - 1
+        } else {
+            (-value as u32) * 2
+        };
+        self.put_ue(mapped);
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the stream.
+    pub fn finish(mut self) -> Bytes {
+        while self.filled != 0 {
+            self.put_bit(false);
+        }
+        self.buf.freeze()
+    }
+
+    /// Bits written so far (excluding final padding).
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.filled as usize
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::CorruptStream`] at end of data.
+    pub fn get_bit(&mut self) -> Result<bool, CodecError> {
+        let byte = self.pos / 8;
+        if byte >= self.data.len() {
+            return Err(CodecError::CorruptStream {
+                context: "unexpected end of stream",
+            });
+        }
+        let bit = 7 - (self.pos % 8);
+        self.pos += 1;
+        Ok((self.data[byte] >> bit) & 1 == 1)
+    }
+
+    /// Reads `count` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::CorruptStream`] at end of data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count > 32`.
+    pub fn get_bits(&mut self, count: u8) -> Result<u32, CodecError> {
+        assert!(count <= 32, "at most 32 bits at a time");
+        let mut v = 0u32;
+        for _ in 0..count {
+            v = (v << 1) | self.get_bit()? as u32;
+        }
+        Ok(v)
+    }
+
+    /// Reads an unsigned exponential-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::CorruptStream`] on malformed or truncated data.
+    pub fn get_ue(&mut self) -> Result<u32, CodecError> {
+        let mut zeros = 0u8;
+        while !self.get_bit()? {
+            zeros += 1;
+            if zeros > 31 {
+                return Err(CodecError::CorruptStream {
+                    context: "exp-golomb prefix too long",
+                });
+            }
+        }
+        let tail = self.get_bits(zeros)?;
+        Ok(((1u32 << zeros) | tail) - 1)
+    }
+
+    /// Reads a signed exponential-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::CorruptStream`] on malformed or truncated data.
+    pub fn get_se(&mut self) -> Result<i32, CodecError> {
+        let v = self.get_ue()?;
+        Ok(if v % 2 == 1 {
+            (v / 2 + 1) as i32
+        } else {
+            -((v / 2) as i32)
+        })
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1011, 4);
+        w.put_bits(0xABCD, 16);
+        w.put_bit(true);
+        let data = w.finish();
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.get_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.get_bits(16).unwrap(), 0xABCD);
+        assert!(r.get_bit().unwrap());
+    }
+
+    #[test]
+    fn ue_roundtrip_small_and_large() {
+        let values = [0u32, 1, 2, 3, 7, 8, 100, 1_000_000];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_ue(v);
+        }
+        let data = w.finish();
+        let mut r = BitReader::new(&data);
+        for &v in &values {
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn se_roundtrip() {
+        let values = [0i32, 1, -1, 2, -2, 17, -300, 4096, -4096];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v);
+        }
+        let data = w.finish();
+        let mut r = BitReader::new(&data);
+        for &v in &values {
+            assert_eq!(r.get_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn ue_code_lengths_grow_logarithmically() {
+        let mut w0 = BitWriter::new();
+        w0.put_ue(0);
+        assert_eq!(w0.bit_len(), 1);
+        let mut w1 = BitWriter::new();
+        w1.put_ue(1);
+        assert_eq!(w1.bit_len(), 3);
+        let mut w6 = BitWriter::new();
+        w6.put_ue(6);
+        assert_eq!(w6.bit_len(), 5);
+    }
+
+    #[test]
+    fn reading_past_end_errors() {
+        let data = [0xFFu8];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.get_bits(8).unwrap(), 0xFF);
+        assert!(matches!(
+            r.get_bit(),
+            Err(CodecError::CorruptStream { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_stream_errors_cleanly() {
+        let mut r = BitReader::new(&[]);
+        assert!(r.get_ue().is_err());
+    }
+}

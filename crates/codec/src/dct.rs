@@ -1,0 +1,148 @@
+//! 8x8 type-II discrete cosine transform, the transform stage of the codec.
+
+/// An 8x8 block of samples or coefficients, row-major.
+pub type Block8 = [f32; 64];
+
+/// Precomputed `cos((2x+1) uπ / 16)` basis, scaled for orthonormality.
+fn basis() -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0.0f32; 8]; 8];
+        for (u, row) in b.iter_mut().enumerate() {
+            let cu = if u == 0 {
+                (1.0f32 / 8.0).sqrt()
+            } else {
+                (2.0f32 / 8.0).sqrt()
+            };
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = cu * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI / 16.0).cos();
+            }
+        }
+        b
+    })
+}
+
+/// Forward 8x8 DCT (orthonormal). Input samples are conventionally centered
+/// (e.g. pixel − 128) but any range works.
+pub fn dct8_forward(block: &Block8) -> Block8 {
+    let b = basis();
+    // rows
+    let mut tmp = [0.0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0;
+            for x in 0..8 {
+                acc += block[y * 8 + x] * b[u][x];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // columns
+    let mut out = [0.0f32; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0;
+            for y in 0..8 {
+                acc += tmp[y * 8 + u] * b[v][y];
+            }
+            out[v * 8 + u] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8x8 DCT; exact inverse of [`dct8_forward`] up to float rounding.
+pub fn dct8_inverse(coeffs: &Block8) -> Block8 {
+    let b = basis();
+    // columns
+    let mut tmp = [0.0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0;
+            for v in 0..8 {
+                acc += coeffs[v * 8 + u] * b[v][y];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // rows
+    let mut out = [0.0f32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0;
+            for u in 0..8 {
+                acc += tmp[y * 8 + u] * b[u][x];
+            }
+            out[y * 8 + x] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(f: impl Fn(usize, usize) -> f32) -> Block8 {
+        let mut b = [0.0f32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                b[y * 8 + x] = f(x, y);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn roundtrip_is_near_exact() {
+        let block = sample_block(|x, y| ((x * 13 + y * 29) % 255) as f32 - 128.0);
+        let back = dct8_inverse(&dct8_forward(&block));
+        for (a, b) in block.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_block_has_only_dc() {
+        let block = sample_block(|_, _| 80.0);
+        let coeffs = dct8_forward(&block);
+        assert!((coeffs[0] - 80.0 * 8.0).abs() < 1e-3, "dc = {}", coeffs[0]);
+        for &c in &coeffs[1..] {
+            assert!(c.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transform_is_orthonormal_energy_preserving() {
+        let block = sample_block(|x, y| (x as f32 - 3.5) * (y as f32 - 3.5));
+        let coeffs = dct8_forward(&block);
+        let e_space: f32 = block.iter().map(|v| v * v).sum();
+        let e_freq: f32 = coeffs.iter().map(|v| v * v).sum();
+        assert!((e_space - e_freq).abs() / e_space.max(1.0) < 1e-4);
+    }
+
+    #[test]
+    fn smooth_block_concentrates_energy_in_low_frequencies() {
+        let block = sample_block(|x, y| x as f32 * 4.0 + y as f32 * 2.0);
+        let coeffs = dct8_forward(&block);
+        let low: f32 = (0..2)
+            .flat_map(|v| (0..2).map(move |u| coeffs[v * 8 + u].powi(2)))
+            .sum();
+        let total: f32 = coeffs.iter().map(|v| v * v).sum();
+        assert!(low / total > 0.95, "low-frequency share {}", low / total);
+    }
+
+    #[test]
+    fn linearity() {
+        let a = sample_block(|x, _| x as f32);
+        let b = sample_block(|_, y| y as f32 * 3.0);
+        let sum = sample_block(|x, y| x as f32 + y as f32 * 3.0);
+        let ca = dct8_forward(&a);
+        let cb = dct8_forward(&b);
+        let cs = dct8_forward(&sum);
+        for i in 0..64 {
+            assert!((ca[i] + cb[i] - cs[i]).abs() < 1e-3);
+        }
+    }
+}

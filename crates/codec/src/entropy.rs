@@ -1,0 +1,227 @@
+//! Plane-level transform coding: block split, DCT, quantization, zigzag
+//! run-length entropy coding — fully invertible into a real bitstream.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::dct::{dct8_forward, dct8_inverse};
+use crate::quant::{dequantize, quantize, QuantMatrix};
+use crate::CodecError;
+use gss_frame::Plane;
+
+/// Zigzag scan order for an 8x8 block (JPEG/H.26x order).
+const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// End-of-block sentinel in the run alphabet (real runs are `0..=63`).
+const EOB: u32 = 64;
+
+/// Transform-codes one plane into the bit stream. Samples are taken as-is
+/// (the caller centers intra samples; residuals are naturally centered).
+/// The plane is padded to a multiple of 8 by edge replication.
+pub fn encode_plane(plane: &Plane<f32>, q: &QuantMatrix, w: &mut BitWriter) {
+    let (width, height) = plane.size();
+    let bw = width.div_ceil(8);
+    let bh = height.div_ceil(8);
+    for by in 0..bh {
+        for bx in 0..bw {
+            let mut block = [0.0f32; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    block[y * 8 + x] =
+                        plane.get_clamped((bx * 8 + x) as isize, (by * 8 + y) as isize);
+                }
+            }
+            let levels = quantize(&dct8_forward(&block), q);
+            encode_block(&levels, w);
+        }
+    }
+}
+
+pub(crate) fn encode_block(levels: &[i16; 64], w: &mut BitWriter) {
+    let mut run = 0u32;
+    for &zi in ZIGZAG.iter() {
+        let level = levels[zi];
+        if level == 0 {
+            run += 1;
+        } else {
+            w.put_ue(run);
+            w.put_se(level as i32);
+            run = 0;
+        }
+    }
+    w.put_ue(EOB);
+}
+
+/// Decodes a plane previously written by [`encode_plane`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::CorruptStream`] on truncated or invalid data and
+/// [`CodecError::BadFrameSize`] for zero dimensions.
+pub fn decode_plane(
+    width: usize,
+    height: usize,
+    q: &QuantMatrix,
+    r: &mut BitReader<'_>,
+) -> Result<Plane<f32>, CodecError> {
+    if width == 0 || height == 0 {
+        return Err(CodecError::BadFrameSize { width, height });
+    }
+    let bw = width.div_ceil(8);
+    let bh = height.div_ceil(8);
+    let mut plane = Plane::filled(width, height, 0.0f32);
+    for by in 0..bh {
+        for bx in 0..bw {
+            let levels = decode_block(r)?;
+            let block = dct8_inverse(&dequantize(&levels, q));
+            for y in 0..8 {
+                let py = by * 8 + y;
+                if py >= height {
+                    break;
+                }
+                for x in 0..8 {
+                    let px = bx * 8 + x;
+                    if px >= width {
+                        break;
+                    }
+                    plane.set(px, py, block[y * 8 + x]);
+                }
+            }
+        }
+    }
+    Ok(plane)
+}
+
+pub(crate) fn decode_block(r: &mut BitReader<'_>) -> Result<[i16; 64], CodecError> {
+    let mut levels = [0i16; 64];
+    let mut pos = 0usize;
+    loop {
+        let run = r.get_ue()?;
+        if run == EOB {
+            return Ok(levels);
+        }
+        pos += run as usize;
+        if pos >= 64 {
+            return Err(CodecError::CorruptStream {
+                context: "run past end of block",
+            });
+        }
+        let level = r.get_se()?;
+        if level == 0 {
+            return Err(CodecError::CorruptStream {
+                context: "zero level in run-length pair",
+            });
+        }
+        levels[ZIGZAG[pos]] = level.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &z in ZIGZAG.iter() {
+            assert!(!seen[z]);
+            seen[z] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    fn textured(w: usize, h: usize) -> Plane<f32> {
+        Plane::from_fn(w, h, |x, y| {
+            let v = 90.0 * ((x as f32 * 0.35).sin() + (y as f32 * 0.2).cos());
+            v.clamp(-128.0, 127.0)
+        })
+    }
+
+    #[test]
+    fn plane_roundtrip_quality_is_high() {
+        let p = textured(40, 24);
+        let q = QuantMatrix::from_quality(90);
+        let mut w = BitWriter::new();
+        encode_plane(&p, &q, &mut w);
+        let data = w.finish();
+        let mut r = BitReader::new(&data);
+        let back = decode_plane(40, 24, &q, &mut r).unwrap();
+        let mse = p
+            .zip_map(&back, |a, b| (a - b) * (a - b))
+            .unwrap()
+            .mean();
+        assert!(mse < 12.0, "mse {mse}");
+    }
+
+    #[test]
+    fn lower_quality_means_fewer_bits_and_more_error() {
+        let p = textured(64, 64);
+        let sizes: Vec<(usize, f64)> = [25u8, 50, 90]
+            .iter()
+            .map(|&quality| {
+                let q = QuantMatrix::from_quality(quality);
+                let mut w = BitWriter::new();
+                encode_plane(&p, &q, &mut w);
+                let bits = w.bit_len();
+                let data = w.finish();
+                let back =
+                    decode_plane(64, 64, &q, &mut BitReader::new(&data)).unwrap();
+                let mse = p.zip_map(&back, |a, b| (a - b) * (a - b)).unwrap().mean();
+                (bits, mse)
+            })
+            .collect();
+        assert!(sizes[0].0 < sizes[1].0 && sizes[1].0 < sizes[2].0, "{sizes:?}");
+        assert!(sizes[0].1 > sizes[1].1 && sizes[1].1 > sizes[2].1, "{sizes:?}");
+    }
+
+    #[test]
+    fn zero_plane_is_tiny() {
+        let p = Plane::filled(64, 64, 0.0f32);
+        let q = QuantMatrix::from_quality(50);
+        let mut w = BitWriter::new();
+        encode_plane(&p, &q, &mut w);
+        // 64 blocks, one EOB symbol each
+        assert!(w.bit_len() <= 64 * 16, "bits {}", w.bit_len());
+    }
+
+    #[test]
+    fn non_multiple_of_eight_dimensions_roundtrip() {
+        let p = textured(37, 19);
+        let q = QuantMatrix::from_quality(95);
+        let mut w = BitWriter::new();
+        encode_plane(&p, &q, &mut w);
+        let data = w.finish();
+        let back = decode_plane(37, 19, &q, &mut BitReader::new(&data)).unwrap();
+        assert_eq!(back.size(), (37, 19));
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let p = textured(16, 16);
+        let q = QuantMatrix::from_quality(50);
+        let mut w = BitWriter::new();
+        encode_plane(&p, &q, &mut w);
+        let data = w.finish();
+        let truncated = &data[..data.len() / 2];
+        let mut r = BitReader::new(truncated);
+        assert!(decode_plane(16, 16, &q, &mut r).is_err());
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let q = QuantMatrix::from_quality(50);
+        let mut r = BitReader::new(&[]);
+        assert!(matches!(
+            decode_plane(0, 8, &q, &mut r),
+            Err(CodecError::BadFrameSize { .. })
+        ));
+    }
+}

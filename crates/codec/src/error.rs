@@ -1,0 +1,53 @@
+use std::fmt;
+
+/// Errors produced while encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Frame dimensions must be positive multiples of two (for 4:2:0
+    /// chroma subsampling).
+    BadFrameSize {
+        /// Offending width.
+        width: usize,
+        /// Offending height.
+        height: usize,
+    },
+    /// The bitstream ended prematurely or contained an invalid symbol.
+    CorruptStream {
+        /// Human-readable context of the failure.
+        context: &'static str,
+    },
+    /// An inter frame arrived before any intra frame established a
+    /// reference.
+    MissingReference,
+    /// The packet's dimensions do not match the decoder's reference state.
+    ReferenceMismatch {
+        /// Size of the held reference.
+        reference: (usize, usize),
+        /// Size declared by the packet.
+        packet: (usize, usize),
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadFrameSize { width, height } => {
+                write!(f, "frame size {width}x{height} must be even and nonzero")
+            }
+            CodecError::CorruptStream { context } => {
+                write!(f, "corrupt bitstream: {context}")
+            }
+            CodecError::MissingReference => {
+                write!(f, "inter frame received before any intra frame")
+            }
+            CodecError::ReferenceMismatch { reference, packet } => write!(
+                f,
+                "reference {}x{} does not match packet {}x{}",
+                reference.0, reference.1, packet.0, packet.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

@@ -1,0 +1,128 @@
+//! Property-based robustness tests for the codec: roundtrip error bounds,
+//! decoder behaviour on hostile bitstreams, and bitstream-layer fuzzing.
+
+use gss_codec::{BitReader, BitWriter, Decoder, EncodedFrame, Encoder, EncoderConfig, FrameType};
+use gss_frame::{Frame, Plane};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    // even dimensions (4:2:0), textured with seeded pseudo-random content
+    (2usize..20, 2usize..14, 0u64..10_000).prop_map(|(hw, hh, seed)| {
+        let (w, h) = (hw * 2, hh * 2);
+        let lum = Plane::from_fn(w, h, |x, y| {
+            let v = (x as u64)
+                .wrapping_mul(seed.wrapping_add(7))
+                .wrapping_add((y as u64).wrapping_mul(13))
+                .wrapping_mul(2654435761);
+            (v % 256) as f32
+        });
+        Frame::from_planes(
+            lum,
+            Plane::filled(w, h, 120.0),
+            Plane::filled(w, h, 136.0),
+        )
+        .expect("planes share size")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn intra_roundtrip_error_is_bounded(frame in arb_frame(), quality in 30u8..=95) {
+        let mut enc = Encoder::new(EncoderConfig { quality, ..EncoderConfig::default() });
+        let mut dec = Decoder::new();
+        let packet = enc.encode(&frame).unwrap();
+        prop_assert_eq!(packet.frame_type, FrameType::Intra);
+        let out = dec.decode(&packet).unwrap();
+        prop_assert_eq!(out.frame.size(), frame.size());
+        // worst-case per-pixel error is bounded by quantizer coarseness;
+        // white-noise content is the adversarial case, so the bound is loose
+        let max_err = frame
+            .y()
+            .zip_map(out.frame.y(), |a, b| (a - b).abs())
+            .unwrap()
+            .min_max()
+            .1;
+        prop_assert!(max_err < 230.0, "max err {max_err}");
+    }
+
+    #[test]
+    fn gop_roundtrip_never_fails(frame in arb_frame(), gop in 1usize..5) {
+        let mut enc = Encoder::new(EncoderConfig { gop_size: gop, ..EncoderConfig::default() });
+        let mut dec = Decoder::new();
+        for _ in 0..(gop + 2) {
+            let packet = enc.encode(&frame).unwrap();
+            let out = dec.decode(&packet).unwrap();
+            prop_assert_eq!(out.frame.size(), frame.size());
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corrupt_payloads(
+        frame in arb_frame(),
+        cut in 0.0f64..1.0,
+        flip_byte in 0usize..4096,
+        flip_mask in 1u8..=255,
+    ) {
+        // produce a real packet, then mutilate it: truncate and bit-flip
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let packet = enc.encode(&frame).unwrap();
+        let mut bytes = packet.payload.to_vec();
+        let keep = ((bytes.len() as f64) * cut) as usize;
+        bytes.truncate(keep.max(0));
+        if !bytes.is_empty() {
+            let i = flip_byte % bytes.len();
+            bytes[i] ^= flip_mask;
+        }
+        let hostile = EncodedFrame {
+            payload: bytes::Bytes::from(bytes),
+            ..packet
+        };
+        let mut dec = Decoder::new();
+        // must return Ok (lucky decode) or Err — never panic
+        let _ = dec.decode(&hostile);
+    }
+
+    #[test]
+    fn exp_golomb_stream_roundtrips(values in proptest::collection::vec(-50_000i32..50_000, 0..200)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v);
+        }
+        let data = w.finish();
+        let mut r = BitReader::new(&data);
+        for &v in &values {
+            prop_assert_eq!(r.get_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(frame in arb_frame()) {
+        let mk = || {
+            let mut enc = Encoder::new(EncoderConfig::default());
+            enc.encode(&frame).unwrap().payload
+        };
+        prop_assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn inter_frames_decode_to_encoder_reference(frame in arb_frame()) {
+        // closed loop: decoding the stream reproduces exactly what the
+        // encoder predicted from (verified indirectly by a second inter
+        // frame decoding without drift explosions)
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut dec = Decoder::new();
+        dec.decode(&enc.encode(&frame).unwrap()).unwrap();
+        let first = dec.decode(&enc.encode(&frame).unwrap()).unwrap();
+        let second = dec.decode(&enc.encode(&frame).unwrap()).unwrap();
+        // a static scene: successive inter frames must not diverge
+        let drift = first
+            .frame
+            .y()
+            .zip_map(second.frame.y(), |a, b| (a - b).abs())
+            .unwrap()
+            .mean();
+        prop_assert!(drift < 4.0, "drift {drift}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Motion-to-Photon latency assembly (paper Fig. 10b/10c) and modeled
+//! upscaling-stage timings for both pipelines.
+//!
+//! All stage latencies come from the calibrated platform models at the
+//! paper's deployment scale (720p stream → 1440p display), regardless of
+//! the (possibly reduced) pixel canvas an experiment runs its data path on.
+
+use gss_frame::Resolution;
+use gss_platform::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// The deployment's streamed (low) resolution.
+pub const FULL_LR: Resolution = Resolution::P720;
+/// The deployment's display (high) resolution.
+pub const FULL_HR: Resolution = Resolution::P1440;
+
+/// Per-stage Motion-to-Photon latency of one frame, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MtpBreakdown {
+    /// Controller input → server (uplink).
+    pub input_uplink_ms: f64,
+    /// Game-engine state update.
+    pub engine_ms: f64,
+    /// Frame rendering on the server GPU.
+    pub render_ms: f64,
+    /// RoI detection latency *not hidden* behind encode (zero in the
+    /// default configuration — it runs on spare GPU cores, §IV-B2).
+    pub roi_extra_ms: f64,
+    /// Hardware encode.
+    pub encode_ms: f64,
+    /// Frame transit over the downlink (queueing + serialization +
+    /// propagation).
+    pub downlink_ms: f64,
+    /// Client-side decode.
+    pub decode_ms: f64,
+    /// Client-side upscaling critical path.
+    pub upscale_ms: f64,
+    /// Display pipeline (composition + mean vsync wait).
+    pub display_ms: f64,
+}
+
+impl MtpBreakdown {
+    /// End-to-end Motion-to-Photon latency.
+    pub fn total_ms(&self) -> f64 {
+        self.input_uplink_ms
+            + self.engine_ms
+            + self.render_ms
+            + self.roi_extra_ms
+            + self.encode_ms
+            + self.downlink_ms
+            + self.decode_ms
+            + self.upscale_ms
+            + self.display_ms
+    }
+
+    /// `(label, value)` pairs in pipeline order, for reports.
+    pub fn stages(&self) -> [(&'static str, f64); 9] {
+        [
+            ("input uplink", self.input_uplink_ms),
+            ("game engine", self.engine_ms),
+            ("render", self.render_ms),
+            ("roi detect", self.roi_extra_ms),
+            ("encode", self.encode_ms),
+            ("downlink", self.downlink_ms),
+            ("decode", self.decode_ms),
+            ("upscale", self.upscale_ms),
+            ("display", self.display_ms),
+        ]
+    }
+}
+
+/// Modeled client upscaling-stage occupancy for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct UpscaleTiming {
+    /// NPU busy time (DNN SR), ms.
+    pub npu_ms: f64,
+    /// GPU busy time (bilinear of the non-RoI region), ms.
+    pub gpu_ms: f64,
+    /// GPU merge (copying the upscaled RoI into the framebuffer), ms.
+    pub merge_ms: f64,
+    /// CPU busy time (NEMO's bilinear/reconstruction path), ms.
+    pub cpu_ms: f64,
+    /// Critical-path latency of the whole upscaling stage, ms.
+    pub critical_ms: f64,
+}
+
+/// GameStreamSR's upscaling timing: NPU (RoI) and GPU (non-RoI) run in
+/// parallel; the merge follows the slower of the two (paper §IV-C).
+pub fn ours_upscale(device: &DeviceProfile, roi_side: usize) -> UpscaleTiming {
+    let roi_px = roi_side * roi_side;
+    let roi_hr_px = roi_px * 4;
+    let non_roi_hr_px = FULL_HR.pixels().saturating_sub(roi_hr_px);
+    let npu_ms = device.npu_sr_ms(roi_px);
+    let gpu_ms = device.gpu_bilinear_ms(non_roi_hr_px);
+    let merge_ms = device.gpu_bilinear_ms(roi_hr_px);
+    UpscaleTiming {
+        npu_ms,
+        gpu_ms,
+        merge_ms,
+        cpu_ms: 0.0,
+        critical_ms: npu_ms.max(gpu_ms) + merge_ms,
+    }
+}
+
+/// NEMO's reference-frame upscaling: the whole 720p frame through the DNN
+/// on the NPU.
+pub fn sota_ref_upscale(device: &DeviceProfile) -> UpscaleTiming {
+    let npu_ms = device.npu_sr_ms(FULL_LR.pixels());
+    UpscaleTiming {
+        npu_ms,
+        gpu_ms: 0.0,
+        merge_ms: 0.0,
+        cpu_ms: 0.0,
+        critical_ms: npu_ms,
+    }
+}
+
+/// NEMO's non-reference-frame path: bilinear upscaling of motion vectors
+/// and residuals plus frame reconstruction, all on the CPU (its codec
+/// modifications preclude hardware offload).
+pub fn sota_nonref_upscale(device: &DeviceProfile) -> UpscaleTiming {
+    let hr_px = FULL_HR.pixels();
+    let cpu_ms = device.cpu_bilinear_ms(hr_px) + device.cpu_reconstruct_ms(hr_px);
+    UpscaleTiming {
+        npu_ms: 0.0,
+        gpu_ms: 0.0,
+        merge_ms: 0.0,
+        cpu_ms,
+        critical_ms: cpu_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_platform::REALTIME_BUDGET_MS;
+
+    #[test]
+    fn total_is_sum_of_stages() {
+        let m = MtpBreakdown {
+            input_uplink_ms: 1.0,
+            engine_ms: 2.0,
+            render_ms: 3.0,
+            roi_extra_ms: 0.5,
+            encode_ms: 4.0,
+            downlink_ms: 5.0,
+            decode_ms: 6.0,
+            upscale_ms: 7.0,
+            display_ms: 8.0,
+        };
+        assert!((m.total_ms() - 36.5).abs() < 1e-12);
+        let stage_sum: f64 = m.stages().iter().map(|(_, v)| v).sum();
+        assert!((stage_sum - m.total_ms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ours_meets_realtime_on_both_devices() {
+        for device in DeviceProfile::all() {
+            let side = device.max_realtime_roi_side(REALTIME_BUDGET_MS);
+            let t = ours_upscale(&device, side);
+            assert!(
+                t.critical_ms <= REALTIME_BUDGET_MS + 0.6,
+                "{}: {:.2} ms",
+                device.name,
+                t.critical_ms
+            );
+            // NPU dominates the parallel pair
+            assert!(t.npu_ms > t.gpu_ms);
+        }
+    }
+
+    #[test]
+    fn sota_violates_realtime_for_both_frame_classes() {
+        for device in DeviceProfile::all() {
+            assert!(sota_ref_upscale(&device).critical_ms > 200.0);
+            let nonref = sota_nonref_upscale(&device).critical_ms;
+            assert!(
+                nonref > REALTIME_BUDGET_MS && nonref < 35.0,
+                "{}: {:.2}",
+                device.name,
+                nonref
+            );
+        }
+    }
+
+    #[test]
+    fn reference_frame_speedup_is_about_13x() {
+        let s8 = DeviceProfile::s8_tab();
+        let side = s8.max_realtime_roi_side(REALTIME_BUDGET_MS);
+        let speedup = sota_ref_upscale(&s8).critical_ms / ours_upscale(&s8, side).critical_ms;
+        assert!((12.0..15.0).contains(&speedup), "{speedup:.2}");
+    }
+
+    #[test]
+    fn nonref_speedup_exceeds_1_5x() {
+        for device in DeviceProfile::all() {
+            let side = device.max_realtime_roi_side(REALTIME_BUDGET_MS);
+            let speedup =
+                sota_nonref_upscale(&device).critical_ms / ours_upscale(&device, side).critical_ms;
+            assert!(speedup > 1.5, "{}: {speedup:.2}", device.name);
+        }
+    }
+}

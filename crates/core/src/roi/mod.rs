@@ -1,0 +1,183 @@
+//! Depth-guided Region-of-Importance detection (paper §IV-B).
+//!
+//! The server captures the depth buffer for free during rendering and runs:
+//!
+//! 1. window sizing ([`sizing`], once per device at session start),
+//! 2. depth-map preprocessing ([`mod@preprocess`], Fig. 8),
+//! 3. the two-phase window search ([`search`], Algorithm 1).
+
+pub mod preprocess;
+pub mod search;
+pub mod sizing;
+pub mod tracker;
+
+pub use preprocess::{preprocess, PreprocessConfig, PreprocessStages};
+pub use search::{search_roi, SearchConfig};
+pub use sizing::{plan_roi_window, RoiWindowPlan};
+pub use tracker::{RoiTracker, TrackerConfig};
+
+use gss_frame::{DepthMap, Rect};
+
+/// Configuration of the full detection pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RoiDetectorConfig {
+    /// Depth-map preprocessing knobs.
+    pub preprocess: PreprocessConfig,
+    /// Window-search knobs.
+    pub search: SearchConfig,
+    /// Keep the intermediate preprocessing stages in the result (for
+    /// visualization/debugging; costs memory).
+    pub keep_stages: bool,
+}
+
+/// Result of RoI detection for one frame.
+#[derive(Debug, Clone)]
+pub struct RoiResult {
+    /// The detected region, clamped inside the depth map.
+    pub roi: Rect,
+    /// Intermediate stages when requested via
+    /// [`RoiDetectorConfig::keep_stages`].
+    pub stages: Option<PreprocessStages>,
+}
+
+/// The server-side RoI detector.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug, Clone, Default)]
+pub struct RoiDetector {
+    config: RoiDetectorConfig,
+}
+
+impl RoiDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: RoiDetectorConfig) -> Self {
+        RoiDetector { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RoiDetectorConfig {
+        &self.config
+    }
+
+    /// Detects the RoI window of `(width, height)` in a depth map.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window does not fit inside the depth map.
+    pub fn detect(&self, depth: &DepthMap, window: (usize, usize)) -> RoiResult {
+        let (w, h) = depth.size();
+        assert!(
+            window.0 <= w && window.1 <= h && window.0 > 0 && window.1 > 0,
+            "roi window {window:?} must fit inside {w}x{h}"
+        );
+        let stages = preprocess(depth, &self.config.preprocess);
+        let roi = search_roi(&stages.processed, window, &self.config.search);
+        RoiResult {
+            roi,
+            stages: if self.config.keep_stages {
+                Some(stages)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Depth map: uniform far background, one near blob.
+    fn blob_depth(w: usize, h: usize, cx: f32, cy: f32, r: f32) -> DepthMap {
+        DepthMap::from_fn(w, h, |x, y| {
+            let dx = x as f32 - cx;
+            let dy = y as f32 - cy;
+            if (dx * dx + dy * dy).sqrt() < r {
+                0.08
+            } else {
+                0.85
+            }
+        })
+    }
+
+    #[test]
+    fn detects_centered_blob() {
+        let depth = blob_depth(320, 180, 160.0, 90.0, 30.0);
+        let det = RoiDetector::default();
+        let r = det.detect(&depth, (64, 64));
+        let (cx, cy) = r.roi.center();
+        assert!((cx as f32 - 160.0).abs() < 20.0, "cx {cx}");
+        assert!((cy as f32 - 90.0).abs() < 20.0, "cy {cy}");
+    }
+
+    #[test]
+    fn detects_offcenter_blob() {
+        let depth = blob_depth(320, 180, 110.0, 120.0, 28.0);
+        let det = RoiDetector::default();
+        let r = det.detect(&depth, (64, 64));
+        let (cx, cy) = r.roi.center();
+        assert!((cx as f32 - 110.0).abs() < 26.0, "cx {cx}");
+        assert!((cy as f32 - 120.0).abs() < 26.0, "cy {cy}");
+    }
+
+    #[test]
+    fn window_always_inside_bounds() {
+        let depth = blob_depth(320, 180, 5.0, 5.0, 30.0);
+        let det = RoiDetector::default();
+        let r = det.detect(&depth, (100, 100));
+        assert!(r.roi.right() <= 320 && r.roi.bottom() <= 180);
+        assert_eq!(r.roi.width, 100);
+        assert_eq!(r.roi.height, 100);
+    }
+
+    #[test]
+    fn stages_kept_when_requested() {
+        let depth = blob_depth(160, 90, 80.0, 45.0, 15.0);
+        let det = RoiDetector::new(RoiDetectorConfig {
+            keep_stages: true,
+            ..RoiDetectorConfig::default()
+        });
+        assert!(det.detect(&depth, (32, 32)).stages.is_some());
+        let det2 = RoiDetector::default();
+        assert!(det2.detect(&depth, (32, 32)).stages.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn oversized_window_panics() {
+        let depth = blob_depth(64, 64, 32.0, 32.0, 10.0);
+        RoiDetector::default().detect(&depth, (128, 128));
+    }
+
+    #[test]
+    fn center_bias_breaks_uniform_depth() {
+        // a completely flat depth map: the Gaussian weighting must pull the
+        // RoI to the screen center (insight ① in §IV-B2)
+        let depth = DepthMap::from_fn(320, 180, |_, _| 0.5);
+        let det = RoiDetector::default();
+        let r = det.detect(&depth, (64, 64));
+        let (cx, cy) = r.roi.center();
+        assert!((cx as i64 - 160).abs() <= 8, "cx {cx}");
+        assert!((cy as i64 - 90).abs() <= 8, "cy {cy}");
+    }
+
+    #[test]
+    fn near_content_wins_over_equidistant_far() {
+        // two blobs mirrored around the center: the nearer one must win
+        let depth = DepthMap::from_fn(320, 180, |x, y| {
+            let d1 = ((x as f32 - 100.0).powi(2) + (y as f32 - 90.0).powi(2)).sqrt();
+            let d2 = ((x as f32 - 220.0).powi(2) + (y as f32 - 90.0).powi(2)).sqrt();
+            if d1 < 25.0 {
+                0.05 // near
+            } else if d2 < 25.0 {
+                0.45 // mid-distance
+            } else {
+                0.9
+            }
+        });
+        let det = RoiDetector::default();
+        let r = det.detect(&depth, (64, 64));
+        let (cx, _) = r.roi.center();
+        assert!(cx < 160, "expected the nearer blob (x≈100), got cx {cx}");
+    }
+}

@@ -1,0 +1,353 @@
+//! Depth-map preprocessing (paper Fig. 8): foreground extraction via
+//! histogram-valley thresholding, Gaussian center-biased spatial weighting,
+//! depth-map layering and max-energy layer selection.
+
+use gss_frame::{DepthMap, Plane};
+
+/// Preprocessing knobs, defaulting to the paper's design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreprocessConfig {
+    /// Depth-histogram bins used for foreground/background thresholding.
+    pub histogram_bins: usize,
+    /// Number of depth layers the weighted map is split into (step-3).
+    pub layers: usize,
+    /// Peak amplitude of the additive Gaussian center bias (step-2).
+    /// `0.0` disables spatial weighting (ablation).
+    pub gaussian_weight: f32,
+    /// Gaussian sigma as a fraction of `min(width, height)`.
+    pub gaussian_sigma_frac: f32,
+    /// Minimum probability mass required on each side of a histogram
+    /// valley for it to count as the foreground/background gap.
+    pub min_side_mass: f64,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            histogram_bins: 64,
+            layers: 4,
+            gaussian_weight: 0.5,
+            gaussian_sigma_frac: 0.35,
+            min_side_mass: 0.04,
+        }
+    }
+}
+
+/// All intermediate stages of preprocessing, for inspection and the
+/// `roi_visualizer` example. `processed` feeds the window search.
+#[derive(Debug, Clone)]
+pub struct PreprocessStages {
+    /// Foreground/background depth threshold found on the histogram.
+    pub threshold: f32,
+    /// Step-1 output: nearness (`1 − depth`) masked to the foreground.
+    pub foreground: Plane<f32>,
+    /// Step-2 output: foreground importance plus the Gaussian center bias.
+    pub weighted: Plane<f32>,
+    /// Step-3 output: the weighted map split into value-range layers.
+    pub layers: Vec<Plane<f32>>,
+    /// Step-4 choice: index of the selected (max total value) layer.
+    pub selected_layer: usize,
+    /// The map the RoI search runs on.
+    pub processed: Plane<f32>,
+}
+
+/// Runs the full preprocessing pipeline on a depth map.
+pub fn preprocess(depth: &DepthMap, config: &PreprocessConfig) -> PreprocessStages {
+    let (w, h) = depth.size();
+
+    // -- step 1: foreground extraction ------------------------------------
+    let hist = depth.histogram(config.histogram_bins.max(2));
+    let threshold = foreground_threshold(&hist, config.min_side_mass);
+    let foreground = Plane::from_fn(w, h, |x, y| {
+        let d = depth.get(x, y);
+        if d < threshold {
+            1.0 - d
+        } else {
+            0.0
+        }
+    });
+
+    // -- step 2: spatial weighting -----------------------------------------
+    let cx = (w as f32 - 1.0) * 0.5;
+    let cy = (h as f32 - 1.0) * 0.5;
+    let sigma = (w.min(h) as f32 * config.gaussian_sigma_frac).max(1.0);
+    let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+    let weighted = Plane::from_fn(w, h, |x, y| {
+        // the bias augments the (already extracted) foreground: background
+        // pixels stay at zero, per the stage order of Fig. 8
+        let f = foreground.get(x, y);
+        if f <= 0.0 {
+            return 0.0;
+        }
+        let dx = x as f32 - cx;
+        let dy = y as f32 - cy;
+        let g = config.gaussian_weight * (-(dx * dx + dy * dy) * inv_two_sigma_sq).exp();
+        f + g
+    });
+
+    // -- step 3: depth-map layering ----------------------------------------
+    // layering separates depth strata of the foreground; when the
+    // foreground is a single stratum (all one depth) there is nothing to
+    // layer, and splitting on the injected Gaussian alone would select a
+    // meaningless iso-weight ring — skip to the weighted map directly
+    let fg_span = {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in foreground.iter() {
+            if v > 0.0 {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if hi >= lo {
+            hi - lo
+        } else {
+            0.0
+        }
+    };
+    let (lo, hi) = weighted.min_max();
+    let span = hi - lo;
+    let layer_count = config.layers.max(1);
+    let layers: Vec<Plane<f32>> = if span <= f32::EPSILON || fg_span <= 1e-4 {
+        vec![weighted.clone()]
+    } else {
+        (0..layer_count)
+            .map(|i| {
+                let a = lo + span * i as f32 / layer_count as f32;
+                let b = lo + span * (i + 1) as f32 / layer_count as f32;
+                weighted.map(|v| {
+                    let inside = if i + 1 == layer_count {
+                        v >= a && v <= b
+                    } else {
+                        v >= a && v < b
+                    };
+                    if inside {
+                        v
+                    } else {
+                        0.0
+                    }
+                })
+            })
+            .collect()
+    };
+
+    // -- step 4: layer selection --------------------------------------------
+    let selected_layer = layers
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.sum().total_cmp(&b.sum()))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let processed = layers[selected_layer].clone();
+
+    PreprocessStages {
+        threshold,
+        foreground,
+        weighted,
+        layers,
+        selected_layer,
+        processed,
+    }
+}
+
+/// Finds the foreground/background depth threshold: the deepest valley of
+/// the (smoothed) histogram with sufficient mass on both sides, falling
+/// back to Otsu's method when no qualifying valley exists, and to "keep
+/// everything" when even Otsu degenerates (near-uniform depth).
+fn foreground_threshold(hist: &[usize], min_side_mass: f64) -> f32 {
+    let bins = hist.len();
+    let total: usize = hist.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    // moving-average smoothing (window 5)
+    let smoothed: Vec<f64> = (0..bins)
+        .map(|i| {
+            let a = i.saturating_sub(2);
+            let b = (i + 2).min(bins - 1);
+            hist[a..=b].iter().sum::<usize>() as f64 / (b - a + 1) as f64
+        })
+        .collect();
+
+    // collect every qualifying valley position at the minimum score, then
+    // take the middle of that run so the threshold sits mid-gap
+    let mut best_score = f64::INFINITY;
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut left_mass = 0usize;
+    #[allow(clippy::needless_range_loop)] // v indexes both hist and smoothed
+    for v in 1..bins - 1 {
+        left_mass += hist[v - 1];
+        let right_mass = total - left_mass;
+        let lm = left_mass as f64 / total as f64;
+        let rm = right_mass as f64 / total as f64;
+        if lm < min_side_mass || rm < min_side_mass {
+            continue;
+        }
+        // valley: local minimum of the smoothed histogram
+        if smoothed[v] <= smoothed[v - 1] && smoothed[v] <= smoothed[v + 1] {
+            if smoothed[v] < best_score - 1e-9 {
+                best_score = smoothed[v];
+                candidates.clear();
+            }
+            if (smoothed[v] - best_score).abs() <= 1e-9 {
+                candidates.push(v);
+            }
+        }
+    }
+    if !candidates.is_empty() {
+        let v = candidates[candidates.len() / 2];
+        return (v as f32 + 0.5) / bins as f32;
+    }
+    otsu_threshold(hist).unwrap_or(1.0)
+}
+
+/// Otsu's between-class-variance maximizing threshold; `None` when the
+/// histogram is degenerate (all mass in one bin).
+fn otsu_threshold(hist: &[usize]) -> Option<f32> {
+    let bins = hist.len();
+    let total: f64 = hist.iter().sum::<usize>() as f64;
+    if total == 0.0 {
+        return None;
+    }
+    let global_mean: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| i as f64 * c as f64)
+        .sum::<f64>()
+        / total;
+    let mut w0 = 0.0f64;
+    let mut sum0 = 0.0f64;
+    let mut best: Option<(usize, f64)> = None;
+    for (t, &count) in hist.iter().enumerate().take(bins - 1) {
+        w0 += count as f64;
+        sum0 += t as f64 * count as f64;
+        if w0 == 0.0 || w0 == total {
+            continue;
+        }
+        let w1 = total - w0;
+        let mu0 = sum0 / w0;
+        let mu1 = (global_mean * total - sum0) / w1;
+        let variance = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+        if best.map(|(_, v)| variance > v).unwrap_or(true) {
+            best = Some((t, variance));
+        }
+    }
+    best.filter(|&(_, v)| v > 1e-9)
+        .map(|(t, _)| (t as f32 + 1.0) / bins as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_frame::DepthMap;
+
+    fn bimodal(w: usize, h: usize) -> DepthMap {
+        // left half near (0.1), right half far (0.8)
+        DepthMap::from_fn(w, h, |x, _| if x < w / 2 { 0.1 } else { 0.8 })
+    }
+
+    #[test]
+    fn threshold_splits_bimodal_depth() {
+        let d = bimodal(64, 64);
+        let stages = preprocess(&d, &PreprocessConfig::default());
+        assert!(
+            stages.threshold > 0.15 && stages.threshold < 0.8,
+            "threshold {}",
+            stages.threshold
+        );
+        // foreground keeps only the near half
+        assert!(stages.foreground.get(5, 32) > 0.0);
+        assert_eq!(stages.foreground.get(60, 32), 0.0);
+    }
+
+    #[test]
+    fn layers_partition_nonzero_pixels() {
+        let d = bimodal(64, 64);
+        let stages = preprocess(&d, &PreprocessConfig::default());
+        // each pixel may appear in at most one layer with its value
+        for y in 0..64 {
+            for x in 0..64 {
+                let v = stages.weighted.get(x, y);
+                let hits = stages
+                    .layers
+                    .iter()
+                    .filter(|l| l.get(x, y) != 0.0)
+                    .count();
+                if v != 0.0 {
+                    assert_eq!(hits, 1, "pixel ({x},{y}) value {v} in {hits} layers");
+                } else {
+                    assert_eq!(hits, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selected_layer_has_max_sum() {
+        let d = bimodal(64, 64);
+        let stages = preprocess(&d, &PreprocessConfig::default());
+        let sums: Vec<f64> = stages.layers.iter().map(|l| l.sum()).collect();
+        let max = sums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(sums[stages.selected_layer], max);
+    }
+
+    #[test]
+    fn gaussian_weighting_is_center_biased() {
+        let d = DepthMap::from_fn(64, 64, |_, _| 0.3);
+        let stages = preprocess(&d, &PreprocessConfig::default());
+        let center = stages.weighted.get(32, 32);
+        let corner = stages.weighted.get(0, 0);
+        assert!(center > corner, "{center} vs {corner}");
+    }
+
+    #[test]
+    fn zero_gaussian_weight_disables_bias() {
+        let d = DepthMap::from_fn(64, 64, |_, _| 0.3);
+        let cfg = PreprocessConfig {
+            gaussian_weight: 0.0,
+            ..PreprocessConfig::default()
+        };
+        let stages = preprocess(&d, &cfg);
+        assert_eq!(stages.weighted.get(32, 32), stages.weighted.get(0, 0));
+    }
+
+    #[test]
+    fn uniform_depth_does_not_panic_and_keeps_everything() {
+        let d = DepthMap::from_fn(32, 32, |_, _| 0.5);
+        let stages = preprocess(&d, &PreprocessConfig::default());
+        assert!(stages.processed.sum() > 0.0);
+    }
+
+    #[test]
+    fn processed_map_prefers_near_objects() {
+        // near blob off-center vs far background: the processed map's mass
+        // should concentrate on the blob
+        let d = DepthMap::from_fn(96, 96, |x, y| {
+            let dx = x as f32 - 60.0;
+            let dy = y as f32 - 48.0;
+            if (dx * dx + dy * dy).sqrt() < 14.0 {
+                0.1
+            } else {
+                0.85
+            }
+        });
+        let stages = preprocess(&d, &PreprocessConfig::default());
+        let on_blob = stages.processed.get(60, 48);
+        let off_blob = stages.processed.get(10, 10);
+        assert!(on_blob > 0.0);
+        assert!(on_blob > off_blob);
+    }
+
+    #[test]
+    fn otsu_fallback_handles_smooth_histograms() {
+        // linear ramp depth: no valley, Otsu must produce something sane
+        let d = DepthMap::from_fn(64, 64, |x, _| x as f32 / 64.0);
+        let stages = preprocess(&d, &PreprocessConfig::default());
+        assert!(stages.threshold > 0.05 && stages.threshold <= 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_threshold_is_far() {
+        assert_eq!(foreground_threshold(&[0, 0, 0, 0], 0.1), 1.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! The two-phase RoI window search (paper Algorithm 1): a coarse-grained
+//! scan with a large stride to localize the candidate, then a fine-grained
+//! scan with a small stride around it. Window sums come from a summed-area
+//! table, making each probe O(1) — the software analog of the paper's
+//! parallel GPU reduction.
+
+use gss_frame::{Plane, Rect};
+
+/// Search strides and refinement margin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Fine-phase stride `s` in pixels (the coarse stride is
+    /// `max(h, w) / 2` per the paper).
+    pub fine_stride: usize,
+    /// Boundary `b` around the coarse result refined by the fine phase;
+    /// `None` uses the coarse stride.
+    pub boundary: Option<usize>,
+    /// Skip the fine phase entirely (coarse-only ablation).
+    pub coarse_only: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            fine_stride: 4,
+            boundary: None,
+            coarse_only: false,
+        }
+    }
+}
+
+/// Runs Algorithm 1 on a processed importance map, returning the best
+/// `(width, height)` window. Ties break toward the frame center (§IV-B2).
+///
+/// # Panics
+///
+/// Panics when the window is empty or does not fit inside the map.
+pub fn search_roi(
+    processed: &Plane<f32>,
+    window: (usize, usize),
+    config: &SearchConfig,
+) -> Rect {
+    let (map_w, map_h) = processed.size();
+    let (win_w, win_h) = window;
+    assert!(
+        win_w > 0 && win_h > 0 && win_w <= map_w && win_h <= map_h,
+        "window {window:?} must fit inside {map_w}x{map_h}"
+    );
+    let sat = processed.integral();
+    let center_x = (map_w as f64 - win_w as f64) / 2.0;
+    let center_y = (map_h as f64 - win_h as f64) / 2.0;
+
+    // phase 1: coarse scan, stride S = max(h, w) / 2
+    let coarse_stride = (win_w.max(win_h) / 2).max(1);
+    let coarse = scan(
+        &sat,
+        (0, map_w - win_w),
+        (0, map_h - win_h),
+        coarse_stride,
+        window,
+        (center_x, center_y),
+    );
+    if config.coarse_only {
+        return Rect::new(coarse.0, coarse.1, win_w, win_h);
+    }
+
+    // phase 2: fine scan with stride s inside ±b of the coarse result
+    let b = config.boundary.unwrap_or(coarse_stride);
+    let fine_stride = config.fine_stride.max(1);
+    let x_lo = coarse.0.saturating_sub(b);
+    let x_hi = (coarse.0 + b).min(map_w - win_w);
+    let y_lo = coarse.1.saturating_sub(b);
+    let y_hi = (coarse.1 + b).min(map_h - win_h);
+    let fine = scan(
+        &sat,
+        (x_lo, x_hi),
+        (y_lo, y_hi),
+        fine_stride,
+        window,
+        (center_x, center_y),
+    );
+    Rect::new(fine.0, fine.1, win_w, win_h)
+}
+
+/// Scans window positions over `[x_lo..=x_hi] x [y_lo..=y_hi]` with the
+/// given stride, maximizing window sum; ties break toward the center.
+fn scan(
+    sat: &gss_frame::IntegralImage,
+    (x_lo, x_hi): (usize, usize),
+    (y_lo, y_hi): (usize, usize),
+    stride: usize,
+    (win_w, win_h): (usize, usize),
+    (center_x, center_y): (f64, f64),
+) -> (usize, usize) {
+    let mut best_pos = (x_lo, y_lo);
+    let mut best_sum = f64::NEG_INFINITY;
+    let mut best_center_d2 = f64::INFINITY;
+    let mut y = y_lo;
+    loop {
+        let mut x = x_lo;
+        loop {
+            let sum = sat.window_sum(Rect::new(x, y, win_w, win_h));
+            let dx = x as f64 - center_x;
+            let dy = y as f64 - center_y;
+            let d2 = dx * dx + dy * dy;
+            if sum > best_sum + 1e-9 || (sum > best_sum - 1e-9 && d2 < best_center_d2) {
+                if sum > best_sum {
+                    best_sum = sum;
+                }
+                best_center_d2 = d2;
+                best_pos = (x, y);
+            }
+            if x == x_hi {
+                break;
+            }
+            x = (x + stride).min(x_hi);
+        }
+        if y == y_hi {
+            break;
+        }
+        y = (y + stride).min(y_hi);
+    }
+    best_pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_with_blob(w: usize, h: usize, bx: usize, by: usize, r: usize) -> Plane<f32> {
+        Plane::from_fn(w, h, |x, y| {
+            let dx = x as f64 - bx as f64;
+            let dy = y as f64 - by as f64;
+            if (dx * dx + dy * dy).sqrt() < r as f64 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn finds_single_blob() {
+        let m = map_with_blob(200, 120, 140, 60, 15);
+        let roi = search_roi(&m, (40, 40), &SearchConfig::default());
+        let (cx, cy) = roi.center();
+        assert!((cx as i64 - 140).abs() <= 6, "cx {cx}");
+        assert!((cy as i64 - 60).abs() <= 6, "cy {cy}");
+    }
+
+    #[test]
+    fn fine_phase_beats_coarse_only() {
+        // blob positioned off the coarse grid: fine refinement captures
+        // at least as much mass
+        let m = map_with_blob(200, 120, 97, 53, 10);
+        let coarse = search_roi(
+            &m,
+            (40, 40),
+            &SearchConfig {
+                coarse_only: true,
+                ..SearchConfig::default()
+            },
+        );
+        let fine = search_roi(&m, (40, 40), &SearchConfig::default());
+        let sat = m.integral();
+        assert!(sat.window_sum(fine) >= sat.window_sum(coarse));
+    }
+
+    #[test]
+    fn fine_stride_one_is_optimal_for_small_maps() {
+        let m = map_with_blob(80, 60, 33, 27, 6);
+        let roi = search_roi(
+            &m,
+            (20, 20),
+            &SearchConfig {
+                fine_stride: 1,
+                boundary: Some(80),
+                ..SearchConfig::default()
+            },
+        );
+        // exhaustive check
+        let sat = m.integral();
+        let mut best = f64::NEG_INFINITY;
+        for y in 0..=40 {
+            for x in 0..=60 {
+                best = best.max(sat.window_sum(Rect::new(x, y, 20, 20)));
+            }
+        }
+        assert!((sat.window_sum(roi) - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tie_breaks_toward_center() {
+        // completely uniform map: every window has the same sum
+        let m = Plane::filled(100, 100, 1.0f32);
+        let roi = search_roi(&m, (20, 20), &SearchConfig::default());
+        let (cx, cy) = roi.center();
+        assert!((cx as i64 - 50).abs() <= 3, "cx {cx}");
+        assert!((cy as i64 - 50).abs() <= 3, "cy {cy}");
+    }
+
+    #[test]
+    fn result_always_in_bounds() {
+        let m = map_with_blob(64, 48, 2, 2, 10);
+        let roi = search_roi(&m, (30, 30), &SearchConfig::default());
+        assert!(roi.right() <= 64 && roi.bottom() <= 48);
+    }
+
+    #[test]
+    fn full_frame_window_is_identity() {
+        let m = map_with_blob(40, 30, 20, 15, 5);
+        let roi = search_roi(&m, (40, 30), &SearchConfig::default());
+        assert_eq!(roi, Rect::new(0, 0, 40, 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn oversized_window_panics() {
+        let m = Plane::filled(10, 10, 0.0f32);
+        search_roi(&m, (20, 20), &SearchConfig::default());
+    }
+}

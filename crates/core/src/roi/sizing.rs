@@ -1,0 +1,112 @@
+//! RoI window sizing (paper §IV-B1, Fig. 7): the physiological minimum from
+//! foveal vision and the compute maximum from device calibration.
+
+use gss_platform::{DeviceProfile, REALTIME_BUDGET_MS};
+use serde::{Deserialize, Serialize};
+
+/// The per-device RoI window plan negotiated at session start (step-0 of
+/// Fig. 6). Computed once per device; the server uses `chosen_side`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoiWindowPlan {
+    /// Minimum desired side from foveal physiology, on the low-resolution
+    /// frame (`ppi · 1.25 in / scale`).
+    pub foveal_side: usize,
+    /// Maximum side whose DNN upscaling fits the 16.66 ms budget.
+    pub max_side: usize,
+    /// The side actually used: the compute maximum (to also cover the
+    /// para-foveal central region, §IV-B1), never exceeding the frame.
+    pub chosen_side: usize,
+    /// `true` when the device cannot even afford the foveal minimum in
+    /// real time (`max_side < foveal_side`) and quality is compute-bound.
+    pub foveal_compromised: bool,
+}
+
+/// Plans the RoI window for a device streaming at `scale_factor`x
+/// upscaling with low-resolution frames of `(lr_width, lr_height)`.
+///
+/// # Panics
+///
+/// Panics when `scale_factor` is zero or the frame is empty.
+pub fn plan_roi_window(
+    device: &DeviceProfile,
+    scale_factor: usize,
+    lr_width: usize,
+    lr_height: usize,
+) -> RoiWindowPlan {
+    assert!(scale_factor > 0, "scale factor must be nonzero");
+    assert!(lr_width > 0 && lr_height > 0, "frame must be nonempty");
+    let foveal_side = device.foveal_roi_side(scale_factor);
+    let max_side = device.max_realtime_roi_side(REALTIME_BUDGET_MS);
+    // use the full compute budget (maximizes quality gains around the
+    // fovea), clamped into the frame
+    let chosen_side = max_side.min(lr_width).min(lr_height).max(1);
+    RoiWindowPlan {
+        foveal_side,
+        max_side,
+        chosen_side,
+        foveal_compromised: max_side < foveal_side,
+    }
+}
+
+impl RoiWindowPlan {
+    /// The plan's window as `(width, height)`.
+    pub fn window(&self) -> (usize, usize) {
+        (self.chosen_side, self.chosen_side)
+    }
+
+    /// Rescales the chosen window to a reduced evaluation canvas while
+    /// keeping the same fraction of the frame (used when experiments run
+    /// at a smaller canvas for tractability; timing always uses the
+    /// full-scale plan).
+    pub fn scaled_to_canvas(&self, canvas_width: usize, full_width: usize) -> (usize, usize) {
+        let side = (self.chosen_side * canvas_width) / full_width.max(1);
+        let side = side.max(8);
+        (side, side)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s8_plan_matches_paper_example() {
+        let plan = plan_roi_window(&DeviceProfile::s8_tab(), 2, 1280, 720);
+        // §IV-B1: foveal ≈172 px, compute max ≈300 px on the S8
+        assert!((170..=173).contains(&plan.foveal_side), "{}", plan.foveal_side);
+        assert!((296..=312).contains(&plan.max_side), "{}", plan.max_side);
+        assert_eq!(plan.chosen_side, plan.max_side);
+        assert!(!plan.foveal_compromised);
+    }
+
+    #[test]
+    fn pixel_plan_is_compute_bound() {
+        // Pixel 7 Pro: 512 ppi wants a 320 px foveal window but the NPU
+        // affords ≈300 → compromised flag set
+        let plan = plan_roi_window(&DeviceProfile::pixel7_pro(), 2, 1280, 720);
+        assert!(plan.foveal_side > plan.max_side);
+        assert!(plan.foveal_compromised);
+        assert_eq!(plan.chosen_side, plan.max_side);
+    }
+
+    #[test]
+    fn window_clamped_to_small_frames() {
+        let plan = plan_roi_window(&DeviceProfile::s8_tab(), 2, 160, 90);
+        assert_eq!(plan.chosen_side, 90);
+    }
+
+    #[test]
+    fn canvas_rescale_keeps_fraction() {
+        let plan = plan_roi_window(&DeviceProfile::s8_tab(), 2, 1280, 720);
+        let (w, _) = plan.scaled_to_canvas(640, 1280);
+        assert_eq!(w, plan.chosen_side / 2);
+    }
+
+    #[test]
+    fn higher_scale_factor_shrinks_foveal_window() {
+        let d = DeviceProfile::s8_tab();
+        let p2 = plan_roi_window(&d, 2, 1280, 720);
+        let p4 = plan_roi_window(&d, 4, 1280, 720);
+        assert!(p4.foveal_side < p2.foveal_side);
+    }
+}

@@ -1,0 +1,199 @@
+use crate::{Plane, Rect};
+
+/// A per-pixel depth buffer (Z-buffer) captured during rendering.
+///
+/// Values are normalized to `0.0..=1.0` where `0.0` is the near plane
+/// (closest to the camera/player) and `1.0` the far plane — the convention of
+/// the paper's depth maps, where "darker = nearer". The RoI detector in the
+/// core crate consumes this type directly, exactly as the paper's server
+/// consumes the rendering pipeline's Z-buffer.
+///
+/// ```
+/// use gss_frame::DepthMap;
+///
+/// let d = DepthMap::from_fn(4, 4, |x, _| if x < 2 { 0.1 } else { 0.9 });
+/// assert!(d.get(0, 0) < d.get(3, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthMap {
+    plane: Plane<f32>,
+}
+
+impl DepthMap {
+    /// A depth map initialized to the far plane everywhere (`1.0`), the
+    /// state of a Z-buffer before any geometry is rasterized.
+    pub fn far(width: usize, height: usize) -> Self {
+        DepthMap {
+            plane: Plane::filled(width, height, 1.0),
+        }
+    }
+
+    /// Builds a depth map from a closure; values are clamped to `[0, 1]`.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        DepthMap {
+            plane: Plane::from_fn(width, height, |x, y| f(x, y).clamp(0.0, 1.0)),
+        }
+    }
+
+    /// Wraps an existing plane, clamping samples into `[0, 1]`.
+    pub fn from_plane(mut plane: Plane<f32>) -> Self {
+        plane.clamp_in_place(0.0, 1.0);
+        DepthMap { plane }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.plane.width()
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.plane.height()
+    }
+
+    /// `(width, height)` pair.
+    pub fn size(&self) -> (usize, usize) {
+        self.plane.size()
+    }
+
+    /// Depth at `(x, y)`; `0.0` = near plane, `1.0` = far plane.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        self.plane.get(x, y)
+    }
+
+    /// Writes a depth sample, clamped to `[0, 1]`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: f32) {
+        self.plane.set(x, y, value.clamp(0.0, 1.0));
+    }
+
+    /// Z-test + write: stores `value` only if it is nearer than the current
+    /// sample, returning whether the write happened. This is the rasterizer's
+    /// depth test.
+    #[inline]
+    pub fn test_and_set(&mut self, x: usize, y: usize, value: f32) -> bool {
+        let v = value.clamp(0.0, 1.0);
+        if v < self.plane.get(x, y) {
+            self.plane.set(x, y, v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Borrow of the underlying plane.
+    pub fn plane(&self) -> &Plane<f32> {
+        &self.plane
+    }
+
+    /// Consumes the map and returns the underlying plane.
+    pub fn into_plane(self) -> Plane<f32> {
+        self.plane
+    }
+
+    /// "Importance" view of the depth map: `1 - depth`, so near pixels carry
+    /// high values. This matches the paper's convention of summing darkness
+    /// intensity (nearness) during the RoI search.
+    pub fn nearness(&self) -> Plane<f32> {
+        self.plane.map(|d| 1.0 - d)
+    }
+
+    /// Histogram of depth values with `bins` equal-width buckets over
+    /// `[0, 1]`. A sample of exactly `1.0` lands in the last bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins == 0`.
+    pub fn histogram(&self, bins: usize) -> Vec<usize> {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let mut hist = vec![0usize; bins];
+        for &d in self.plane.iter() {
+            let idx = ((d * bins as f32) as usize).min(bins - 1);
+            hist[idx] += 1;
+        }
+        hist
+    }
+
+    /// Mean depth inside a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `region` exceeds the bounds or is empty.
+    pub fn mean_in(&self, region: Rect) -> f64 {
+        let crop = self.plane.crop(region).expect("region out of bounds");
+        crop.mean()
+    }
+
+    /// Box-filter downsample by an integer factor (server-side detection can
+    /// run on a reduced-resolution depth map).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` does not divide both dimensions.
+    pub fn downsample_box(&self, factor: usize) -> DepthMap {
+        DepthMap {
+            plane: self.plane.downsample_box(factor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn far_is_all_ones() {
+        let d = DepthMap::far(3, 3);
+        assert!(d.plane().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn test_and_set_keeps_nearest() {
+        let mut d = DepthMap::far(2, 2);
+        assert!(d.test_and_set(0, 0, 0.5));
+        assert!(!d.test_and_set(0, 0, 0.7));
+        assert!(d.test_and_set(0, 0, 0.2));
+        assert_eq!(d.get(0, 0), 0.2);
+    }
+
+    #[test]
+    fn values_are_clamped() {
+        let mut d = DepthMap::far(1, 1);
+        d.set(0, 0, -3.0);
+        assert_eq!(d.get(0, 0), 0.0);
+        d.set(0, 0, 7.0);
+        assert_eq!(d.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_all_pixels() {
+        let d = DepthMap::from_fn(10, 10, |x, _| x as f32 / 10.0);
+        let h = d.histogram(10);
+        assert_eq!(h.iter().sum::<usize>(), 100);
+        // column x contributes depth x/10, landing in bin x
+        assert!(h.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn histogram_puts_one_in_last_bin() {
+        let d = DepthMap::far(2, 2);
+        let h = d.histogram(4);
+        assert_eq!(h[3], 4);
+    }
+
+    #[test]
+    fn nearness_inverts() {
+        let d = DepthMap::from_fn(2, 1, |x, _| x as f32);
+        let n = d.nearness();
+        assert_eq!(n.get(0, 0), 1.0);
+        assert_eq!(n.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn mean_in_region() {
+        let d = DepthMap::from_fn(4, 4, |x, _| if x < 2 { 0.0 } else { 1.0 });
+        assert_eq!(d.mean_in(Rect::new(0, 0, 2, 4)), 0.0);
+        assert_eq!(d.mean_in(Rect::new(2, 0, 2, 4)), 1.0);
+    }
+}

@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Errors produced by plane/frame construction and region operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// A dimension was zero or the data length did not match `width * height`.
+    BadDimensions {
+        /// Requested width in pixels.
+        width: usize,
+        /// Requested height in pixels.
+        height: usize,
+        /// Length of the provided sample buffer.
+        data_len: usize,
+    },
+    /// A region fell (partly) outside the plane it was applied to.
+    RegionOutOfBounds {
+        /// The offending region.
+        region: super::Rect,
+        /// Plane width in pixels.
+        width: usize,
+        /// Plane height in pixels.
+        height: usize,
+    },
+    /// Two planes/frames that must share a size did not.
+    SizeMismatch {
+        /// Width/height of the left operand.
+        left: (usize, usize),
+        /// Width/height of the right operand.
+        right: (usize, usize),
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadDimensions {
+                width,
+                height,
+                data_len,
+            } => write!(
+                f,
+                "bad dimensions: {width}x{height} with {data_len} samples"
+            ),
+            FrameError::RegionOutOfBounds {
+                region,
+                width,
+                height,
+            } => write!(
+                f,
+                "region {region:?} out of bounds for {width}x{height} plane"
+            ),
+            FrameError::SizeMismatch { left, right } => write!(
+                f,
+                "size mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            FrameError::BadDimensions {
+                width: 0,
+                height: 2,
+                data_len: 0,
+            },
+            FrameError::RegionOutOfBounds {
+                region: Rect::new(0, 0, 9, 9),
+                width: 4,
+                height: 4,
+            },
+            FrameError::SizeMismatch {
+                left: (1, 2),
+                right: (3, 4),
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<FrameError>();
+    }
+}

@@ -1,0 +1,328 @@
+use crate::{FrameError, Plane, Rect};
+
+/// An 8-bit RGB pixel, used at the display boundary and in image I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rgb8 {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb8 {
+    /// Creates a pixel from its channels.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb8 { r, g, b }
+    }
+}
+
+impl From<[u8; 3]> for Rgb8 {
+    fn from(v: [u8; 3]) -> Self {
+        Rgb8::new(v[0], v[1], v[2])
+    }
+}
+
+/// A full-resolution planar YCbCr picture.
+///
+/// Every stage of the reproduction (render output, codec input/output, SR
+/// input/output, metrics) operates on this type. Samples are `f32` in the
+/// `0.0..=255.0` domain; Cb/Cr are centered at 128. Chroma is stored at full
+/// resolution here — the codec performs its own 4:2:0 subsampling when
+/// modelling bitrate.
+///
+/// ```
+/// use gss_frame::{Frame, Rgb8};
+///
+/// let f = Frame::from_rgb_fn(2, 2, |x, y| Rgb8::new((x * 255) as u8, 0, (y * 255) as u8));
+/// let rgb = f.to_rgb8();
+/// assert_eq!(rgb.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    y: Plane<f32>,
+    cb: Plane<f32>,
+    cr: Plane<f32>,
+}
+
+impl Frame {
+    /// A black frame (`Y=0, Cb=Cr=128`).
+    pub fn new(width: usize, height: usize) -> Self {
+        Frame::filled(width, height, [0.0, 128.0, 128.0])
+    }
+
+    /// A frame with constant `[y, cb, cr]` everywhere.
+    pub fn filled(width: usize, height: usize, ycbcr: [f32; 3]) -> Self {
+        Frame {
+            y: Plane::filled(width, height, ycbcr[0]),
+            cb: Plane::filled(width, height, ycbcr[1]),
+            cr: Plane::filled(width, height, ycbcr[2]),
+        }
+    }
+
+    /// Assembles a frame from three same-sized planes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::SizeMismatch`] when plane sizes differ.
+    pub fn from_planes(
+        y: Plane<f32>,
+        cb: Plane<f32>,
+        cr: Plane<f32>,
+    ) -> Result<Self, FrameError> {
+        if y.size() != cb.size() {
+            return Err(FrameError::SizeMismatch {
+                left: y.size(),
+                right: cb.size(),
+            });
+        }
+        if y.size() != cr.size() {
+            return Err(FrameError::SizeMismatch {
+                left: y.size(),
+                right: cr.size(),
+            });
+        }
+        Ok(Frame { y, cb, cr })
+    }
+
+    /// Builds a frame by evaluating an RGB shading function per pixel.
+    pub fn from_rgb_fn(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> Rgb8,
+    ) -> Self {
+        let mut y = Plane::new(width, height);
+        let mut cb = Plane::new(width, height);
+        let mut cr = Plane::new(width, height);
+        for py in 0..height {
+            for px in 0..width {
+                let rgb = f(px, py);
+                let (yy, cbb, crr) = rgb_to_ycbcr(rgb);
+                y.set(px, py, yy);
+                cb.set(px, py, cbb);
+                cr.set(px, py, crr);
+            }
+        }
+        Frame { y, cb, cr }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.y.width()
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.y.height()
+    }
+
+    /// `(width, height)` pair.
+    pub fn size(&self) -> (usize, usize) {
+        self.y.size()
+    }
+
+    /// Luma plane.
+    pub fn y(&self) -> &Plane<f32> {
+        &self.y
+    }
+
+    /// Blue-difference chroma plane.
+    pub fn cb(&self) -> &Plane<f32> {
+        &self.cb
+    }
+
+    /// Red-difference chroma plane.
+    pub fn cr(&self) -> &Plane<f32> {
+        &self.cr
+    }
+
+    /// Mutable luma plane.
+    pub fn y_mut(&mut self) -> &mut Plane<f32> {
+        &mut self.y
+    }
+
+    /// Mutable blue-difference chroma plane.
+    pub fn cb_mut(&mut self) -> &mut Plane<f32> {
+        &mut self.cb
+    }
+
+    /// Mutable red-difference chroma plane.
+    pub fn cr_mut(&mut self) -> &mut Plane<f32> {
+        &mut self.cr
+    }
+
+    /// The three planes as an array, Y first.
+    pub fn planes(&self) -> [&Plane<f32>; 3] {
+        [&self.y, &self.cb, &self.cr]
+    }
+
+    /// Consumes the frame and returns `(y, cb, cr)`.
+    pub fn into_planes(self) -> (Plane<f32>, Plane<f32>, Plane<f32>) {
+        (self.y, self.cb, self.cr)
+    }
+
+    /// Applies `f` to each plane, producing a new frame (used by resamplers
+    /// that treat channels independently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns planes of differing sizes.
+    pub fn map_planes(&self, mut f: impl FnMut(&Plane<f32>) -> Plane<f32>) -> Frame {
+        let y = f(&self.y);
+        let cb = f(&self.cb);
+        let cr = f(&self.cr);
+        Frame::from_planes(y, cb, cr).expect("map_planes closure changed sizes inconsistently")
+    }
+
+    /// Crops `region` out of all three planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `region` exceeds the frame bounds; use
+    /// [`Rect::clamp_to`] first when the region is untrusted.
+    pub fn crop(&self, region: Rect) -> Frame {
+        Frame {
+            y: self.y.crop(region).expect("crop region out of bounds"),
+            cb: self.cb.crop(region).expect("crop region out of bounds"),
+            cr: self.cr.crop(region).expect("crop region out of bounds"),
+        }
+    }
+
+    /// Pastes `patch` into all three planes at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the patch does not fit.
+    pub fn paste(&mut self, patch: &Frame, x: usize, y: usize) {
+        self.y.paste(&patch.y, x, y).expect("paste out of bounds");
+        self.cb.paste(&patch.cb, x, y).expect("paste out of bounds");
+        self.cr.paste(&patch.cr, x, y).expect("paste out of bounds");
+    }
+
+    /// Box-filter downsample of all planes by an integer factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` does not divide both dimensions.
+    pub fn downsample_box(&self, factor: usize) -> Frame {
+        self.map_planes(|p| p.downsample_box(factor))
+    }
+
+    /// Clamps all samples into the valid 8-bit range.
+    pub fn clamp_in_place(&mut self) {
+        self.y.clamp_in_place(0.0, 255.0);
+        self.cb.clamp_in_place(0.0, 255.0);
+        self.cr.clamp_in_place(0.0, 255.0);
+    }
+
+    /// Converts to interleaved 8-bit RGB (row-major), for display/IO.
+    pub fn to_rgb8(&self) -> Vec<Rgb8> {
+        let (w, h) = self.size();
+        let mut out = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                out.push(ycbcr_to_rgb(
+                    self.y.get(x, y),
+                    self.cb.get(x, y),
+                    self.cr.get(x, y),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Number of pixels.
+    pub fn pixel_count(&self) -> usize {
+        self.width() * self.height()
+    }
+}
+
+/// BT.601 full-range RGB → YCbCr.
+pub(crate) fn rgb_to_ycbcr(rgb: Rgb8) -> (f32, f32, f32) {
+    let r = rgb.r as f32;
+    let g = rgb.g as f32;
+    let b = rgb.b as f32;
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+    (y, cb, cr)
+}
+
+/// BT.601 full-range YCbCr → RGB with saturation.
+pub(crate) fn ycbcr_to_rgb(y: f32, cb: f32, cr: f32) -> Rgb8 {
+    let r = y + 1.402 * (cr - 128.0);
+    let g = y - 0.344_136 * (cb - 128.0) - 0.714_136 * (cr - 128.0);
+    let b = y + 1.772 * (cb - 128.0);
+    Rgb8::new(
+        r.round().clamp(0.0, 255.0) as u8,
+        g.round().clamp(0.0, 255.0) as u8,
+        b.round().clamp(0.0, 255.0) as u8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_ycbcr_roundtrip_is_near_lossless() {
+        for &(r, g, b) in &[
+            (0u8, 0u8, 0u8),
+            (255, 255, 255),
+            (255, 0, 0),
+            (0, 255, 0),
+            (0, 0, 255),
+            (17, 200, 93),
+            (128, 128, 128),
+        ] {
+            let (y, cb, cr) = rgb_to_ycbcr(Rgb8::new(r, g, b));
+            let back = ycbcr_to_rgb(y, cb, cr);
+            assert!((back.r as i32 - r as i32).abs() <= 1, "r: {r} vs {}", back.r);
+            assert!((back.g as i32 - g as i32).abs() <= 1, "g: {g} vs {}", back.g);
+            assert!((back.b as i32 - b as i32).abs() <= 1, "b: {b} vs {}", back.b);
+        }
+    }
+
+    #[test]
+    fn grey_has_neutral_chroma() {
+        let (y, cb, cr) = rgb_to_ycbcr(Rgb8::new(100, 100, 100));
+        assert!((y - 100.0).abs() < 0.5);
+        assert!((cb - 128.0).abs() < 0.5);
+        assert!((cr - 128.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn from_planes_validates_sizes() {
+        let a: Plane<f32> = Plane::new(2, 2);
+        let b: Plane<f32> = Plane::new(2, 3);
+        assert!(Frame::from_planes(a.clone(), a.clone(), a.clone()).is_ok());
+        assert!(Frame::from_planes(a.clone(), b.clone(), a.clone()).is_err());
+        assert!(Frame::from_planes(a.clone(), a, b).is_err());
+    }
+
+    #[test]
+    fn crop_paste_roundtrip_on_frame() {
+        let f = Frame::from_rgb_fn(8, 8, |x, y| Rgb8::new((x * 30) as u8, (y * 30) as u8, 0));
+        let r = Rect::new(2, 2, 4, 4);
+        let patch = f.crop(r);
+        let mut g = Frame::new(8, 8);
+        g.paste(&patch, 2, 2);
+        assert_eq!(g.y().get(3, 3), f.y().get(3, 3));
+        assert_eq!(g.y().get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let f = Frame::new(8, 6);
+        let d = f.downsample_box(2);
+        assert_eq!(d.size(), (4, 3));
+    }
+
+    #[test]
+    fn to_rgb8_len_matches_pixels() {
+        let f = Frame::new(5, 3);
+        assert_eq!(f.to_rgb8().len(), 15);
+        assert_eq!(f.pixel_count(), 15);
+    }
+}

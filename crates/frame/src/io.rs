@@ -1,0 +1,103 @@
+//! Minimal binary PPM/PGM writers for inspecting pipeline stages.
+//!
+//! The `roi_visualizer` example dumps rendered frames (PPM) and depth-map
+//! preprocessing stages (PGM) with these helpers; no external image crate is
+//! needed.
+
+use crate::{DepthMap, Frame, Plane};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes a frame as a binary PPM (P6) image.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer.
+pub fn write_ppm<W: Write>(mut w: W, frame: &Frame) -> io::Result<()> {
+    let (width, height) = frame.size();
+    write!(w, "P6\n{width} {height}\n255\n")?;
+    let mut buf = Vec::with_capacity(width * height * 3);
+    for px in frame.to_rgb8() {
+        buf.extend_from_slice(&[px.r, px.g, px.b]);
+    }
+    w.write_all(&buf)
+}
+
+/// Writes a frame as a PPM file at `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_ppm<P: AsRef<Path>>(path: P, frame: &Frame) -> io::Result<()> {
+    write_ppm(std::fs::File::create(path)?, frame)
+}
+
+/// Writes an `f32` plane as a binary PGM (P5) image, mapping `[lo, hi]`
+/// linearly onto `0..=255`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer.
+pub fn write_pgm<W: Write>(mut w: W, plane: &Plane<f32>, lo: f32, hi: f32) -> io::Result<()> {
+    let (width, height) = plane.size();
+    write!(w, "P5\n{width} {height}\n255\n")?;
+    let span = (hi - lo).max(f32::EPSILON);
+    let buf: Vec<u8> = plane
+        .iter()
+        .map(|&v| (((v - lo) / span).clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
+    w.write_all(&buf)
+}
+
+/// Writes a depth map as a PGM file; near pixels come out dark, matching the
+/// paper's Fig. 5 rendering of depth maps.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_depth_pgm<P: AsRef<Path>>(path: P, depth: &DepthMap) -> io::Result<()> {
+    write_pgm(std::fs::File::create(path)?, depth.plane(), 0.0, 1.0)
+}
+
+/// Writes an arbitrary plane as a PGM file using its own min/max range.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_plane_pgm<P: AsRef<Path>>(path: P, plane: &Plane<f32>) -> io::Result<()> {
+    let (lo, hi) = plane.min_max();
+    write_pgm(std::fs::File::create(path)?, plane, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rgb8;
+
+    #[test]
+    fn ppm_header_and_payload_size() {
+        let f = Frame::from_rgb_fn(3, 2, |_, _| Rgb8::new(1, 2, 3));
+        let mut out = Vec::new();
+        write_ppm(&mut out, &f).unwrap();
+        let header = b"P6\n3 2\n255\n";
+        assert!(out.starts_with(header));
+        assert_eq!(out.len(), header.len() + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn pgm_maps_range() {
+        let p = Plane::from_fn(2, 1, |x, _| x as f32);
+        let mut out = Vec::new();
+        write_pgm(&mut out, &p, 0.0, 1.0).unwrap();
+        let payload = &out[out.len() - 2..];
+        assert_eq!(payload, &[0u8, 255u8]);
+    }
+
+    #[test]
+    fn pgm_degenerate_range_does_not_divide_by_zero() {
+        let p = Plane::filled(2, 2, 0.5f32);
+        let mut out = Vec::new();
+        write_pgm(&mut out, &p, 0.5, 0.5).unwrap();
+        assert_eq!(out.len(), b"P5\n2 2\n255\n".len() + 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Pixel-level substrate for the GameStreamSR reproduction.
+//!
+//! This crate provides the data types every other crate in the workspace
+//! builds on:
+//!
+//! * [`Plane`] — a generic row-major 2D buffer of samples,
+//! * [`Frame`] — a full-resolution planar YCbCr picture with RGB conversion,
+//! * [`DepthMap`] — a normalized per-pixel depth buffer (the Z-buffer the
+//!   paper's RoI detection consumes),
+//! * [`Rect`] — integer pixel regions (RoI windows, crops, paste targets),
+//! * [`Resolution`] — named stream resolutions (240p … 2160p),
+//! * simple PPM/PGM writers in [`io`] for visual inspection of pipeline
+//!   stages.
+//!
+//! # Example
+//!
+//! ```
+//! use gss_frame::{Frame, Rect};
+//!
+//! let mut frame = Frame::filled(64, 36, [10.0, 128.0, 128.0]);
+//! let roi = Rect::new(16, 8, 32, 16);
+//! let patch = frame.crop(roi);
+//! assert_eq!(patch.width(), 32);
+//! frame.paste(&patch, 16, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod depth;
+mod error;
+mod frame;
+pub mod io;
+mod plane;
+mod rect;
+mod resolution;
+
+pub use depth::DepthMap;
+pub use error::FrameError;
+pub use frame::{Frame, Rgb8};
+pub use plane::{IntegralImage, Plane};
+pub use rect::Rect;
+pub use resolution::Resolution;
+
+/// Convenience alias: a plane of `f32` samples in the `0.0..=255.0` domain.
+pub type PixelPlane = Plane<f32>;

@@ -1,0 +1,215 @@
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned pixel region: origin `(x, y)` plus `width x height`.
+///
+/// Used for RoI windows, crops and paste targets. Coordinates are in the
+/// source plane's pixel space with `(0, 0)` at the top-left corner.
+///
+/// ```
+/// use gss_frame::Rect;
+///
+/// let roi = Rect::new(10, 20, 300, 300);
+/// assert_eq!(roi.area(), 90_000);
+/// assert!(roi.contains(10, 20));
+/// assert!(!roi.contains(310, 20));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub struct Rect {
+    /// Left edge (inclusive), in pixels.
+    pub x: usize,
+    /// Top edge (inclusive), in pixels.
+    pub y: usize,
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+}
+
+impl Rect {
+    /// Creates a region from its top-left corner and extent.
+    pub const fn new(x: usize, y: usize, width: usize, height: usize) -> Self {
+        Rect {
+            x,
+            y,
+            width,
+            height,
+        }
+    }
+
+    /// A square region of side `side` at `(x, y)`.
+    pub const fn square(x: usize, y: usize, side: usize) -> Self {
+        Rect::new(x, y, side, side)
+    }
+
+    /// Number of pixels covered.
+    pub const fn area(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// `true` when either extent is zero.
+    pub const fn is_empty(&self) -> bool {
+        self.width == 0 || self.height == 0
+    }
+
+    /// Exclusive right edge.
+    pub const fn right(&self) -> usize {
+        self.x + self.width
+    }
+
+    /// Exclusive bottom edge.
+    pub const fn bottom(&self) -> usize {
+        self.y + self.height
+    }
+
+    /// `true` if the pixel `(px, py)` lies inside the region.
+    pub const fn contains(&self, px: usize, py: usize) -> bool {
+        px >= self.x && px < self.right() && py >= self.y && py < self.bottom()
+    }
+
+    /// `true` if `other` lies entirely inside `self`.
+    pub const fn contains_rect(&self, other: &Rect) -> bool {
+        other.x >= self.x
+            && other.y >= self.y
+            && other.right() <= self.right()
+            && other.bottom() <= self.bottom()
+    }
+
+    /// Intersection of two regions, or `None` when disjoint/empty.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let x = self.x.max(other.x);
+        let y = self.y.max(other.y);
+        let right = self.right().min(other.right());
+        let bottom = self.bottom().min(other.bottom());
+        if right > x && bottom > y {
+            Some(Rect::new(x, y, right - x, bottom - y))
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of `self` covered by `other` (0.0 when disjoint, 1.0 when
+    /// fully covered). Returns 0.0 for an empty `self`.
+    pub fn overlap_fraction(&self, other: &Rect) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        match self.intersect(other) {
+            Some(i) => i.area() as f64 / self.area() as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Translates the region so it fits inside a `width x height` plane,
+    /// clamping the origin (the extent is preserved when it fits; otherwise
+    /// the extent is truncated to the plane size).
+    pub fn clamp_to(&self, width: usize, height: usize) -> Rect {
+        let w = self.width.min(width);
+        let h = self.height.min(height);
+        let x = self.x.min(width - w);
+        let y = self.y.min(height - h);
+        Rect::new(x, y, w, h)
+    }
+
+    /// The region scaled by an integer factor (RoI coordinates on the
+    /// upscaled frame).
+    pub const fn scaled(&self, factor: usize) -> Rect {
+        Rect::new(
+            self.x * factor,
+            self.y * factor,
+            self.width * factor,
+            self.height * factor,
+        )
+    }
+
+    /// Center of the region in pixel coordinates (rounded down).
+    pub const fn center(&self) -> (usize, usize) {
+        (self.x + self.width / 2, self.y + self.height / 2)
+    }
+
+    /// Squared Euclidean distance between the region center and `(cx, cy)`.
+    pub fn center_distance_sq(&self, cx: f64, cy: f64) -> f64 {
+        let (x, y) = self.center();
+        let dx = x as f64 - cx;
+        let dy = y as f64 - cy;
+        dx * dx + dy * dy
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{}+{}+{}",
+            self.width, self.height, self.x, self.y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_basics() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert_eq!(a.intersect(&b), Some(Rect::new(5, 5, 5, 5)));
+        let c = Rect::new(20, 20, 4, 4);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn intersection_is_commutative() {
+        let a = Rect::new(3, 7, 13, 9);
+        let b = Rect::new(8, 2, 20, 11);
+        assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn touching_edges_do_not_intersect() {
+        let a = Rect::new(0, 0, 5, 5);
+        let b = Rect::new(5, 0, 5, 5);
+        assert_eq!(a.intersect(&b), None);
+    }
+
+    #[test]
+    fn overlap_fraction_bounds() {
+        let a = Rect::new(0, 0, 10, 10);
+        assert_eq!(a.overlap_fraction(&a), 1.0);
+        assert_eq!(a.overlap_fraction(&Rect::new(50, 50, 2, 2)), 0.0);
+        let half = a.overlap_fraction(&Rect::new(0, 0, 5, 10));
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_keeps_extent_when_it_fits() {
+        let r = Rect::new(100, 100, 30, 30).clamp_to(120, 110);
+        assert_eq!(r, Rect::new(90, 80, 30, 30));
+    }
+
+    #[test]
+    fn clamp_truncates_oversized_extent() {
+        let r = Rect::new(0, 0, 500, 500).clamp_to(100, 80);
+        assert_eq!(r, Rect::new(0, 0, 100, 80));
+    }
+
+    #[test]
+    fn scaled_scales_all_fields() {
+        let r = Rect::new(3, 4, 5, 6).scaled(2);
+        assert_eq!(r, Rect::new(6, 8, 10, 12));
+    }
+
+    #[test]
+    fn contains_rect_is_reflexive() {
+        let r = Rect::new(2, 3, 7, 8);
+        assert!(r.contains_rect(&r));
+        assert!(!Rect::new(2, 3, 6, 8).contains_rect(&r));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Rect::new(1, 2, 3, 4).to_string(), "3x4+1+2");
+    }
+}

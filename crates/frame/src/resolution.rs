@@ -1,0 +1,128 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Named 16:9 stream resolutions used throughout the paper's evaluation.
+///
+/// ```
+/// use gss_frame::Resolution;
+///
+/// assert_eq!(Resolution::P720.width(), 1280);
+/// assert_eq!(Resolution::P720.upscaled(2), Some(Resolution::P1440));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Resolution {
+    /// 426x240 — the smallest profiled SR input (Fig. 3b).
+    P240,
+    /// 640x360.
+    P360,
+    /// 854x480.
+    P480,
+    /// 1280x720 — the paper's streaming resolution.
+    P720,
+    /// 1920x1080.
+    P1080,
+    /// 2560x1440 (QHD/2K) — the paper's display target.
+    P1440,
+    /// 3840x2160 (4K).
+    P2160,
+}
+
+impl Resolution {
+    /// All resolutions in ascending order.
+    pub const ALL: [Resolution; 7] = [
+        Resolution::P240,
+        Resolution::P360,
+        Resolution::P480,
+        Resolution::P720,
+        Resolution::P1080,
+        Resolution::P1440,
+        Resolution::P2160,
+    ];
+
+    /// Width in pixels.
+    pub const fn width(self) -> usize {
+        match self {
+            Resolution::P240 => 426,
+            Resolution::P360 => 640,
+            Resolution::P480 => 854,
+            Resolution::P720 => 1280,
+            Resolution::P1080 => 1920,
+            Resolution::P1440 => 2560,
+            Resolution::P2160 => 3840,
+        }
+    }
+
+    /// Height in pixels.
+    pub const fn height(self) -> usize {
+        match self {
+            Resolution::P240 => 240,
+            Resolution::P360 => 360,
+            Resolution::P480 => 480,
+            Resolution::P720 => 720,
+            Resolution::P1080 => 1080,
+            Resolution::P1440 => 1440,
+            Resolution::P2160 => 2160,
+        }
+    }
+
+    /// Pixel count.
+    pub const fn pixels(self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// `(width, height)` pair.
+    pub const fn size(self) -> (usize, usize) {
+        (self.width(), self.height())
+    }
+
+    /// The resolution whose height is `self.height() * factor`, when it is
+    /// one of the named resolutions.
+    pub fn upscaled(self, factor: usize) -> Option<Resolution> {
+        let target = self.height() * factor;
+        Resolution::ALL.into_iter().find(|r| r.height() == target)
+    }
+
+    /// Ratio of pixel counts `self / other`.
+    pub fn pixel_ratio(self, other: Resolution) -> f64 {
+        self.pixels() as f64 / other.pixels() as f64
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}p", self.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_pixel_count() {
+        for pair in Resolution::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+            assert!(pair[0].pixels() < pair[1].pixels());
+        }
+    }
+
+    #[test]
+    fn upscale_factor_two_from_720() {
+        assert_eq!(Resolution::P720.upscaled(2), Some(Resolution::P1440));
+        assert_eq!(Resolution::P1080.upscaled(2), Some(Resolution::P2160));
+        assert_eq!(Resolution::P2160.upscaled(2), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Resolution::P720.to_string(), "720p");
+        assert_eq!(Resolution::P1440.to_string(), "1440p");
+    }
+
+    #[test]
+    fn p720_to_p1440_pixel_ratio_is_quarter() {
+        let r = Resolution::P720.pixel_ratio(Resolution::P1440);
+        assert!((r - 0.25).abs() < 1e-12);
+    }
+}

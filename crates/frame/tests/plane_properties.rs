@@ -1,0 +1,103 @@
+//! Property-based tests for the core plane/region invariants everything else
+//! in the workspace leans on.
+
+use gss_frame::{DepthMap, Plane, Rect};
+use proptest::prelude::*;
+
+fn arb_plane() -> impl Strategy<Value = Plane<f32>> {
+    (1usize..24, 1usize..24).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0.0f32..255.0, w * h)
+            .prop_map(move |data| Plane::from_vec(w, h, data).unwrap())
+    })
+}
+
+fn arb_rect_in(w: usize, h: usize) -> impl Strategy<Value = Rect> {
+    (0..w, 0..h).prop_flat_map(move |(x, y)| {
+        (1..=w - x, 1..=h - y).prop_map(move |(rw, rh)| Rect::new(x, y, rw, rh))
+    })
+}
+
+proptest! {
+    #[test]
+    fn integral_window_sum_matches_naive(p in arb_plane()) {
+        let (w, h) = p.size();
+        let sat = p.integral();
+        // probe a handful of deterministic windows
+        for &(fx, fy, fw, fh) in &[(0.0, 0.0, 1.0, 1.0), (0.25, 0.25, 0.5, 0.5), (0.5, 0.0, 0.5, 1.0)] {
+            let x = (fx * w as f64) as usize;
+            let y = (fy * h as f64) as usize;
+            let rw = ((fw * w as f64) as usize).max(1).min(w - x);
+            let rh = ((fh * h as f64) as usize).max(1).min(h - y);
+            let r = Rect::new(x, y, rw, rh);
+            let mut naive = 0.0f64;
+            for yy in r.y..r.bottom() {
+                for xx in r.x..r.right() {
+                    naive += p.get(xx, yy) as f64;
+                }
+            }
+            prop_assert!((sat.window_sum(r) - naive).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn crop_paste_is_identity_inside_region(
+        (p, r) in arb_plane().prop_flat_map(|p| {
+            let (w, h) = p.size();
+            (proptest::strategy::Just(p), arb_rect_in(w, h))
+        }),
+    ) {
+        let crop = p.crop(r).unwrap();
+        let mut q = p.clone();
+        q.paste(&crop, r.x, r.y).unwrap();
+        prop_assert_eq!(q, p);
+    }
+
+    #[test]
+    fn clamp_to_always_fits(
+        x in 0usize..1000, y in 0usize..1000,
+        rw in 1usize..1000, rh in 1usize..1000,
+        w in 1usize..1000, h in 1usize..1000,
+    ) {
+        let r = Rect::new(x, y, rw, rh).clamp_to(w, h);
+        prop_assert!(r.right() <= w);
+        prop_assert!(r.bottom() <= h);
+        prop_assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn intersect_is_contained_in_both(
+        ax in 0usize..50, ay in 0usize..50, aw in 1usize..50, ah in 1usize..50,
+        bx in 0usize..50, by in 0usize..50, bw in 1usize..50, bh in 1usize..50,
+    ) {
+        let a = Rect::new(ax, ay, aw, ah);
+        let b = Rect::new(bx, by, bw, bh);
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn depth_histogram_total_equals_pixels(
+        w in 1usize..32, h in 1usize..32, bins in 1usize..64, seed in 0u64..1000,
+    ) {
+        let d = DepthMap::from_fn(w, h, |x, y| {
+            let v = (x as u64).wrapping_mul(2654435761).wrapping_add((y as u64).wrapping_mul(seed + 1));
+            (v % 1000) as f32 / 1000.0
+        });
+        let hist = d.histogram(bins);
+        prop_assert_eq!(hist.iter().sum::<usize>(), w * h);
+    }
+
+    #[test]
+    fn downsample_preserves_mean(p in arb_plane()) {
+        let (w, h) = p.size();
+        // pad to even dimensions by cropping to the largest even rect
+        let ew = w - (w % 2);
+        let eh = h - (h % 2);
+        prop_assume!(ew >= 2 && eh >= 2);
+        let even = p.crop(Rect::new(0, 0, ew, eh)).unwrap();
+        let d = even.downsample_box(2);
+        prop_assert!((even.mean() - d.mean()).abs() < 1e-3);
+    }
+}

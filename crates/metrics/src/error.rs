@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Errors produced by the metric functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MetricError {
+    /// The two inputs must share a size.
+    SizeMismatch {
+        /// Size of the reference input.
+        reference: (usize, usize),
+        /// Size of the distorted input.
+        distorted: (usize, usize),
+    },
+    /// The inputs were too small for the metric's window.
+    TooSmall {
+        /// Minimum dimension required.
+        min_dim: usize,
+        /// Actual size.
+        actual: (usize, usize),
+    },
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::SizeMismatch {
+                reference,
+                distorted,
+            } => write!(
+                f,
+                "size mismatch: reference {}x{} vs distorted {}x{}",
+                reference.0, reference.1, distorted.0, distorted.1
+            ),
+            MetricError::TooSmall { min_dim, actual } => write!(
+                f,
+                "input {}x{} smaller than metric window {min_dim}",
+                actual.0, actual.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}

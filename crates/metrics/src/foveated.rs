@@ -1,0 +1,157 @@
+//! Region-weighted ("foveated") PSNR.
+//!
+//! The paper's whole premise is that quality *where the player looks*
+//! matters more than frame-average quality. This metric makes that
+//! measurable: squared error inside a designated region (the RoI / foveal
+//! window) is weighted more heavily than error outside it, so a pipeline
+//! that concentrates its quality budget on the RoI scores accordingly.
+//! With `region_weight = 1.0` it reduces exactly to plain PSNR.
+
+use crate::MetricError;
+use gss_frame::{Frame, Rect};
+
+/// PSNR with the squared error inside `region` weighted `region_weight`
+/// times that of the rest of the frame, over the luma plane.
+///
+/// # Errors
+///
+/// Returns [`MetricError::SizeMismatch`] when the frames differ in size or
+/// the region does not fit the frame.
+///
+/// # Panics
+///
+/// Panics when `region_weight` is not positive or `region` is empty.
+///
+/// ```
+/// # use gss_frame::{Frame, Rect};
+/// # use gss_metrics::region_weighted_psnr;
+/// # fn main() -> Result<(), gss_metrics::MetricError> {
+/// let a = Frame::filled(32, 32, [100.0, 128.0, 128.0]);
+/// let roi = Rect::new(8, 8, 16, 16);
+/// assert!(region_weighted_psnr(&a, &a, roi, 4.0)?.is_infinite());
+/// # Ok(())
+/// # }
+/// ```
+pub fn region_weighted_psnr(
+    reference: &Frame,
+    distorted: &Frame,
+    region: Rect,
+    region_weight: f64,
+) -> Result<f64, MetricError> {
+    assert!(region_weight > 0.0, "region weight must be positive");
+    assert!(!region.is_empty(), "region must be nonempty");
+    if reference.size() != distorted.size() {
+        return Err(MetricError::SizeMismatch {
+            reference: reference.size(),
+            distorted: distorted.size(),
+        });
+    }
+    let (w, h) = reference.size();
+    if region.right() > w || region.bottom() > h {
+        return Err(MetricError::SizeMismatch {
+            reference: (w, h),
+            distorted: (region.right(), region.bottom()),
+        });
+    }
+    let a = reference.y();
+    let b = distorted.y();
+    let mut weighted_err = 0.0f64;
+    let mut weight_total = 0.0f64;
+    for y in 0..h {
+        for x in 0..w {
+            let weight = if region.contains(x, y) {
+                region_weight
+            } else {
+                1.0
+            };
+            let d = (a.get(x, y) - b.get(x, y)) as f64;
+            weighted_err += weight * d * d;
+            weight_total += weight;
+        }
+    }
+    let mse = weighted_err / weight_total;
+    Ok(if mse <= 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * ((255.0f64 * 255.0) / mse).log10()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psnr;
+    use gss_frame::Plane;
+
+    fn frame_with_error_at(region: Rect, err: f32) -> (Frame, Frame) {
+        let a = Frame::filled(32, 32, [100.0, 128.0, 128.0]);
+        let y = Plane::from_fn(32, 32, |x, yy| {
+            if region.contains(x, yy) {
+                100.0 + err
+            } else {
+                100.0
+            }
+        });
+        let b = Frame::from_planes(
+            y,
+            Plane::filled(32, 32, 128.0),
+            Plane::filled(32, 32, 128.0),
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn weight_one_equals_plain_psnr() {
+        let roi = Rect::new(4, 4, 8, 8);
+        let (a, b) = frame_with_error_at(roi, 5.0);
+        let plain = psnr(&a, &b).unwrap();
+        let weighted = region_weighted_psnr(&a, &b, roi, 1.0).unwrap();
+        assert!((plain - weighted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_inside_the_region_hurts_more() {
+        let roi = Rect::new(4, 4, 8, 8);
+        let elsewhere = Rect::new(20, 20, 8, 8);
+        let (a_in, b_in) = frame_with_error_at(roi, 6.0);
+        let (a_out, b_out) = frame_with_error_at(elsewhere, 6.0);
+        let inside = region_weighted_psnr(&a_in, &b_in, roi, 8.0).unwrap();
+        let outside = region_weighted_psnr(&a_out, &b_out, roi, 8.0).unwrap();
+        assert!(
+            inside < outside - 3.0,
+            "inside {inside:.2} vs outside {outside:.2}"
+        );
+        // plain PSNR cannot tell the two apart
+        let p_in = psnr(&a_in, &b_in).unwrap();
+        let p_out = psnr(&a_out, &b_out).unwrap();
+        assert!((p_in - p_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_frames_are_infinite() {
+        let f = Frame::filled(32, 32, [50.0, 128.0, 128.0]);
+        let v = region_weighted_psnr(&f, &f, Rect::new(0, 0, 16, 16), 4.0).unwrap();
+        assert!(v.is_infinite());
+    }
+
+    #[test]
+    fn region_out_of_bounds_errors() {
+        let f = Frame::filled(16, 16, [50.0, 128.0, 128.0]);
+        assert!(region_weighted_psnr(&f, &f, Rect::new(10, 10, 10, 10), 2.0).is_err());
+    }
+
+    #[test]
+    fn size_mismatch_errors() {
+        let a = Frame::new(16, 16);
+        let b = Frame::new(16, 18);
+        assert!(region_weighted_psnr(&a, &b, Rect::new(0, 0, 8, 8), 2.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn nonpositive_weight_rejected() {
+        let f = Frame::new(16, 16);
+        let _ = region_weighted_psnr(&f, &f, Rect::new(0, 0, 8, 8), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Multi-scale structural similarity (Wang et al., 2003) over the luma
+//! plane — a standard perceptual metric between plain SSIM and learned
+//! metrics, used by the extended quality studies.
+
+use crate::MetricError;
+use gss_frame::{Frame, Plane};
+
+const C1: f64 = 6.5025;
+const C2: f64 = 58.5225;
+const WINDOW: usize = 8;
+/// Canonical per-scale weights from the MS-SSIM paper.
+const WEIGHTS: [f64; 5] = [0.0448, 0.2856, 0.3001, 0.2363, 0.1333];
+
+/// Per-window luminance (`l`) and contrast-structure (`cs`) means.
+fn plane_terms(a: &Plane<f32>, b: &Plane<f32>) -> (f64, f64) {
+    let (w, h) = a.size();
+    let mut l_total = 0.0f64;
+    let mut cs_total = 0.0f64;
+    let mut count = 0usize;
+    let n = (WINDOW * WINDOW) as f64;
+    let mut by = 0;
+    while by + WINDOW <= h {
+        let mut bx = 0;
+        while bx + WINDOW <= w {
+            let mut sum_a = 0.0;
+            let mut sum_b = 0.0;
+            for y in by..by + WINDOW {
+                for x in bx..bx + WINDOW {
+                    sum_a += a.get(x, y) as f64;
+                    sum_b += b.get(x, y) as f64;
+                }
+            }
+            let mu_a = sum_a / n;
+            let mu_b = sum_b / n;
+            let mut var_a = 0.0;
+            let mut var_b = 0.0;
+            let mut cov = 0.0;
+            for y in by..by + WINDOW {
+                for x in bx..bx + WINDOW {
+                    let da = a.get(x, y) as f64 - mu_a;
+                    let db = b.get(x, y) as f64 - mu_b;
+                    var_a += da * da;
+                    var_b += db * db;
+                    cov += da * db;
+                }
+            }
+            var_a /= n - 1.0;
+            var_b /= n - 1.0;
+            cov /= n - 1.0;
+            l_total += (2.0 * mu_a * mu_b + C1) / (mu_a * mu_a + mu_b * mu_b + C1);
+            cs_total += (2.0 * cov + C2) / (var_a + var_b + C2);
+            count += 1;
+            bx += WINDOW;
+        }
+        by += WINDOW;
+    }
+    (l_total / count as f64, cs_total / count as f64)
+}
+
+fn downsample2(p: &Plane<f32>) -> Plane<f32> {
+    let w = (p.width() / 2).max(1);
+    let h = (p.height() / 2).max(1);
+    Plane::from_fn(w, h, |x, y| {
+        let x2 = (x * 2).min(p.width() - 1);
+        let y2 = (y * 2).min(p.height() - 1);
+        let x3 = (x2 + 1).min(p.width() - 1);
+        let y3 = (y2 + 1).min(p.height() - 1);
+        (p.get(x2, y2) + p.get(x3, y2) + p.get(x2, y3) + p.get(x3, y3)) * 0.25
+    })
+}
+
+/// Multi-scale SSIM between two planes; uses as many of the canonical five
+/// scales as the input size allows (each scale needs an 8-pixel window).
+///
+/// # Errors
+///
+/// Returns [`MetricError::SizeMismatch`] on differing sizes and
+/// [`MetricError::TooSmall`] when even the first scale does not fit.
+pub fn msssim_planes(reference: &Plane<f32>, distorted: &Plane<f32>) -> Result<f64, MetricError> {
+    if reference.size() != distorted.size() {
+        return Err(MetricError::SizeMismatch {
+            reference: reference.size(),
+            distorted: distorted.size(),
+        });
+    }
+    let (w, h) = reference.size();
+    if w < WINDOW || h < WINDOW {
+        return Err(MetricError::TooSmall {
+            min_dim: WINDOW,
+            actual: (w, h),
+        });
+    }
+    let mut a = reference.clone();
+    let mut b = distorted.clone();
+    let mut usable = 0usize;
+    let mut cs_terms = [1.0f64; 5];
+    let mut l_last = 1.0f64;
+    for scale in 0..WEIGHTS.len() {
+        let (l, cs) = plane_terms(&a, &b);
+        cs_terms[scale] = cs;
+        l_last = l;
+        usable = scale + 1;
+        if scale + 1 == WEIGHTS.len() || a.width() / 2 < WINDOW || a.height() / 2 < WINDOW {
+            break;
+        }
+        a = downsample2(&a);
+        b = downsample2(&b);
+    }
+    // renormalize the weights over the scales that actually fit
+    let weight_sum: f64 = WEIGHTS[..usable].iter().sum();
+    let mut result = l_last.max(0.0).powf(WEIGHTS[usable - 1] / weight_sum);
+    for (scale, &cs) in cs_terms[..usable].iter().enumerate() {
+        result *= cs.max(0.0).powf(WEIGHTS[scale] / weight_sum);
+    }
+    Ok(result)
+}
+
+/// Luma-plane MS-SSIM between two frames.
+///
+/// # Errors
+///
+/// See [`msssim_planes`].
+///
+/// ```
+/// # use gss_frame::Frame;
+/// # use gss_metrics::msssim;
+/// # fn main() -> Result<(), gss_metrics::MetricError> {
+/// let f = Frame::filled(64, 64, [90.0, 128.0, 128.0]);
+/// assert!((msssim(&f, &f)? - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn msssim(reference: &Frame, distorted: &Frame) -> Result<f64, MetricError> {
+    msssim_planes(reference.y(), distorted.y())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize) -> Plane<f32> {
+        Plane::from_fn(w, h, |x, y| {
+            let v = (x as f32 * 0.6).sin() * (y as f32 * 0.4).cos();
+            128.0 + 70.0 * v
+        })
+    }
+
+    #[test]
+    fn identical_is_one() {
+        let p = textured(128, 128);
+        assert!((msssim_planes(&p, &p).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degradation_lowers_score_monotonically() {
+        let p = textured(128, 128);
+        let blur1 = Plane::from_fn(128, 128, |x, y| {
+            let mut acc = 0.0;
+            for d in -1isize..=1 {
+                acc += p.get_clamped(x as isize + d, y as isize);
+            }
+            acc / 3.0
+        });
+        let blur2 = Plane::from_fn(128, 128, |x, y| {
+            let mut acc = 0.0;
+            for dy in -2isize..=2 {
+                for dx in -2isize..=2 {
+                    acc += p.get_clamped(x as isize + dx, y as isize + dy);
+                }
+            }
+            acc / 25.0
+        });
+        let s1 = msssim_planes(&p, &blur1).unwrap();
+        let s2 = msssim_planes(&p, &blur2).unwrap();
+        assert!(s1 < 1.0);
+        assert!(s2 < s1, "{s2} vs {s1}");
+    }
+
+    #[test]
+    fn small_inputs_use_fewer_scales_without_error() {
+        let p = textured(16, 16);
+        let s = msssim_planes(&p, &p).unwrap();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_small_errors() {
+        let p = textured(8, 4);
+        assert!(matches!(
+            msssim_planes(&p, &p),
+            Err(MetricError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn size_mismatch_errors() {
+        let a = textured(64, 64);
+        let b = textured(64, 32);
+        assert!(msssim_planes(&a, &b).is_err());
+    }
+
+    #[test]
+    fn bounded_in_unit_interval_for_inverted_input() {
+        let p = textured(64, 64);
+        let q = p.map(|v| 255.0 - v);
+        let s = msssim_planes(&p, &q).unwrap();
+        assert!((0.0..=1.0).contains(&s), "{s}");
+    }
+}

@@ -1,0 +1,198 @@
+use crate::MetricError;
+use gss_frame::{Frame, Plane};
+
+/// Mean squared error between two same-sized planes.
+///
+/// # Errors
+///
+/// Returns [`MetricError::SizeMismatch`] when the planes differ in size.
+pub fn mse(reference: &Plane<f32>, distorted: &Plane<f32>) -> Result<f64, MetricError> {
+    if reference.size() != distorted.size() {
+        return Err(MetricError::SizeMismatch {
+            reference: reference.size(),
+            distorted: distorted.size(),
+        });
+    }
+    let mut acc = 0.0f64;
+    for (&a, &b) in reference.iter().zip(distorted.iter()) {
+        let d = (a - b) as f64;
+        acc += d * d;
+    }
+    Ok(acc / (reference.width() * reference.height()) as f64)
+}
+
+/// PSNR in decibels between two planes (8-bit peak, 255).
+///
+/// Identical planes yield `f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`MetricError::SizeMismatch`] when the planes differ in size.
+pub fn psnr_planes(reference: &Plane<f32>, distorted: &Plane<f32>) -> Result<f64, MetricError> {
+    let m = mse(reference, distorted)?;
+    if m <= 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * ((255.0f64 * 255.0) / m).log10())
+}
+
+/// Luma-plane PSNR between two frames, the paper's objective quality metric.
+///
+/// # Errors
+///
+/// Returns [`MetricError::SizeMismatch`] when the frames differ in size.
+///
+/// ```
+/// # use gss_frame::Frame;
+/// # use gss_metrics::psnr;
+/// # fn main() -> Result<(), gss_metrics::MetricError> {
+/// let reference = Frame::filled(8, 8, [50.0, 128.0, 128.0]);
+/// assert!(psnr(&reference, &reference)?.is_infinite());
+/// # Ok(())
+/// # }
+/// ```
+pub fn psnr(reference: &Frame, distorted: &Frame) -> Result<f64, MetricError> {
+    psnr_planes(reference.y(), distorted.y())
+}
+
+/// Incrementally accumulates squared error over many frames so a whole
+/// session's PSNR can be reported without keeping frames alive.
+///
+/// ```
+/// use gss_frame::Frame;
+/// use gss_metrics::PsnrAccumulator;
+///
+/// let mut acc = PsnrAccumulator::new();
+/// let a = Frame::filled(4, 4, [10.0, 128.0, 128.0]);
+/// let b = Frame::filled(4, 4, [12.0, 128.0, 128.0]);
+/// acc.push(&a, &b).unwrap();
+/// assert!(acc.psnr().unwrap() > 40.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PsnrAccumulator {
+    sq_err: f64,
+    samples: u64,
+    per_frame: Vec<f64>,
+}
+
+impl PsnrAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        PsnrAccumulator::default()
+    }
+
+    /// Adds one frame pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::SizeMismatch`] when the frames differ in size.
+    pub fn push(&mut self, reference: &Frame, distorted: &Frame) -> Result<(), MetricError> {
+        let m = mse(reference.y(), distorted.y())?;
+        let n = reference.pixel_count() as u64;
+        self.sq_err += m * n as f64;
+        self.samples += n;
+        self.per_frame.push(if m <= 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * ((255.0f64 * 255.0) / m).log10()
+        });
+        Ok(())
+    }
+
+    /// Session PSNR over all accumulated samples; `None` when empty.
+    pub fn psnr(&self) -> Option<f64> {
+        if self.samples == 0 {
+            return None;
+        }
+        let m = self.sq_err / self.samples as f64;
+        Some(if m <= 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * ((255.0f64 * 255.0) / m).log10()
+        })
+    }
+
+    /// Per-frame PSNR series in push order.
+    pub fn per_frame(&self) -> &[f64] {
+        &self.per_frame
+    }
+
+    /// Number of frames pushed.
+    pub fn frame_count(&self) -> usize {
+        self.per_frame.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_frames_are_infinite() {
+        let f = Frame::filled(8, 8, [77.0, 128.0, 128.0]);
+        assert!(psnr(&f, &f).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn known_mse_gives_known_psnr() {
+        // constant error of 1 → MSE 1 → PSNR = 20*log10(255) ≈ 48.13 dB
+        let a = Frame::filled(16, 16, [100.0, 128.0, 128.0]);
+        let b = Frame::filled(16, 16, [101.0, 128.0, 128.0]);
+        let p = psnr(&a, &b).unwrap();
+        assert!((p - 48.1308).abs() < 1e-3, "psnr = {p}");
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let a = Frame::filled(8, 8, [100.0, 128.0, 128.0]);
+        let b = Frame::filled(8, 8, [105.0, 128.0, 128.0]);
+        let c = Frame::filled(8, 8, [120.0, 128.0, 128.0]);
+        assert!(psnr(&a, &b).unwrap() > psnr(&a, &c).unwrap());
+    }
+
+    #[test]
+    fn mismatched_sizes_error() {
+        let a = Frame::new(4, 4);
+        let b = Frame::new(5, 4);
+        assert!(matches!(
+            psnr(&a, &b),
+            Err(MetricError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn psnr_is_symmetric() {
+        let a = Frame::filled(8, 8, [90.0, 128.0, 128.0]);
+        let b = Frame::filled(8, 8, [110.0, 140.0, 120.0]);
+        assert_eq!(psnr(&a, &b).unwrap(), psnr(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn accumulator_matches_single_frame() {
+        let a = Frame::filled(8, 8, [100.0, 128.0, 128.0]);
+        let b = Frame::filled(8, 8, [103.0, 128.0, 128.0]);
+        let mut acc = PsnrAccumulator::new();
+        acc.push(&a, &b).unwrap();
+        let single = psnr(&a, &b).unwrap();
+        assert!((acc.psnr().unwrap() - single).abs() < 1e-9);
+        assert_eq!(acc.frame_count(), 1);
+        assert!((acc.per_frame()[0] - single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_weights_by_pixels() {
+        // frame 1: zero error; frame 2: error 2 → pooled MSE = 2
+        let a = Frame::filled(4, 4, [10.0, 128.0, 128.0]);
+        let b = Frame::filled(4, 4, [12.0, 128.0, 128.0]);
+        let mut acc = PsnrAccumulator::new();
+        acc.push(&a, &a).unwrap();
+        acc.push(&a, &b).unwrap();
+        let expected = 10.0 * ((255.0f64 * 255.0) / 2.0).log10();
+        assert!((acc.psnr().unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accumulator_is_none() {
+        assert!(PsnrAccumulator::new().psnr().is_none());
+    }
+}

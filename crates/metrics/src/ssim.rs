@@ -1,0 +1,157 @@
+use crate::MetricError;
+use gss_frame::{Frame, Plane};
+
+const C1: f64 = 6.5025; // (0.01 * 255)^2
+const C2: f64 = 58.5225; // (0.03 * 255)^2
+const WINDOW: usize = 8;
+
+/// Structural similarity between two planes, computed over non-overlapping
+/// 8x8 windows (the classic block variant). Returns a value in `[-1, 1]`,
+/// `1.0` for identical inputs.
+///
+/// # Errors
+///
+/// Returns [`MetricError::SizeMismatch`] on differing sizes and
+/// [`MetricError::TooSmall`] when either dimension is below the 8-pixel
+/// window.
+pub fn ssim_planes(reference: &Plane<f32>, distorted: &Plane<f32>) -> Result<f64, MetricError> {
+    if reference.size() != distorted.size() {
+        return Err(MetricError::SizeMismatch {
+            reference: reference.size(),
+            distorted: distorted.size(),
+        });
+    }
+    let (w, h) = reference.size();
+    if w < WINDOW || h < WINDOW {
+        return Err(MetricError::TooSmall {
+            min_dim: WINDOW,
+            actual: (w, h),
+        });
+    }
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let mut by = 0;
+    while by + WINDOW <= h {
+        let mut bx = 0;
+        while bx + WINDOW <= w {
+            total += window_ssim(reference, distorted, bx, by);
+            count += 1;
+            bx += WINDOW;
+        }
+        by += WINDOW;
+    }
+    Ok(total / count as f64)
+}
+
+fn window_ssim(a: &Plane<f32>, b: &Plane<f32>, bx: usize, by: usize) -> f64 {
+    let n = (WINDOW * WINDOW) as f64;
+    let mut sum_a = 0.0;
+    let mut sum_b = 0.0;
+    for y in by..by + WINDOW {
+        for x in bx..bx + WINDOW {
+            sum_a += a.get(x, y) as f64;
+            sum_b += b.get(x, y) as f64;
+        }
+    }
+    let mu_a = sum_a / n;
+    let mu_b = sum_b / n;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    let mut cov = 0.0;
+    for y in by..by + WINDOW {
+        for x in bx..bx + WINDOW {
+            let da = a.get(x, y) as f64 - mu_a;
+            let db = b.get(x, y) as f64 - mu_b;
+            var_a += da * da;
+            var_b += db * db;
+            cov += da * db;
+        }
+    }
+    var_a /= n - 1.0;
+    var_b /= n - 1.0;
+    cov /= n - 1.0;
+    ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+        / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2))
+}
+
+/// Luma-plane SSIM between two frames.
+///
+/// # Errors
+///
+/// See [`ssim_planes`].
+///
+/// ```
+/// # use gss_frame::Frame;
+/// # use gss_metrics::ssim;
+/// # fn main() -> Result<(), gss_metrics::MetricError> {
+/// let f = Frame::filled(16, 16, [80.0, 128.0, 128.0]);
+/// assert!((ssim(&f, &f)? - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ssim(reference: &Frame, distorted: &Frame) -> Result<f64, MetricError> {
+    ssim_planes(reference.y(), distorted.y())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize) -> Plane<f32> {
+        Plane::from_fn(w, h, |x, y| {
+            let v = (x as f32 * 0.7).sin() * (y as f32 * 0.5).cos();
+            128.0 + 64.0 * v
+        })
+    }
+
+    #[test]
+    fn identical_is_one() {
+        let p = textured(32, 32);
+        assert!((ssim_planes(&p, &p).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blur_lowers_ssim_more_than_brightness_shift() {
+        let p = textured(64, 64);
+        // 3x3 box blur
+        let blurred = Plane::from_fn(64, 64, |x, y| {
+            let mut acc = 0.0;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    acc += p.get_clamped(x as isize + dx as isize, y as isize + dy as isize);
+                }
+            }
+            acc / 9.0
+        });
+        let shifted = p.map(|v| v + 2.0);
+        let s_blur = ssim_planes(&p, &blurred).unwrap();
+        let s_shift = ssim_planes(&p, &shifted).unwrap();
+        assert!(s_blur < s_shift, "blur {s_blur} vs shift {s_shift}");
+        assert!(s_blur < 1.0);
+    }
+
+    #[test]
+    fn too_small_errors() {
+        let p: Plane<f32> = Plane::new(4, 4);
+        assert!(matches!(
+            ssim_planes(&p, &p),
+            Err(MetricError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatch_errors() {
+        let a: Plane<f32> = Plane::new(16, 16);
+        let b: Plane<f32> = Plane::new(16, 24);
+        assert!(ssim_planes(&a, &b).is_err());
+    }
+
+    #[test]
+    fn range_is_bounded() {
+        let a = textured(32, 32);
+        let b = a.map(|v| 255.0 - v);
+        let s = ssim_planes(&a, &b).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+        assert!(s < 0.9);
+    }
+}

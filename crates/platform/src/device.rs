@@ -1,0 +1,312 @@
+//! Client device profiles: latency curves and power rails.
+
+use serde::{Deserialize, Serialize};
+
+/// The 60 FPS frame budget in milliseconds (16.66 ms), the paper's
+/// real-time bar.
+pub const REALTIME_BUDGET_MS: f64 = 1000.0 / 60.0;
+
+/// Foveal visual diameter on screen at a typical 30 cm mobile viewing
+/// distance: `2 · 30 cm · tan(3°) ≈ 3.14 cm ≈ 1.25 in` (paper §IV-B1).
+pub const FOVEAL_DIAMETER_INCHES: f64 = 1.25;
+
+/// A mobile client's calibrated performance/power model.
+///
+/// Construct via [`DeviceProfile::s8_tab`] / [`DeviceProfile::pixel7_pro`],
+/// or build a custom profile for what-if studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Display pixel density (pixels per inch).
+    pub ppi: f64,
+    /// NPU latency anchor: full 720p-input EDSR ×2 pass, in ms.
+    pub npu_full_frame_ms: f64,
+    /// NPU latency exponent: `t(px) = anchor · (px / 921600)^alpha`.
+    /// Slightly superlinear (feature maps spill out of on-chip memory as
+    /// inputs grow), fitted to the paper's two published latency points.
+    pub npu_alpha: f64,
+    /// GPU hardware bilinear upscaling throughput, ms per output megapixel.
+    pub gpu_bilinear_ms_per_mpx: f64,
+    /// CPU (single-thread) bilinear interpolation, ms per output megapixel —
+    /// NEMO's motion-vector/residual upscaling path.
+    pub cpu_bilinear_ms_per_mpx: f64,
+    /// CPU frame reconstruction (prediction + residual add), ms per
+    /// megapixel.
+    pub cpu_reconstruct_ms_per_mpx: f64,
+    /// Software (libvpx-class) decode, ms per coded megapixel.
+    pub sw_decode_ms_per_mpx: f64,
+    /// Hardware decoder, ms per coded megapixel.
+    pub hw_decode_ms_per_mpx: f64,
+    /// Display present latency (composition + mean vsync wait), ms.
+    pub display_present_ms: f64,
+    /// NPU active power, watts.
+    pub npu_w: f64,
+    /// GPU active power, watts.
+    pub gpu_w: f64,
+    /// CPU power with the decoder's multi-threaded load, watts.
+    pub cpu_heavy_w: f64,
+    /// CPU power for a single busy thread, watts.
+    pub cpu_light_w: f64,
+    /// Hardware video decoder power, watts.
+    pub hw_decoder_w: f64,
+    /// Front-camera power while eye-tracking, watts (the paper's §III-A
+    /// measures +2.8 W on a Pixel 7 Pro).
+    pub camera_w: f64,
+    /// Radio energy per received byte, microjoules.
+    pub net_uj_per_byte: f64,
+    /// Display-pipeline energy per presented frame, millijoules (panel
+    /// timing controller + composition; scales with panel area).
+    pub display_mj_per_frame: f64,
+}
+
+impl DeviceProfile {
+    /// Samsung Galaxy Tab S8 (Snapdragon 8 Gen 1, Hexagon NPU, 274 PPI
+    /// 2K display).
+    pub fn s8_tab() -> Self {
+        DeviceProfile {
+            name: "Samsung Galaxy Tab S8",
+            ppi: 274.0,
+            npu_full_frame_ms: 217.0,
+            // ln(217/16.2) / ln(921600/90000)
+            npu_alpha: 1.1155,
+            gpu_bilinear_ms_per_mpx: 0.42,
+            cpu_bilinear_ms_per_mpx: 5.5,
+            cpu_reconstruct_ms_per_mpx: 1.5,
+            sw_decode_ms_per_mpx: 20.6,
+            hw_decode_ms_per_mpx: 5.4,
+            display_present_ms: 7.0,
+            npu_w: 4.0,
+            gpu_w: 3.0,
+            cpu_heavy_w: 3.0,
+            cpu_light_w: 1.7,
+            hw_decoder_w: 1.0,
+            camera_w: 2.8,
+            net_uj_per_byte: 0.05,
+            // the Tab's much larger 120 Hz panel drives a heavier display
+            // pipeline, which is why its relative savings are lower (Fig. 11)
+            display_mj_per_frame: 36.0,
+        }
+    }
+
+    /// Google Pixel 7 Pro (Tensor G2, edge TPU, 512 PPI QHD+ display).
+    pub fn pixel7_pro() -> Self {
+        DeviceProfile {
+            name: "Google Pixel 7 Pro",
+            ppi: 512.0,
+            npu_full_frame_ms: 233.0,
+            // ln(233/16.4) / ln(921600/90000)
+            npu_alpha: 1.1410,
+            gpu_bilinear_ms_per_mpx: 0.42,
+            cpu_bilinear_ms_per_mpx: 5.5,
+            cpu_reconstruct_ms_per_mpx: 1.5,
+            sw_decode_ms_per_mpx: 20.6,
+            hw_decode_ms_per_mpx: 5.4,
+            display_present_ms: 7.0,
+            npu_w: 4.0,
+            gpu_w: 3.0,
+            cpu_heavy_w: 3.0,
+            cpu_light_w: 1.7,
+            hw_decoder_w: 1.0,
+            camera_w: 2.8,
+            net_uj_per_byte: 0.05,
+            display_mj_per_frame: 2.5,
+        }
+    }
+
+    /// Both reference devices.
+    pub fn all() -> Vec<DeviceProfile> {
+        vec![DeviceProfile::s8_tab(), DeviceProfile::pixel7_pro()]
+    }
+
+    /// NPU latency in ms for a DNN-SR pass over `input_pixels` (×2 scale).
+    pub fn npu_sr_ms(&self, input_pixels: usize) -> f64 {
+        const FULL: f64 = 1280.0 * 720.0;
+        self.npu_full_frame_ms * (input_pixels as f64 / FULL).powf(self.npu_alpha)
+    }
+
+    /// The side of the largest square RoI the NPU can upscale within
+    /// `budget_ms` — the paper's step-0 device calibration (§IV-B1),
+    /// rounded down to a multiple of 4.
+    pub fn max_realtime_roi_side(&self, budget_ms: f64) -> usize {
+        const FULL: f64 = 1280.0 * 720.0;
+        if budget_ms <= 0.0 {
+            return 0;
+        }
+        let pixels = FULL * (budget_ms / self.npu_full_frame_ms).powf(1.0 / self.npu_alpha);
+        let side = pixels.max(0.0).sqrt() as usize;
+        side - side % 4
+    }
+
+    /// NPU latency for an SR model whose per-pixel MAC cost is
+    /// `cost_ratio` times the calibrated EDSR-16/64's (the paper's design
+    /// is model-agnostic; step-0 benchmarks "the SR model of the user's
+    /// choice").
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cost_ratio` is not positive.
+    pub fn npu_sr_ms_for_model(&self, input_pixels: usize, cost_ratio: f64) -> f64 {
+        assert!(cost_ratio > 0.0, "cost ratio must be positive");
+        self.npu_sr_ms(input_pixels) * cost_ratio
+    }
+
+    /// The largest square RoI a model with the given EDSR-relative cost
+    /// ratio can upscale within `budget_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cost_ratio` is not positive.
+    pub fn max_realtime_roi_side_for_model(&self, budget_ms: f64, cost_ratio: f64) -> usize {
+        assert!(cost_ratio > 0.0, "cost ratio must be positive");
+        self.max_realtime_roi_side(budget_ms / cost_ratio)
+    }
+
+    /// Minimum desired RoI side on the low-resolution frame from human
+    /// visual physiology: `ppi · foveal diameter / scale_factor`
+    /// (paper Fig. 7b).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale_factor` is zero.
+    pub fn foveal_roi_side(&self, scale_factor: usize) -> usize {
+        assert!(scale_factor > 0, "scale factor must be nonzero");
+        (self.ppi * FOVEAL_DIAMETER_INCHES / scale_factor as f64).round() as usize
+    }
+
+    /// GPU hardware bilinear upscaling latency for `output_pixels`.
+    pub fn gpu_bilinear_ms(&self, output_pixels: usize) -> f64 {
+        self.gpu_bilinear_ms_per_mpx * output_pixels as f64 / 1e6
+    }
+
+    /// CPU bilinear interpolation latency for `output_pixels`.
+    pub fn cpu_bilinear_ms(&self, output_pixels: usize) -> f64 {
+        self.cpu_bilinear_ms_per_mpx * output_pixels as f64 / 1e6
+    }
+
+    /// CPU frame-reconstruction latency for `pixels`.
+    pub fn cpu_reconstruct_ms(&self, pixels: usize) -> f64 {
+        self.cpu_reconstruct_ms_per_mpx * pixels as f64 / 1e6
+    }
+
+    /// Software-decoder latency for a coded frame of `pixels`.
+    pub fn sw_decode_ms(&self, pixels: usize) -> f64 {
+        self.sw_decode_ms_per_mpx * pixels as f64 / 1e6
+    }
+
+    /// Hardware-decoder latency for a coded frame of `pixels`.
+    pub fn hw_decode_ms(&self, pixels: usize) -> f64 {
+        self.hw_decode_ms_per_mpx * pixels as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s8_anchors_reproduce_paper_numbers() {
+        let d = DeviceProfile::s8_tab();
+        // full 720p frame ≈ 217 ms (4.6 FPS, Fig. 10a)
+        assert!((d.npu_sr_ms(1280 * 720) - 217.0).abs() < 0.5);
+        // 300x300 RoI ≈ 16.2 ms (§IV-C)
+        let roi = d.npu_sr_ms(300 * 300);
+        assert!((roi - 16.2).abs() < 0.3, "roi {roi:.2}");
+        // 13x reference-frame speedup
+        let speedup = d.npu_sr_ms(1280 * 720) / roi;
+        assert!(speedup > 13.0 && speedup < 14.0, "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn pixel_anchors_reproduce_paper_numbers() {
+        let d = DeviceProfile::pixel7_pro();
+        assert!((d.npu_sr_ms(1280 * 720) - 233.0).abs() < 0.5);
+        let roi = d.npu_sr_ms(300 * 300);
+        assert!((roi - 16.4).abs() < 0.3, "roi {roi:.2}");
+        let speedup = d.npu_sr_ms(1280 * 720) / roi;
+        assert!(speedup > 13.5 && speedup < 14.7, "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn max_realtime_roi_is_around_300_on_s8() {
+        let d = DeviceProfile::s8_tab();
+        let side = d.max_realtime_roi_side(REALTIME_BUDGET_MS);
+        assert!(
+            (296..=312).contains(&side),
+            "side {side} (paper benchmarks ≈300)"
+        );
+        // the returned window must actually fit the budget
+        assert!(d.npu_sr_ms(side * side) <= REALTIME_BUDGET_MS);
+        assert_eq!(side % 4, 0);
+    }
+
+    #[test]
+    fn max_realtime_roi_zero_budget() {
+        assert_eq!(DeviceProfile::s8_tab().max_realtime_roi_side(0.0), 0);
+    }
+
+    #[test]
+    fn foveal_roi_matches_paper_example() {
+        // S8 Tab: 1.25 in × 274 ppi ≈ 343 px on screen → ≈172 on the 720p frame
+        let d = DeviceProfile::s8_tab();
+        assert_eq!(d.foveal_roi_side(2), 171);
+        let on_screen = d.foveal_roi_side(1);
+        assert!((342..=343).contains(&on_screen), "{on_screen}");
+    }
+
+    #[test]
+    fn pixel_foveal_exceeds_its_compute_budget() {
+        // the Pixel's dense display wants a bigger foveal window than its
+        // NPU can serve in real time — the sizer must clamp (§IV-B1)
+        let d = DeviceProfile::pixel7_pro();
+        assert!(d.foveal_roi_side(2) > d.max_realtime_roi_side(REALTIME_BUDGET_MS));
+    }
+
+    #[test]
+    fn npu_latency_is_monotone_in_pixels() {
+        let d = DeviceProfile::s8_tab();
+        let mut prev = 0.0;
+        for side in [100usize, 200, 300, 400, 600, 900] {
+            let t = d.npu_sr_ms(side * side);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn nonroi_gpu_bilinear_near_paper_value() {
+        // 1440p output minus the 600x600 upscaled RoI ≈ 3.33 Mpx → ≈1.4 ms
+        let d = DeviceProfile::s8_tab();
+        let px = 2560 * 1440 - 600 * 600;
+        let t = d.gpu_bilinear_ms(px);
+        assert!((t - 1.4).abs() < 0.1, "{t:.2}");
+    }
+
+    #[test]
+    fn sw_decode_slower_than_hw_decode() {
+        let d = DeviceProfile::pixel7_pro();
+        let px = 1280 * 720;
+        assert!(d.sw_decode_ms(px) > 3.0 * d.hw_decode_ms(px));
+    }
+
+    #[test]
+    fn cheaper_models_afford_larger_roi_windows() {
+        let d = DeviceProfile::s8_tab();
+        let edsr_side = d.max_realtime_roi_side_for_model(REALTIME_BUDGET_MS, 1.0);
+        let cheap_side = d.max_realtime_roi_side_for_model(REALTIME_BUDGET_MS, 0.1);
+        assert_eq!(edsr_side, d.max_realtime_roi_side(REALTIME_BUDGET_MS));
+        assert!(cheap_side > edsr_side * 2, "{cheap_side} vs {edsr_side}");
+        // and the chosen windows actually meet the budget under their model
+        assert!(d.npu_sr_ms_for_model(cheap_side * cheap_side, 0.1) <= REALTIME_BUDGET_MS);
+    }
+
+    #[test]
+    fn nemo_nonref_cpu_path_violates_realtime() {
+        // bilinear residual upscale + reconstruction at 1440p on the CPU
+        let d = DeviceProfile::s8_tab();
+        let hr = 2560 * 1440;
+        let t = d.cpu_bilinear_ms(hr) + d.cpu_reconstruct_ms(hr);
+        assert!(t > REALTIME_BUDGET_MS, "{t:.2}");
+        assert!(t < 30.0, "{t:.2}");
+    }
+}

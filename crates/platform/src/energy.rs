@@ -1,0 +1,219 @@
+//! Energy accounting over pipeline activity.
+
+use crate::DeviceProfile;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Pipeline stage, the paper's Fig. 12 breakdown categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Stage {
+    /// Video decoding.
+    Decode,
+    /// Frame upscaling (NPU, GPU or CPU).
+    Upscale,
+    /// Network packet reception.
+    Network,
+    /// Display pipeline.
+    Display,
+    /// Anything else (e.g. the eye-tracking camera in the ablation).
+    Other,
+}
+
+impl Stage {
+    /// All stages in report order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Decode,
+        Stage::Upscale,
+        Stage::Network,
+        Stage::Display,
+        Stage::Other,
+    ];
+
+    /// Report label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::Upscale => "upscale",
+            Stage::Network => "network",
+            Stage::Display => "display",
+            Stage::Other => "other",
+        }
+    }
+}
+
+/// Hardware power rail doing the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Rail {
+    /// Neural processing unit.
+    Npu,
+    /// 3D/compute GPU.
+    Gpu,
+    /// CPU under a multi-threaded load.
+    CpuHeavy,
+    /// A single busy CPU thread.
+    CpuLight,
+    /// Fixed-function video decoder.
+    HwDecoder,
+    /// Front camera (eye-tracking ablation).
+    Camera,
+}
+
+/// Accumulates energy per stage from busy times, bytes and frames.
+///
+/// ```
+/// use gss_platform::{DeviceProfile, EnergyMeter, Rail, Stage};
+///
+/// let device = DeviceProfile::pixel7_pro();
+/// let mut meter = EnergyMeter::new(&device);
+/// meter.add_busy(Stage::Upscale, Rail::Npu, 16.4);
+/// meter.add_network_bytes(15_000);
+/// meter.add_display_frame();
+/// assert!(meter.total_mj() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    device: DeviceProfile,
+    per_stage_mj: BTreeMap<Stage, f64>,
+}
+
+impl EnergyMeter {
+    /// A meter for the given device.
+    pub fn new(device: &DeviceProfile) -> Self {
+        EnergyMeter {
+            device: device.clone(),
+            per_stage_mj: BTreeMap::new(),
+        }
+    }
+
+    fn rail_power_w(&self, rail: Rail) -> f64 {
+        match rail {
+            Rail::Npu => self.device.npu_w,
+            Rail::Gpu => self.device.gpu_w,
+            Rail::CpuHeavy => self.device.cpu_heavy_w,
+            Rail::CpuLight => self.device.cpu_light_w,
+            Rail::HwDecoder => self.device.hw_decoder_w,
+            Rail::Camera => self.device.camera_w,
+        }
+    }
+
+    /// Charges `busy_ms` of a rail's activity to a stage.
+    pub fn add_busy(&mut self, stage: Stage, rail: Rail, busy_ms: f64) {
+        let mj = self.rail_power_w(rail) * busy_ms; // W · ms = mJ
+        *self.per_stage_mj.entry(stage).or_insert(0.0) += mj;
+    }
+
+    /// Charges radio energy for `bytes` received.
+    pub fn add_network_bytes(&mut self, bytes: usize) {
+        let mj = self.device.net_uj_per_byte * bytes as f64 / 1000.0;
+        *self.per_stage_mj.entry(Stage::Network).or_insert(0.0) += mj;
+    }
+
+    /// Charges the display pipeline for one presented frame.
+    pub fn add_display_frame(&mut self) {
+        *self.per_stage_mj.entry(Stage::Display).or_insert(0.0) +=
+            self.device.display_mj_per_frame;
+    }
+
+    /// Total accumulated energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.per_stage_mj.values().sum()
+    }
+
+    /// Snapshot of the per-stage breakdown.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        let total = self.total_mj();
+        EnergyBreakdown {
+            per_stage_mj: Stage::ALL
+                .iter()
+                .map(|&s| (s, self.per_stage_mj.get(&s).copied().unwrap_or(0.0)))
+                .collect(),
+            total_mj: total,
+        }
+    }
+}
+
+/// A per-stage energy report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy per stage in millijoules, report order.
+    pub per_stage_mj: Vec<(Stage, f64)>,
+    /// Total energy in millijoules.
+    pub total_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Fraction of the total spent in a stage (0 when the total is 0).
+    pub fn fraction(&self, stage: Stage) -> f64 {
+        if self.total_mj <= 0.0 {
+            return 0.0;
+        }
+        self.per_stage_mj
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|(_, mj)| mj / self.total_mj)
+            .unwrap_or(0.0)
+    }
+
+    /// Energy of one stage in millijoules.
+    pub fn stage_mj(&self, stage: Stage) -> f64 {
+        self.per_stage_mj
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|(_, mj)| *mj)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_times_ms_is_mj() {
+        let d = DeviceProfile::pixel7_pro();
+        let mut m = EnergyMeter::new(&d);
+        m.add_busy(Stage::Upscale, Rail::Npu, 100.0);
+        assert!((m.total_mj() - d.npu_w * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stages_accumulate_independently() {
+        let d = DeviceProfile::s8_tab();
+        let mut m = EnergyMeter::new(&d);
+        m.add_busy(Stage::Decode, Rail::HwDecoder, 5.0);
+        m.add_busy(Stage::Upscale, Rail::Gpu, 1.4);
+        m.add_display_frame();
+        let b = m.breakdown();
+        assert!((b.stage_mj(Stage::Decode) - 5.0 * d.hw_decoder_w).abs() < 1e-9);
+        assert!((b.stage_mj(Stage::Display) - d.display_mj_per_frame).abs() < 1e-9);
+        let frac_sum: f64 = Stage::ALL.iter().map(|&s| b.fraction(s)).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_energy_scales_with_bytes() {
+        let d = DeviceProfile::pixel7_pro();
+        let mut m = EnergyMeter::new(&d);
+        m.add_network_bytes(1_000_000);
+        assert!((m.total_mj() - d.net_uj_per_byte * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let m = EnergyMeter::new(&DeviceProfile::s8_tab());
+        let b = m.breakdown();
+        assert_eq!(b.total_mj, 0.0);
+        assert_eq!(b.fraction(Stage::Upscale), 0.0);
+    }
+
+    #[test]
+    fn camera_eyetracking_draw_matches_paper() {
+        // §III-A: +2.8 W while eye-tracking; one second of tracking
+        let d = DeviceProfile::pixel7_pro();
+        let mut m = EnergyMeter::new(&d);
+        m.add_busy(Stage::Other, Rail::Camera, 1000.0);
+        assert!((m.total_mj() - 2800.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,171 @@
+//! Perspective camera and deterministic scripted camera paths.
+
+use crate::math::{vec3, Mat4, Vec3};
+
+/// A perspective camera (the player's viewpoint).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Eye position in world space.
+    pub position: Vec3,
+    /// Heading around +Y in radians (0 looks down −Z).
+    pub yaw: f32,
+    /// Elevation in radians (positive looks up).
+    pub pitch: f32,
+    /// Vertical field of view in radians.
+    pub fov_y: f32,
+    /// Near clip plane distance (> 0).
+    pub near: f32,
+    /// Far plane distance used for depth normalization.
+    pub far: f32,
+}
+
+impl Camera {
+    /// A camera at the origin looking down −Z with a 60° FOV.
+    pub fn new() -> Self {
+        Camera {
+            position: Vec3::ZERO,
+            yaw: 0.0,
+            pitch: 0.0,
+            fov_y: 60f32.to_radians(),
+            near: 0.3,
+            far: 250.0,
+        }
+    }
+
+    /// Unit forward vector derived from yaw/pitch.
+    pub fn forward(&self) -> Vec3 {
+        let (sy, cy) = self.yaw.sin_cos();
+        let (sp, cp) = self.pitch.sin_cos();
+        vec3(-sy * cp, sp, -cy * cp)
+    }
+
+    /// World → view matrix.
+    pub fn view_matrix(&self) -> Mat4 {
+        Mat4::look_at(self.position, self.position + self.forward(), Vec3::UP)
+    }
+
+    /// View → clip matrix for the given aspect ratio.
+    pub fn projection_matrix(&self, aspect: f32) -> Mat4 {
+        Mat4::perspective(self.fov_y, aspect, self.near, self.far)
+    }
+}
+
+impl Default for Camera {
+    fn default() -> Self {
+        Camera::new()
+    }
+}
+
+/// A deterministic parametric camera script: linear travel plus head-bob and
+/// yaw sway, standing in for recorded player input traces (see `DESIGN.md`).
+/// Frame index `t` advances the script at 60 FPS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraPath {
+    /// Position at `t = 0`.
+    pub start: Vec3,
+    /// Translation per frame.
+    pub velocity: Vec3,
+    /// Heading at `t = 0` (radians).
+    pub yaw0: f32,
+    /// Heading change per frame (radians).
+    pub yaw_rate: f32,
+    /// Fixed pitch (radians).
+    pub pitch: f32,
+    /// Vertical head-bob amplitude (world units).
+    pub bob_amplitude: f32,
+    /// Head-bob angular frequency (radians per frame).
+    pub bob_frequency: f32,
+    /// Yaw sway amplitude (radians).
+    pub sway_amplitude: f32,
+    /// Yaw sway angular frequency (radians per frame).
+    pub sway_frequency: f32,
+    /// Vertical field of view (radians).
+    pub fov_y: f32,
+    /// Far plane for depth normalization.
+    pub far: f32,
+}
+
+impl CameraPath {
+    /// A stationary path at `start` looking along `yaw0`.
+    pub fn stationary(start: Vec3, yaw0: f32) -> Self {
+        CameraPath {
+            start,
+            velocity: Vec3::ZERO,
+            yaw0,
+            yaw_rate: 0.0,
+            pitch: 0.0,
+            bob_amplitude: 0.0,
+            bob_frequency: 0.0,
+            sway_amplitude: 0.0,
+            sway_frequency: 0.0,
+            fov_y: 60f32.to_radians(),
+            far: 250.0,
+        }
+    }
+
+    /// The camera at frame `t`.
+    pub fn camera_at(&self, t: usize) -> Camera {
+        let tf = t as f32;
+        let bob = self.bob_amplitude * (self.bob_frequency * tf).sin();
+        let sway = self.sway_amplitude * (self.sway_frequency * tf).sin();
+        Camera {
+            position: self.start + self.velocity * tf + vec3(0.0, bob, 0.0),
+            yaw: self.yaw0 + self.yaw_rate * tf + sway,
+            pitch: self.pitch,
+            fov_y: self.fov_y,
+            near: 0.3,
+            far: self.far,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_yaw_zero() {
+        let c = Camera::new();
+        let f = c.forward();
+        assert!((f.z + 1.0).abs() < 1e-6 && f.x.abs() < 1e-6);
+    }
+
+    #[test]
+    fn forward_yaw_quarter_turn_looks_down_negative_x() {
+        let c = Camera {
+            yaw: std::f32::consts::FRAC_PI_2,
+            ..Camera::new()
+        };
+        let f = c.forward();
+        assert!((f.x + 1.0).abs() < 1e-6, "{f:?}");
+    }
+
+    #[test]
+    fn stationary_path_does_not_move() {
+        let p = CameraPath::stationary(vec3(1.0, 2.0, 3.0), 0.5);
+        assert_eq!(p.camera_at(0).position, p.camera_at(100).position);
+        assert_eq!(p.camera_at(0).yaw, p.camera_at(100).yaw);
+    }
+
+    #[test]
+    fn velocity_integrates_linearly() {
+        let p = CameraPath {
+            velocity: vec3(0.0, 0.0, -0.5),
+            ..CameraPath::stationary(Vec3::ZERO, 0.0)
+        };
+        let c = p.camera_at(10);
+        assert!((c.position.z + 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bob_is_periodic_and_bounded() {
+        let p = CameraPath {
+            bob_amplitude: 0.2,
+            bob_frequency: 0.3,
+            ..CameraPath::stationary(Vec3::ZERO, 0.0)
+        };
+        for t in 0..100 {
+            assert!(p.camera_at(t).position.y.abs() <= 0.2 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Software 3D rendering substrate for the GameStreamSR reproduction.
+//!
+//! The paper evaluates on ten commercial games whose engines are
+//! proprietary; this crate replaces them with a from-scratch software
+//! rasterizer plus ten deterministic procedural scene generators (one per
+//! genre of the paper's Table I). The rasterizer implements the pipeline of
+//! the paper's Fig. 4 — vertex processing, primitive assembly,
+//! rasterization, pixel shading — and, crucially, produces the **depth
+//! buffer** alongside the color buffer, which is the input the paper's
+//! server-side RoI detection consumes for free.
+//!
+//! Two properties of real game rendering that the paper's insight rests on
+//! are reproduced faithfully:
+//!
+//! * **Mipmapped level-of-detail**: procedural textures lose octaves of
+//!   detail as the sampled LOD grows with distance, so near objects carry
+//!   more high-frequency content than far ones (§III-B).
+//! * **Linear normalized depth**: the depth map stores `0.0` at the near
+//!   plane and `1.0` at the far plane, matching the "darker = nearer"
+//!   convention of the paper's Fig. 5.
+//!
+//! ```
+//! use gss_render::{GameId, GameWorkload};
+//!
+//! let workload = GameWorkload::new(GameId::G3);
+//! let out = workload.render_frame(0, 160, 90);
+//! assert_eq!(out.frame.size(), (160, 90));
+//! assert_eq!(out.depth.size(), (160, 90));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod camera;
+pub mod math;
+pub mod mesh;
+pub mod raster;
+pub mod scene;
+pub mod scenes;
+pub mod texture;
+
+pub use camera::{Camera, CameraPath};
+pub use raster::{render, RenderOutput, RenderStats};
+pub use scene::{Attachment, Object, Scene};
+pub use scenes::{GameId, GameWorkload};

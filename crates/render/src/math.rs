@@ -1,0 +1,342 @@
+//! Minimal 3D linear algebra: column-vector `Vec3` and row-major `Mat4`.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-component `f32` vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+/// Shorthand constructor for [`Vec3`].
+pub const fn vec3(x: f32, y: f32, z: f32) -> Vec3 {
+    Vec3 { x, y, z }
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = vec3(0.0, 0.0, 0.0);
+    /// World up (+Y).
+    pub const UP: Vec3 = vec3(0.0, 1.0, 0.0);
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec3) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        vec3(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in the same direction; the zero vector is returned
+    /// unchanged.
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        if len <= f32::EPSILON {
+            self
+        } else {
+            self * (1.0 / len)
+        }
+    }
+
+    /// Component-wise scale.
+    pub fn scaled(self, s: Vec3) -> Vec3 {
+        vec3(self.x * s.x, self.y * s.y, self.z * s.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        vec3(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        vec3(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, rhs: f32) -> Vec3 {
+        vec3(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        vec3(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A 4-component homogeneous vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W component.
+    pub w: f32,
+}
+
+/// Shorthand constructor for [`Vec4`].
+pub const fn vec4(x: f32, y: f32, z: f32, w: f32) -> Vec4 {
+    Vec4 { x, y, z, w }
+}
+
+impl Vec4 {
+    /// Drops the W component.
+    pub fn xyz(self) -> Vec3 {
+        vec3(self.x, self.y, self.z)
+    }
+
+    /// Promotes a point (`w = 1`).
+    pub fn from_point(p: Vec3) -> Vec4 {
+        vec4(p.x, p.y, p.z, 1.0)
+    }
+
+    /// Promotes a direction (`w = 0`).
+    pub fn from_dir(d: Vec3) -> Vec4 {
+        vec4(d.x, d.y, d.z, 0.0)
+    }
+
+    /// Linear interpolation `self + (rhs - self) * t` applied per component.
+    pub fn lerp(self, rhs: Vec4, t: f32) -> Vec4 {
+        vec4(
+            self.x + (rhs.x - self.x) * t,
+            self.y + (rhs.y - self.y) * t,
+            self.z + (rhs.z - self.z) * t,
+            self.w + (rhs.w - self.w) * t,
+        )
+    }
+}
+
+/// A row-major 4x4 matrix acting on column vectors (`m * v`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// Rows of the matrix.
+    pub rows: [[f32; 4]; 4],
+}
+
+impl Mat4 {
+    /// The identity transform.
+    pub const IDENTITY: Mat4 = Mat4 {
+        rows: [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ],
+    };
+
+    /// Translation by `t`.
+    pub fn translation(t: Vec3) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        m.rows[0][3] = t.x;
+        m.rows[1][3] = t.y;
+        m.rows[2][3] = t.z;
+        m
+    }
+
+    /// Non-uniform scale.
+    pub fn scale(s: Vec3) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        m.rows[0][0] = s.x;
+        m.rows[1][1] = s.y;
+        m.rows[2][2] = s.z;
+        m
+    }
+
+    /// Rotation about +Y by `angle` radians.
+    pub fn rotation_y(angle: f32) -> Mat4 {
+        let (s, c) = angle.sin_cos();
+        let mut m = Mat4::IDENTITY;
+        m.rows[0][0] = c;
+        m.rows[0][2] = s;
+        m.rows[2][0] = -s;
+        m.rows[2][2] = c;
+        m
+    }
+
+    /// Rotation about +X by `angle` radians.
+    pub fn rotation_x(angle: f32) -> Mat4 {
+        let (s, c) = angle.sin_cos();
+        let mut m = Mat4::IDENTITY;
+        m.rows[1][1] = c;
+        m.rows[1][2] = -s;
+        m.rows[2][1] = s;
+        m.rows[2][2] = c;
+        m
+    }
+
+    /// Right-handed look-at view matrix (camera looks down −Z in view
+    /// space).
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Mat4 {
+        let f = (target - eye).normalized();
+        let r = f.cross(up).normalized();
+        let u = r.cross(f);
+        Mat4 {
+            rows: [
+                [r.x, r.y, r.z, -r.dot(eye)],
+                [u.x, u.y, u.z, -u.dot(eye)],
+                [-f.x, -f.y, -f.z, f.dot(eye)],
+                [0.0, 0.0, 0.0, 1.0],
+            ],
+        }
+    }
+
+    /// Right-handed perspective projection with OpenGL-style clip space
+    /// (`z ∈ [-w, w]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `near >= far` or either plane is non-positive.
+    pub fn perspective(fov_y: f32, aspect: f32, near: f32, far: f32) -> Mat4 {
+        assert!(near > 0.0 && far > near, "invalid near/far planes");
+        let f = 1.0 / (fov_y * 0.5).tan();
+        let mut m = Mat4 { rows: [[0.0; 4]; 4] };
+        m.rows[0][0] = f / aspect;
+        m.rows[1][1] = f;
+        m.rows[2][2] = (far + near) / (near - far);
+        m.rows[2][3] = 2.0 * far * near / (near - far);
+        m.rows[3][2] = -1.0;
+        m
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec4(&self, v: Vec4) -> Vec4 {
+        let r = &self.rows;
+        vec4(
+            r[0][0] * v.x + r[0][1] * v.y + r[0][2] * v.z + r[0][3] * v.w,
+            r[1][0] * v.x + r[1][1] * v.y + r[1][2] * v.z + r[1][3] * v.w,
+            r[2][0] * v.x + r[2][1] * v.y + r[2][2] * v.z + r[2][3] * v.w,
+            r[3][0] * v.x + r[3][1] * v.y + r[3][2] * v.z + r[3][3] * v.w,
+        )
+    }
+
+    /// Transforms a point (`w = 1`, perspective divide NOT applied).
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.mul_vec4(Vec4::from_point(p)).xyz()
+    }
+
+    /// Transforms a direction (`w = 0`).
+    pub fn transform_dir(&self, d: Vec3) -> Vec3 {
+        self.mul_vec4(Vec4::from_dir(d)).xyz()
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Mat4;
+    fn mul(self, rhs: Mat4) -> Mat4 {
+        let mut out = Mat4 { rows: [[0.0; 4]; 4] };
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += self.rows[i][k] * rhs.rows[k][j];
+                }
+                out.rows[i][j] = acc;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: Vec3, b: Vec3) -> bool {
+        (a - b).length() < 1e-4
+    }
+
+    #[test]
+    fn cross_of_axes() {
+        let x = vec3(1.0, 0.0, 0.0);
+        let y = vec3(0.0, 1.0, 0.0);
+        assert!(approx(x.cross(y), vec3(0.0, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let v = vec3(3.0, 4.0, 12.0).normalized();
+        assert!((v.length() - 1.0).abs() < 1e-6);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let p = vec3(1.5, -2.0, 7.0);
+        assert!(approx(Mat4::IDENTITY.transform_point(p), p));
+    }
+
+    #[test]
+    fn translation_moves_points_not_dirs() {
+        let m = Mat4::translation(vec3(1.0, 2.0, 3.0));
+        assert!(approx(m.transform_point(Vec3::ZERO), vec3(1.0, 2.0, 3.0)));
+        assert!(approx(m.transform_dir(vec3(1.0, 0.0, 0.0)), vec3(1.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn rotation_y_quarter_turn() {
+        let m = Mat4::rotation_y(std::f32::consts::FRAC_PI_2);
+        // +Z rotates onto +X under this convention
+        assert!(approx(m.transform_point(vec3(0.0, 0.0, 1.0)), vec3(1.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn matrix_product_composes() {
+        let t = Mat4::translation(vec3(1.0, 0.0, 0.0));
+        let s = Mat4::scale(vec3(2.0, 2.0, 2.0));
+        let ts = t * s;
+        // scale first, then translate
+        assert!(approx(ts.transform_point(vec3(1.0, 0.0, 0.0)), vec3(3.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn look_at_puts_target_on_negative_z() {
+        let eye = vec3(0.0, 0.0, 5.0);
+        let m = Mat4::look_at(eye, Vec3::ZERO, Vec3::UP);
+        let t = m.transform_point(Vec3::ZERO);
+        assert!(t.z < 0.0, "target should be in front (−z): {t:?}");
+        assert!(t.x.abs() < 1e-4 && t.y.abs() < 1e-4);
+        assert!((t.z + 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn perspective_maps_near_and_far_planes() {
+        let m = Mat4::perspective(1.0, 1.0, 1.0, 100.0);
+        let near = m.mul_vec4(vec4(0.0, 0.0, -1.0, 1.0));
+        let far = m.mul_vec4(vec4(0.0, 0.0, -100.0, 1.0));
+        assert!((near.z / near.w + 1.0).abs() < 1e-4, "near → -1");
+        assert!((far.z / far.w - 1.0).abs() < 1e-3, "far → +1");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid near/far")]
+    fn perspective_rejects_bad_planes() {
+        let _ = Mat4::perspective(1.0, 1.0, 10.0, 1.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Triangle meshes and the primitive shapes the scene generators compose.
+
+use crate::math::{vec3, Vec3};
+
+/// A mesh vertex: world/model-space position plus texture coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vertex {
+    /// Model-space position.
+    pub position: Vec3,
+    /// Texture coordinate (u, v).
+    pub uv: (f32, f32),
+}
+
+/// An indexed triangle mesh.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mesh {
+    /// Vertex pool.
+    pub vertices: Vec<Vertex>,
+    /// Triangles as vertex-index triples (counter-clockwise front faces).
+    pub triangles: Vec<[usize; 3]>,
+}
+
+impl Mesh {
+    /// An empty mesh.
+    pub fn new() -> Self {
+        Mesh::default()
+    }
+
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Appends another mesh's geometry.
+    pub fn merge(&mut self, other: &Mesh) {
+        let base = self.vertices.len();
+        self.vertices.extend_from_slice(&other.vertices);
+        self.triangles.extend(
+            other
+                .triangles
+                .iter()
+                .map(|t| [t[0] + base, t[1] + base, t[2] + base]),
+        );
+    }
+
+    fn push_quad(&mut self, corners: [Vec3; 4], uv_scale: (f32, f32)) {
+        let base = self.vertices.len();
+        let uvs = [
+            (0.0, 0.0),
+            (uv_scale.0, 0.0),
+            (uv_scale.0, uv_scale.1),
+            (0.0, uv_scale.1),
+        ];
+        for (p, uv) in corners.into_iter().zip(uvs) {
+            self.vertices.push(Vertex { position: p, uv });
+        }
+        self.triangles.push([base, base + 1, base + 2]);
+        self.triangles.push([base, base + 2, base + 3]);
+    }
+
+    /// An axis-aligned box spanning `min..max` with per-face UVs tiled
+    /// `uv_tiles` times.
+    pub fn cuboid(min: Vec3, max: Vec3, uv_tiles: f32) -> Mesh {
+        let mut m = Mesh::new();
+        let (a, b) = (min, max);
+        let uv = (uv_tiles, uv_tiles);
+        // +Z (front)
+        m.push_quad(
+            [
+                vec3(a.x, a.y, b.z),
+                vec3(b.x, a.y, b.z),
+                vec3(b.x, b.y, b.z),
+                vec3(a.x, b.y, b.z),
+            ],
+            uv,
+        );
+        // -Z (back)
+        m.push_quad(
+            [
+                vec3(b.x, a.y, a.z),
+                vec3(a.x, a.y, a.z),
+                vec3(a.x, b.y, a.z),
+                vec3(b.x, b.y, a.z),
+            ],
+            uv,
+        );
+        // +X
+        m.push_quad(
+            [
+                vec3(b.x, a.y, b.z),
+                vec3(b.x, a.y, a.z),
+                vec3(b.x, b.y, a.z),
+                vec3(b.x, b.y, b.z),
+            ],
+            uv,
+        );
+        // -X
+        m.push_quad(
+            [
+                vec3(a.x, a.y, a.z),
+                vec3(a.x, a.y, b.z),
+                vec3(a.x, b.y, b.z),
+                vec3(a.x, b.y, a.z),
+            ],
+            uv,
+        );
+        // +Y (top)
+        m.push_quad(
+            [
+                vec3(a.x, b.y, b.z),
+                vec3(b.x, b.y, b.z),
+                vec3(b.x, b.y, a.z),
+                vec3(a.x, b.y, a.z),
+            ],
+            uv,
+        );
+        // -Y (bottom)
+        m.push_quad(
+            [
+                vec3(a.x, a.y, a.z),
+                vec3(b.x, a.y, a.z),
+                vec3(b.x, a.y, b.z),
+                vec3(a.x, a.y, b.z),
+            ],
+            uv,
+        );
+        m
+    }
+
+    /// A horizontal grid plane at height `y`, spanning `±half` on X/Z,
+    /// tessellated into `cells x cells` quads (so near-plane clipping acts
+    /// locally) with UVs tiled once per cell times `uv_per_cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cells` is zero.
+    pub fn ground(y: f32, half: f32, cells: usize, uv_per_cell: f32) -> Mesh {
+        assert!(cells > 0, "need at least one cell");
+        let mut m = Mesh::new();
+        let step = 2.0 * half / cells as f32;
+        for cz in 0..cells {
+            for cx in 0..cells {
+                let x0 = -half + cx as f32 * step;
+                let z0 = -half + cz as f32 * step;
+                m.push_quad(
+                    [
+                        vec3(x0, y, z0 + step),
+                        vec3(x0 + step, y, z0 + step),
+                        vec3(x0 + step, y, z0),
+                        vec3(x0, y, z0),
+                    ],
+                    (uv_per_cell, uv_per_cell),
+                );
+            }
+        }
+        m
+    }
+
+    /// A four-sided pyramid (tree canopy, roof, stalagmite) with its square
+    /// base spanning `±half_base` at `base_y` and apex at `base_y + height`.
+    pub fn pyramid(center: Vec3, half_base: f32, height: f32) -> Mesh {
+        let mut m = Mesh::new();
+        let a = vec3(center.x - half_base, center.y, center.z - half_base);
+        let b = vec3(center.x + half_base, center.y, center.z - half_base);
+        let c = vec3(center.x + half_base, center.y, center.z + half_base);
+        let d = vec3(center.x - half_base, center.y, center.z + half_base);
+        let apex = vec3(center.x, center.y + height, center.z);
+        let apex_uv = (0.5, 1.0);
+        for (p, q) in [(d, c), (c, b), (b, a), (a, d)] {
+            let base = m.vertices.len();
+            m.vertices.push(Vertex {
+                position: p,
+                uv: (0.0, 0.0),
+            });
+            m.vertices.push(Vertex {
+                position: q,
+                uv: (1.0, 0.0),
+            });
+            m.vertices.push(Vertex {
+                position: apex,
+                uv: apex_uv,
+            });
+            m.triangles.push([base, base + 1, base + 2]);
+        }
+        // base (facing down)
+        m.push_quad([a, b, c, d], (1.0, 1.0));
+        m
+    }
+
+    /// Axis-aligned bounding box of the mesh, or `None` when empty.
+    pub fn bounding_box(&self) -> Option<(Vec3, Vec3)> {
+        let first = self.vertices.first()?;
+        let mut lo = first.position;
+        let mut hi = first.position;
+        for v in &self.vertices {
+            lo = vec3(lo.x.min(v.position.x), lo.y.min(v.position.y), lo.z.min(v.position.z));
+            hi = vec3(hi.x.max(v.position.x), hi.y.max(v.position.y), hi.z.max(v.position.z));
+        }
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuboid_has_twelve_triangles() {
+        let m = Mesh::cuboid(vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0), 1.0);
+        assert_eq!(m.triangle_count(), 12);
+        assert_eq!(m.vertices.len(), 24);
+    }
+
+    #[test]
+    fn ground_tessellation_counts() {
+        let m = Mesh::ground(0.0, 10.0, 4, 1.0);
+        assert_eq!(m.triangle_count(), 4 * 4 * 2);
+    }
+
+    #[test]
+    fn pyramid_counts() {
+        let m = Mesh::pyramid(Vec3::ZERO, 1.0, 2.0);
+        assert_eq!(m.triangle_count(), 4 + 2);
+    }
+
+    #[test]
+    fn merge_offsets_indices() {
+        let mut a = Mesh::cuboid(vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0), 1.0);
+        let b = Mesh::pyramid(Vec3::ZERO, 1.0, 1.0);
+        let na = a.vertices.len();
+        a.merge(&b);
+        assert_eq!(a.triangle_count(), 12 + 6);
+        let max_idx = a.triangles.iter().flatten().copied().max().unwrap();
+        assert!(max_idx >= na);
+        assert!(max_idx < a.vertices.len());
+    }
+
+    #[test]
+    fn bounding_box_of_cuboid() {
+        let m = Mesh::cuboid(vec3(-1.0, 0.0, 2.0), vec3(3.0, 4.0, 5.0), 1.0);
+        let (lo, hi) = m.bounding_box().unwrap();
+        assert_eq!(lo, vec3(-1.0, 0.0, 2.0));
+        assert_eq!(hi, vec3(3.0, 4.0, 5.0));
+        assert!(Mesh::new().bounding_box().is_none());
+    }
+}

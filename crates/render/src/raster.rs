@@ -1,0 +1,534 @@
+//! The software rasterization pipeline (paper Fig. 4): vertex processing →
+//! primitive assembly → near-plane clipping → perspective rasterization with
+//! Z-buffering → pixel shading with mipmapped texturing, Lambert lighting
+//! and fog.
+//!
+//! Alongside the color buffer it produces the **depth buffer** that the
+//! GameStreamSR server consumes for RoI detection — captured at exactly the
+//! same pipeline point as the paper's ReShade hook. Depth is linear and
+//! normalized: `0.0` at the near plane, `1.0` at (and beyond) the far plane.
+
+use crate::camera::Camera;
+use crate::math::{Mat4, Vec3};
+use crate::scene::{Attachment, Scene};
+use crate::texture::{mix, shade, Color, ProceduralTexture};
+use gss_frame::{DepthMap, Frame, Rgb8};
+
+/// The rasterizer's output: the rendered picture and its Z-buffer.
+#[derive(Debug, Clone)]
+pub struct RenderOutput {
+    /// Rendered color frame.
+    pub frame: Frame,
+    /// Per-pixel normalized linear depth.
+    pub depth: DepthMap,
+    /// Pipeline counters for this frame.
+    pub stats: RenderStats,
+}
+
+/// Per-frame pipeline counters (primitive assembly → rasterization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RenderStats {
+    /// Triangles submitted by the scene.
+    pub triangles_submitted: usize,
+    /// Triangles rejected by view-frustum culling before clipping.
+    pub triangles_culled: usize,
+    /// Triangles surviving near-plane clipping (post-fan count).
+    pub triangles_rasterized: usize,
+    /// Pixels that passed the depth test and were shaded.
+    pub pixels_shaded: usize,
+}
+
+/// A post-transform vertex ready for rasterization setup.
+#[derive(Debug, Clone, Copy)]
+struct ClipVertex {
+    /// Position in view space (camera at origin, looking down −Z).
+    view: Vec3,
+    uv: (f32, f32),
+}
+
+impl ClipVertex {
+    fn lerp(self, other: ClipVertex, t: f32) -> ClipVertex {
+        ClipVertex {
+            view: self.view + (other.view - self.view) * t,
+            uv: (
+                self.uv.0 + (other.uv.0 - self.uv.0) * t,
+                self.uv.1 + (other.uv.1 - self.uv.1) * t,
+            ),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ScreenVertex {
+    x: f32,
+    y: f32,
+    /// 1 / view distance (view distance = −z_view).
+    inv_w: f32,
+    u_over_w: f32,
+    v_over_w: f32,
+}
+
+/// Renders `scene` from `camera` into a `width x height` frame + depth map.
+///
+/// # Panics
+///
+/// Panics when either dimension is zero.
+pub fn render(scene: &Scene, camera: &Camera, width: usize, height: usize) -> RenderOutput {
+    assert!(width > 0 && height > 0, "render target must be nonzero");
+    let mut color = vec![scene.sky_color; width * height];
+    // subtle vertical sky gradient so the background is not perfectly flat
+    for y in 0..height {
+        let t = y as f32 / height as f32;
+        let row = shade(scene.sky_color, 1.08 - 0.16 * t);
+        for x in 0..width {
+            color[y * width + x] = row;
+        }
+    }
+    let mut depth = DepthMap::far(width, height);
+    let mut stats = RenderStats::default();
+
+    let view = camera.view_matrix();
+    let aspect = width as f32 / height as f32;
+    let proj = camera.projection_matrix(aspect);
+    // light direction expressed in view space for camera-attached meshes
+    let light_view = view.transform_dir(scene.light_dir).normalized();
+
+    for object in &scene.objects {
+        let (to_view, light): (Option<&Mat4>, Vec3) = match object.attachment {
+            Attachment::World => (Some(&view), scene.light_dir),
+            Attachment::CameraRelative => (None, light_view),
+        };
+        for tri in &object.mesh.triangles {
+            let verts = [
+                object.mesh.vertices[tri[0]],
+                object.mesh.vertices[tri[1]],
+                object.mesh.vertices[tri[2]],
+            ];
+            let cv: Vec<ClipVertex> = verts
+                .iter()
+                .map(|v| ClipVertex {
+                    view: match to_view {
+                        Some(m) => m.transform_point(v.position),
+                        None => v.position,
+                    },
+                    uv: v.uv,
+                })
+                .collect();
+
+            stats.triangles_submitted += 1;
+            if frustum_culled(&cv, camera, aspect) {
+                stats.triangles_culled += 1;
+                continue;
+            }
+
+            // lighting uses the face normal in the attachment space
+            let e1 = verts[1].position - verts[0].position;
+            let e2 = verts[2].position - verts[0].position;
+            let normal = e1.cross(e2).normalized();
+            let lambert = normal.dot(light).abs();
+            let brightness = scene.ambient + (1.0 - scene.ambient) * lambert;
+
+            for clipped in clip_near(&cv, camera.near) {
+                stats.triangles_rasterized += 1;
+                stats.pixels_shaded += raster_triangle(
+                    &clipped,
+                    &proj,
+                    width,
+                    height,
+                    camera,
+                    scene,
+                    &object.texture,
+                    brightness,
+                    &mut color,
+                    &mut depth,
+                );
+            }
+        }
+    }
+
+    let frame = Frame::from_rgb_fn(width, height, |x, y| {
+        let c = color[y * width + x];
+        Rgb8::new(
+            c[0].round().clamp(0.0, 255.0) as u8,
+            c[1].round().clamp(0.0, 255.0) as u8,
+            c[2].round().clamp(0.0, 255.0) as u8,
+        )
+    });
+    RenderOutput {
+        frame,
+        depth,
+        stats,
+    }
+}
+
+/// Conservative view-frustum rejection: a triangle is culled only when all
+/// three vertices are in front of the near plane *and* all lie outside the
+/// same lateral frustum plane (the cheap common case; partial overlaps fall
+/// through to clipping + per-pixel coverage).
+fn frustum_culled(tri: &[ClipVertex], camera: &Camera, aspect: f32) -> bool {
+    // everything behind the eye is dropped by near-plane clipping anyway
+    if tri.iter().all(|v| v.view.z > -camera.near) {
+        return true;
+    }
+    // only cull laterally when all vertices are safely in front (w > 0)
+    if !tri.iter().all(|v| v.view.z <= -camera.near) {
+        return false;
+    }
+    let tan_half = (camera.fov_y * 0.5).tan();
+    let mut out_left = true;
+    let mut out_right = true;
+    let mut out_top = true;
+    let mut out_bottom = true;
+    for v in tri {
+        let limit_y = -v.view.z * tan_half;
+        let limit_x = limit_y * aspect;
+        out_left &= v.view.x < -limit_x;
+        out_right &= v.view.x > limit_x;
+        out_bottom &= v.view.y < -limit_y;
+        out_top &= v.view.y > limit_y;
+    }
+    out_left || out_right || out_top || out_bottom
+}
+
+/// Sutherland–Hodgman clip of a triangle against the near plane
+/// (`z_view <= -near` is kept), fanned back into triangles.
+fn clip_near(tri: &[ClipVertex], near: f32) -> Vec<[ClipVertex; 3]> {
+    let inside = |v: &ClipVertex| v.view.z <= -near;
+    let mut poly: Vec<ClipVertex> = Vec::with_capacity(4);
+    for i in 0..3 {
+        let a = tri[i];
+        let b = tri[(i + 1) % 3];
+        let a_in = inside(&a);
+        let b_in = inside(&b);
+        if a_in {
+            poly.push(a);
+        }
+        if a_in != b_in {
+            // intersection with z = -near
+            let t = (-near - a.view.z) / (b.view.z - a.view.z);
+            poly.push(a.lerp(b, t));
+        }
+    }
+    match poly.len() {
+        0..=2 => Vec::new(),
+        n => (1..n - 1).map(|i| [poly[0], poly[i], poly[i + 1]]).collect(),
+    }
+}
+
+#[inline]
+fn edge(ax: f32, ay: f32, bx: f32, by: f32, px: f32, py: f32) -> f32 {
+    (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+}
+
+#[allow(clippy::too_many_arguments)]
+/// Rasterizes one clipped triangle; returns the number of pixels shaded.
+fn raster_triangle(
+    tri: &[ClipVertex; 3],
+    proj: &Mat4,
+    width: usize,
+    height: usize,
+    camera: &Camera,
+    scene: &Scene,
+    texture: &ProceduralTexture,
+    brightness: f32,
+    color: &mut [Color],
+    depth: &mut DepthMap,
+) -> usize {
+    let mut sv = [ScreenVertex {
+        x: 0.0,
+        y: 0.0,
+        inv_w: 0.0,
+        u_over_w: 0.0,
+        v_over_w: 0.0,
+    }; 3];
+    for (i, v) in tri.iter().enumerate() {
+        let clip = proj.mul_vec4(crate::math::Vec4::from_point(v.view));
+        if clip.w <= f32::EPSILON {
+            return 0; // behind the eye; clipping should prevent this
+        }
+        let inv_w = 1.0 / clip.w;
+        sv[i] = ScreenVertex {
+            x: (clip.x * inv_w + 1.0) * 0.5 * width as f32,
+            y: (1.0 - clip.y * inv_w) * 0.5 * height as f32,
+            inv_w,
+            u_over_w: v.uv.0 * inv_w,
+            v_over_w: v.uv.1 * inv_w,
+        };
+    }
+
+    let area = edge(sv[0].x, sv[0].y, sv[1].x, sv[1].y, sv[2].x, sv[2].y);
+    if area.abs() < 1e-6 {
+        return 0;
+    }
+    let inv_area = 1.0 / area;
+
+    let min_x = sv.iter().map(|v| v.x).fold(f32::INFINITY, f32::min).floor().max(0.0) as usize;
+    let max_x = (sv.iter().map(|v| v.x).fold(f32::NEG_INFINITY, f32::max).ceil() as usize)
+        .min(width.saturating_sub(1));
+    let min_y = sv.iter().map(|v| v.y).fold(f32::INFINITY, f32::min).floor().max(0.0) as usize;
+    let max_y = (sv.iter().map(|v| v.y).fold(f32::NEG_INFINITY, f32::max).ceil() as usize)
+        .min(height.saturating_sub(1));
+    if min_x > max_x || min_y > max_y {
+        return 0;
+    }
+
+    let mut shaded = 0usize;
+    let depth_span = camera.far - camera.near;
+    for py in min_y..=max_y {
+        let sy = py as f32 + 0.5;
+        for px in min_x..=max_x {
+            let sx = px as f32 + 0.5;
+            let w0 = edge(sv[1].x, sv[1].y, sv[2].x, sv[2].y, sx, sy) * inv_area;
+            let w1 = edge(sv[2].x, sv[2].y, sv[0].x, sv[0].y, sx, sy) * inv_area;
+            let w2 = 1.0 - w0 - w1;
+            if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                continue;
+            }
+            let inv_w = w0 * sv[0].inv_w + w1 * sv[1].inv_w + w2 * sv[2].inv_w;
+            if inv_w <= 0.0 {
+                continue;
+            }
+            let dist = 1.0 / inv_w;
+            let d01 = ((dist - camera.near) / depth_span).clamp(0.0, 1.0);
+            if !depth.test_and_set(px, py, d01) {
+                continue;
+            }
+            let u = (w0 * sv[0].u_over_w + w1 * sv[1].u_over_w + w2 * sv[2].u_over_w) * dist;
+            let v = (w0 * sv[0].v_over_w + w1 * sv[1].v_over_w + w2 * sv[2].v_over_w) * dist;
+            let lod = (dist / scene.lod_reference_distance).max(1.0).log2();
+            let tex = texture.sample(u, v, lod);
+            let lit = shade(tex, brightness);
+            let fog = 1.0 - (-scene.fog_density * dist).exp();
+            color[py * width + px] = mix(lit, scene.sky_color, fog);
+            shaded += 1;
+        }
+    }
+    shaded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::vec3;
+    use crate::mesh::Mesh;
+    use crate::scene::Object;
+
+    fn box_scene(z: f32) -> Scene {
+        Scene::new().with(Object::world(
+            Mesh::cuboid(vec3(-1.0, -1.0, z - 1.0), vec3(1.0, 1.0, z + 1.0), 2.0),
+            ProceduralTexture::Checker {
+                a: [230.0, 230.0, 230.0],
+                b: [30.0, 30.0, 30.0],
+                scale: 4.0,
+            },
+        ))
+    }
+
+    #[test]
+    fn object_in_front_writes_depth_at_center() {
+        let scene = box_scene(-10.0);
+        let out = render(&scene, &Camera::new(), 64, 48);
+        let center = out.depth.get(32, 24);
+        assert!(center < 1.0, "center depth {center}");
+        // corners see only sky
+        assert_eq!(out.depth.get(0, 0), 1.0);
+        assert_eq!(out.depth.get(63, 47), 1.0);
+    }
+
+    #[test]
+    fn nearer_object_occludes_farther() {
+        let scene = box_scene(-20.0).with(Object::world(
+            Mesh::cuboid(vec3(-0.5, -0.5, -6.5), vec3(0.5, 0.5, -5.5), 1.0),
+            ProceduralTexture::Solid([255.0, 0.0, 0.0]),
+        ));
+        let out = render(&scene, &Camera::new(), 64, 48);
+        let d_center = out.depth.get(32, 24);
+        // near box front face at z = -5.5 → depth ≈ (5.5-0.3)/(250-0.3)
+        let expected = (5.5 - 0.3) / (250.0 - 0.3);
+        assert!((d_center - expected).abs() < 0.01, "depth {d_center} vs {expected}");
+    }
+
+    #[test]
+    fn camera_relative_object_ignores_camera_motion() {
+        let hero = Object::camera_relative(
+            Mesh::cuboid(vec3(-0.3, -0.5, -2.3), vec3(0.3, 0.2, -1.7), 1.0),
+            ProceduralTexture::Solid([10.0, 200.0, 10.0]),
+        );
+        let scene_a = Scene::new().with(hero.clone());
+        let scene_b = Scene::new().with(hero);
+        let cam_a = Camera::new();
+        let cam_b = Camera {
+            position: vec3(5.0, 1.0, -3.0),
+            yaw: 0.8,
+            ..Camera::new()
+        };
+        let a = render(&scene_a, &cam_a, 48, 32);
+        let b = render(&scene_b, &cam_b, 48, 32);
+        assert_eq!(a.depth.plane(), b.depth.plane());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let scene = box_scene(-8.0);
+        let a = render(&scene, &Camera::new(), 80, 45);
+        let b = render(&scene, &Camera::new(), 80, 45);
+        assert_eq!(a.frame, b.frame);
+        assert_eq!(a.depth, b.depth);
+    }
+
+    #[test]
+    fn near_surface_has_more_detail_than_far() {
+        // one long textured wall receding from the camera: variance of the
+        // near half must exceed the far half (mipmap premise, §III-B)
+        let wall = Mesh::cuboid(vec3(-4.0, -2.0, -120.0), vec3(-2.0, 2.0, -2.0), 40.0);
+        let scene = Scene::new().with(Object::world(
+            wall,
+            ProceduralTexture::Checker {
+                a: [240.0, 240.0, 240.0],
+                b: [15.0, 15.0, 15.0],
+                scale: 2.0,
+            },
+        ));
+        let cam = Camera {
+            yaw: 0.25,
+            ..Camera::new()
+        };
+        let out = render(&scene, &cam, 160, 90);
+        let y = out.frame.y();
+        // group covered pixels by depth and compare local gradient energy
+        let mut near = (0.0f64, 0usize);
+        let mut far = (0.0f64, 0usize);
+        for yy in 1..89 {
+            for xx in 1..159 {
+                let d = out.depth.get(xx, yy);
+                if d >= 1.0 || out.depth.get(xx + 1, yy) >= 1.0 || out.depth.get(xx, yy + 1) >= 1.0
+                {
+                    continue;
+                }
+                let gx = (y.get(xx + 1, yy) - y.get(xx, yy)).abs() as f64;
+                let gy = (y.get(xx, yy + 1) - y.get(xx, yy)).abs() as f64;
+                let g = gx + gy;
+                if d < 0.015 {
+                    near.0 += g;
+                    near.1 += 1;
+                } else if d > 0.04 {
+                    far.0 += g;
+                    far.1 += 1;
+                }
+            }
+        }
+        assert!(near.1 > 100 && far.1 > 100, "bins too small: {} / {}", near.1, far.1);
+        let near_g = near.0 / near.1 as f64;
+        let far_g = far.0 / far.1 as f64;
+        assert!(
+            near_g > far_g * 1.5,
+            "near {near_g:.2} vs far {far_g:.2}"
+        );
+    }
+
+    #[test]
+    fn partially_behind_camera_geometry_is_clipped_not_dropped() {
+        // a ground strip passing under the camera: visible region ahead
+        let ground = Mesh::ground(-1.5, 50.0, 10, 2.0);
+        let scene = Scene::new().with(Object::world(
+            ground,
+            ProceduralTexture::Solid([100.0, 100.0, 100.0]),
+        ));
+        let out = render(&scene, &Camera::new(), 64, 48);
+        // bottom rows should be covered by ground
+        let covered = (0..64).filter(|&x| out.depth.get(x, 46) < 1.0).count();
+        assert!(covered > 56, "covered {covered}");
+    }
+
+    #[test]
+    fn depth_increases_with_distance_along_ground() {
+        let ground = Mesh::ground(-1.5, 80.0, 16, 2.0);
+        let scene = Scene::new().with(Object::world(
+            ground,
+            ProceduralTexture::Solid([90.0, 120.0, 90.0]),
+        ));
+        let out = render(&scene, &Camera::new(), 64, 64);
+        // walking up the image from the bottom = farther ground
+        let d_bottom = out.depth.get(32, 60);
+        let d_mid = out.depth.get(32, 42);
+        assert!(d_bottom < d_mid, "{d_bottom} vs {d_mid}");
+    }
+}
+
+#[cfg(test)]
+mod culling_tests {
+    use super::*;
+    use crate::math::vec3;
+    use crate::mesh::Mesh;
+    use crate::scene::Object;
+    use crate::texture::ProceduralTexture;
+
+    fn box_at(z: f32, x: f32) -> Object {
+        Object::world(
+            Mesh::cuboid(vec3(x - 1.0, -1.0, z - 1.0), vec3(x + 1.0, 1.0, z + 1.0), 1.0),
+            ProceduralTexture::Solid([200.0, 10.0, 10.0]),
+        )
+    }
+
+    #[test]
+    fn behind_camera_geometry_is_culled() {
+        let scene = Scene::new().with(box_at(20.0, 0.0)); // behind (+z)
+        let out = render(&scene, &Camera::new(), 32, 32);
+        assert_eq!(out.stats.triangles_submitted, 12);
+        assert_eq!(out.stats.triangles_culled, 12);
+        assert_eq!(out.stats.triangles_rasterized, 0);
+        assert_eq!(out.stats.pixels_shaded, 0);
+    }
+
+    #[test]
+    fn far_lateral_geometry_is_culled() {
+        let scene = Scene::new().with(box_at(-10.0, 500.0)); // way off to the right
+        let out = render(&scene, &Camera::new(), 32, 32);
+        assert_eq!(out.stats.triangles_culled, 12);
+        assert_eq!(out.stats.pixels_shaded, 0);
+    }
+
+    #[test]
+    fn visible_geometry_is_not_culled_and_shades_pixels() {
+        let scene = Scene::new().with(box_at(-10.0, 0.0));
+        let out = render(&scene, &Camera::new(), 64, 64);
+        assert_eq!(out.stats.triangles_culled, 0);
+        assert!(out.stats.triangles_rasterized >= 12);
+        assert!(out.stats.pixels_shaded > 100);
+    }
+
+    #[test]
+    fn culling_does_not_change_the_image() {
+        // a scene mixing visible, lateral and behind-camera geometry must
+        // produce pixels identical to what per-pixel coverage would give
+        let scene = Scene::new()
+            .with(box_at(-12.0, 0.0))
+            .with(box_at(-12.0, 300.0))
+            .with(box_at(15.0, 0.0));
+        let visible_only = Scene::new().with(box_at(-12.0, 0.0));
+        let a = render(&scene, &Camera::new(), 48, 48);
+        let b = render(&visible_only, &Camera::new(), 48, 48);
+        assert_eq!(a.frame, b.frame);
+        assert_eq!(a.depth, b.depth);
+        assert!(a.stats.triangles_culled >= 12);
+    }
+
+    #[test]
+    fn game_scenes_cull_a_meaningful_fraction() {
+        // scene generators scatter geometry all around; a moving camera
+        // should leave a good share of it outside the frustum
+        let w = crate::scenes::GameWorkload::new(crate::scenes::GameId::G2);
+        let out = w.render_frame(0, 96, 54);
+        let s = out.stats;
+        assert_eq!(
+            s.triangles_submitted,
+            w.scene().triangle_count()
+        );
+        assert!(
+            s.triangles_culled * 10 >= s.triangles_submitted,
+            "only {}/{} culled",
+            s.triangles_culled,
+            s.triangles_submitted
+        );
+    }
+}

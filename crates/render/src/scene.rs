@@ -1,0 +1,125 @@
+//! Scene description: objects, lighting and atmosphere.
+
+use crate::math::Vec3;
+use crate::mesh::Mesh;
+use crate::texture::{Color, ProceduralTexture};
+
+/// Which space an object's geometry lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attachment {
+    /// World space: static scenery transformed by the camera's view matrix.
+    World,
+    /// Camera space: the object rides with the camera (third-person hero,
+    /// first-person weapon, vehicle hood) exactly as such meshes are drawn
+    /// in real games. X is right, Y up, Z negative forward.
+    CameraRelative,
+}
+
+/// A renderable object: a mesh (already baked into its attachment space)
+/// plus its texture.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Geometry in the attachment space.
+    pub mesh: Mesh,
+    /// Surface texture.
+    pub texture: ProceduralTexture,
+    /// Space the geometry lives in.
+    pub attachment: Attachment,
+}
+
+impl Object {
+    /// A static world-space object.
+    pub fn world(mesh: Mesh, texture: ProceduralTexture) -> Self {
+        Object {
+            mesh,
+            texture,
+            attachment: Attachment::World,
+        }
+    }
+
+    /// A camera-attached object.
+    pub fn camera_relative(mesh: Mesh, texture: ProceduralTexture) -> Self {
+        Object {
+            mesh,
+            texture,
+            attachment: Attachment::CameraRelative,
+        }
+    }
+}
+
+/// A complete scene handed to the rasterizer.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Objects to draw.
+    pub objects: Vec<Object>,
+    /// Unit direction *towards* the light.
+    pub light_dir: Vec3,
+    /// Ambient lighting floor in `0..=1`.
+    pub ambient: f32,
+    /// Sky/background color, also the fog color.
+    pub sky_color: Color,
+    /// Exponential fog density per world unit (0 disables fog).
+    pub fog_density: f32,
+    /// World distance at which texture LOD reaches level 1; halving detail
+    /// doubles with each further doubling of distance (mipmap behaviour).
+    pub lod_reference_distance: f32,
+}
+
+impl Scene {
+    /// An empty scene with neutral lighting.
+    pub fn new() -> Self {
+        Scene {
+            objects: Vec::new(),
+            light_dir: crate::math::vec3(0.4, 0.8, 0.45).normalized(),
+            ambient: 0.35,
+            sky_color: [140.0, 170.0, 215.0],
+            fog_density: 0.004,
+            lod_reference_distance: 6.0,
+        }
+    }
+
+    /// Adds an object and returns `self` for chaining.
+    pub fn with(mut self, object: Object) -> Self {
+        self.objects.push(object);
+        self
+    }
+
+    /// Total triangles across all objects.
+    pub fn triangle_count(&self) -> usize {
+        self.objects.iter().map(|o| o.mesh.triangle_count()).sum()
+    }
+}
+
+impl Default for Scene {
+    fn default() -> Self {
+        Scene::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::vec3;
+
+    #[test]
+    fn with_appends_objects() {
+        let s = Scene::new()
+            .with(Object::world(
+                Mesh::cuboid(vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0), 1.0),
+                ProceduralTexture::Solid([1.0, 2.0, 3.0]),
+            ))
+            .with(Object::camera_relative(
+                Mesh::pyramid(Vec3::ZERO, 1.0, 1.0),
+                ProceduralTexture::Solid([4.0, 5.0, 6.0]),
+            ));
+        assert_eq!(s.objects.len(), 2);
+        assert_eq!(s.triangle_count(), 12 + 6);
+        assert_eq!(s.objects[1].attachment, Attachment::CameraRelative);
+    }
+
+    #[test]
+    fn default_light_is_unit_length() {
+        let s = Scene::default();
+        assert!((s.light_dir.length() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,242 @@
+//! The ten game workloads of the paper's Table I, as deterministic
+//! procedural scenes.
+//!
+//! Each generator builds a world whose composition matches its genre's
+//! visual structure — first/third-person perspective, a near focal object,
+//! mid-ground scenery and a distant backdrop — plus a scripted camera path
+//! standing in for recorded player input. Seeds are fixed per game, so every
+//! run of every experiment sees identical frames.
+
+mod worlds;
+
+use crate::camera::CameraPath;
+use crate::raster::{render, RenderOutput};
+use crate::scene::Scene;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a game workload (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GameId {
+    /// Metro Exodus — first-person shooter.
+    G1,
+    /// Far Cry 5 — third-person shooter.
+    G2,
+    /// The Witcher 3 — role playing.
+    G3,
+    /// Red Dead Redemption 2 — action.
+    G4,
+    /// Grand Theft Auto V — adventure.
+    G5,
+    /// God of War — action-adventure.
+    G6,
+    /// Shadow of the Tomb Raider — survival.
+    G7,
+    /// A Plague Tale: Requiem — stealth.
+    G8,
+    /// Farming Simulator 22 — simulation.
+    G9,
+    /// Forza Horizon 5 — racing.
+    G10,
+}
+
+impl GameId {
+    /// All ten workloads in paper order.
+    pub const ALL: [GameId; 10] = [
+        GameId::G1,
+        GameId::G2,
+        GameId::G3,
+        GameId::G4,
+        GameId::G5,
+        GameId::G6,
+        GameId::G7,
+        GameId::G8,
+        GameId::G9,
+        GameId::G10,
+    ];
+
+    /// The game title the workload stands in for.
+    pub const fn title(self) -> &'static str {
+        match self {
+            GameId::G1 => "Metro Exodus",
+            GameId::G2 => "Far Cry 5",
+            GameId::G3 => "Witcher 3",
+            GameId::G4 => "Red Dead Redemption 2",
+            GameId::G5 => "Grand Theft Auto V",
+            GameId::G6 => "God of War",
+            GameId::G7 => "Shadow of the Tomb Raider",
+            GameId::G8 => "A Plague Tale: Requiem",
+            GameId::G9 => "Farming Simulator 22",
+            GameId::G10 => "Forza Horizon 5",
+        }
+    }
+
+    /// Genre per the paper's Table I.
+    pub const fn genre(self) -> &'static str {
+        match self {
+            GameId::G1 => "First Person Shooter",
+            GameId::G2 => "Third Person Shooter",
+            GameId::G3 => "Role playing",
+            GameId::G4 => "Action",
+            GameId::G5 => "Adventure",
+            GameId::G6 => "Action-adventure",
+            GameId::G7 => "Survival",
+            GameId::G8 => "Stealth",
+            GameId::G9 => "Simulation",
+            GameId::G10 => "Racing",
+        }
+    }
+
+    /// Short label ("G1".."G10").
+    pub const fn label(self) -> &'static str {
+        match self {
+            GameId::G1 => "G1",
+            GameId::G2 => "G2",
+            GameId::G3 => "G3",
+            GameId::G4 => "G4",
+            GameId::G5 => "G5",
+            GameId::G6 => "G6",
+            GameId::G7 => "G7",
+            GameId::G8 => "G8",
+            GameId::G9 => "G9",
+            GameId::G10 => "G10",
+        }
+    }
+
+    /// Deterministic RNG seed for the workload's procedural content.
+    const fn seed(self) -> u64 {
+        match self {
+            GameId::G1 => 0x6a11,
+            GameId::G2 => 0x6a12,
+            GameId::G3 => 0x6a13,
+            GameId::G4 => 0x6a14,
+            GameId::G5 => 0x6a15,
+            GameId::G6 => 0x6a16,
+            GameId::G7 => 0x6a17,
+            GameId::G8 => 0x6a18,
+            GameId::G9 => 0x6a19,
+            GameId::G10 => 0x6a1a,
+        }
+    }
+}
+
+impl std::fmt::Display for GameId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.label(), self.title())
+    }
+}
+
+/// A renderable game workload: static world + scripted camera.
+#[derive(Debug, Clone)]
+pub struct GameWorkload {
+    id: GameId,
+    scene: Scene,
+    path: CameraPath,
+}
+
+impl GameWorkload {
+    /// Builds the workload for a game; deterministic for a given id.
+    pub fn new(id: GameId) -> Self {
+        let (scene, path) = worlds::build(id);
+        GameWorkload { id, scene, path }
+    }
+
+    /// The workload's id.
+    pub fn id(&self) -> GameId {
+        self.id
+    }
+
+    /// The static world.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// The camera script.
+    pub fn path(&self) -> &CameraPath {
+        &self.path
+    }
+
+    /// Renders frame `t` of the session at the given resolution, producing
+    /// the color frame and its depth buffer.
+    pub fn render_frame(&self, t: usize, width: usize, height: usize) -> RenderOutput {
+        let camera = self.path.camera_at(t);
+        render(&self.scene, &camera, width, height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_games_render() {
+        for id in GameId::ALL {
+            let w = GameWorkload::new(id);
+            let out = w.render_frame(0, 96, 54);
+            assert_eq!(out.frame.size(), (96, 54), "{id}");
+            // every scene must put some geometry in view
+            let drawn = out
+                .depth
+                .plane()
+                .iter()
+                .filter(|&&d| d < 1.0)
+                .count();
+            assert!(
+                drawn > 96 * 54 / 4,
+                "{id}: only {drawn} covered pixels"
+            );
+        }
+    }
+
+    #[test]
+    fn scenes_have_near_and_far_content() {
+        // the depth-guided RoI premise requires a foreground/background split
+        for id in GameId::ALL {
+            let w = GameWorkload::new(id);
+            let out = w.render_frame(0, 96, 54);
+            let mut depths: Vec<f32> = out
+                .depth
+                .plane()
+                .iter()
+                .copied()
+                .filter(|&d| d < 1.0)
+                .collect();
+            depths.sort_by(f32::total_cmp);
+            let p10 = depths[depths.len() / 10];
+            let p90 = depths[depths.len() * 9 / 10];
+            let near = depths.iter().filter(|&&d| d < 0.05).count();
+            assert!(near > 100, "{id}: near {near}");
+            assert!(p90 > 3.0 * p10, "{id}: p10 {p10} p90 {p90}");
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = GameWorkload::new(GameId::G3).render_frame(7, 64, 36);
+        let b = GameWorkload::new(GameId::G3).render_frame(7, 64, 36);
+        assert_eq!(a.frame, b.frame);
+        assert_eq!(a.depth, b.depth);
+    }
+
+    #[test]
+    fn camera_moves_over_time() {
+        for id in GameId::ALL {
+            let w = GameWorkload::new(id);
+            let a = w.render_frame(0, 64, 36);
+            let b = w.render_frame(30, 64, 36);
+            assert_ne!(a.frame, b.frame, "{id}: static camera");
+        }
+    }
+
+    #[test]
+    fn labels_and_titles_are_unique() {
+        let mut titles: Vec<_> = GameId::ALL.iter().map(|g| g.title()).collect();
+        titles.sort_unstable();
+        titles.dedup();
+        assert_eq!(titles.len(), 10);
+    }
+
+    #[test]
+    fn display_joins_label_and_title() {
+        assert_eq!(GameId::G3.to_string(), "G3 (Witcher 3)");
+    }
+}

@@ -1,0 +1,773 @@
+//! World builders for the ten game workloads.
+//!
+//! Shared vocabulary: the camera starts near the origin at eye height and
+//! travels into −Z. Each genre composes the same ingredients differently —
+//! ground, buildings, vegetation, rock, plus a camera-attached "hero" mesh
+//! (weapon / character / vehicle) that keeps a near object in the frame
+//! center the way real gameplay does.
+
+use crate::camera::CameraPath;
+use crate::math::{vec3, Vec3};
+use crate::mesh::Mesh;
+use crate::scene::{Object, Scene};
+use crate::texture::ProceduralTexture;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::GameId;
+
+/// Builds the static scene and camera script for a game.
+pub(super) fn build(id: GameId) -> (Scene, CameraPath) {
+    match id {
+        GameId::G1 => metro_corridor(id.seed()),
+        GameId::G2 => outdoor_tps(id.seed()),
+        GameId::G3 => village_rpg(id.seed()),
+        GameId::G4 => frontier_plains(id.seed()),
+        GameId::G5 => city_streets(id.seed()),
+        GameId::G6 => rocky_arena(id.seed()),
+        GameId::G7 => cave_survival(id.seed()),
+        GameId::G8 => alley_stealth(id.seed()),
+        GameId::G9 => farmland(id.seed()),
+        GameId::G10 => race_track(id.seed()),
+    }
+}
+
+// ---------------------------------------------------------------- textures
+
+fn tex_ground(seed: u64) -> ProceduralTexture {
+    ProceduralTexture::Noise {
+        base: [96.0, 104.0, 72.0],
+        amplitude: 0.45,
+        octaves: 5,
+        frequency: 6.0,
+        seed,
+    }
+}
+
+fn tex_rock(seed: u64) -> ProceduralTexture {
+    ProceduralTexture::Noise {
+        base: [118.0, 112.0, 104.0],
+        amplitude: 0.5,
+        octaves: 5,
+        frequency: 4.0,
+        seed,
+    }
+}
+
+fn tex_wall(seed: u64) -> ProceduralTexture {
+    ProceduralTexture::Bricks {
+        brick: [146.0, 92.0, 70.0],
+        mortar: [198.0, 196.0, 188.0],
+        scale: 7.0,
+        seed,
+    }
+}
+
+fn tex_metal() -> ProceduralTexture {
+    ProceduralTexture::Checker {
+        a: [92.0, 96.0, 104.0],
+        b: [58.0, 60.0, 66.0],
+        scale: 9.0,
+    }
+}
+
+fn tex_foliage(seed: u64) -> ProceduralTexture {
+    ProceduralTexture::Noise {
+        base: [58.0, 112.0, 50.0],
+        amplitude: 0.55,
+        octaves: 4,
+        frequency: 8.0,
+        seed,
+    }
+}
+
+fn tex_cloth(seed: u64) -> ProceduralTexture {
+    ProceduralTexture::Noise {
+        base: [150.0, 60.0, 48.0],
+        amplitude: 0.35,
+        octaves: 4,
+        frequency: 10.0,
+        seed,
+    }
+}
+
+fn tex_asphalt(seed: u64) -> ProceduralTexture {
+    ProceduralTexture::Noise {
+        base: [72.0, 72.0, 76.0],
+        amplitude: 0.35,
+        octaves: 5,
+        frequency: 9.0,
+        seed,
+    }
+}
+
+// ------------------------------------------------------------- mesh pieces
+
+/// A tree: trunk cuboid + pyramid canopy.
+fn tree(at: Vec3, scale: f32, mesh_trunk: &mut Mesh, mesh_canopy: &mut Mesh) {
+    let trunk = Mesh::cuboid(
+        at + vec3(-0.18 * scale, 0.0, -0.18 * scale),
+        at + vec3(0.18 * scale, 1.6 * scale, 0.18 * scale),
+        2.0,
+    );
+    mesh_trunk.merge(&trunk);
+    let canopy = Mesh::pyramid(at + vec3(0.0, 1.2 * scale, 0.0), 1.1 * scale, 2.4 * scale);
+    mesh_canopy.merge(&canopy);
+}
+
+/// A building block with optional pyramid roof.
+fn building(at: Vec3, size: Vec3, roof: bool, walls: &mut Mesh, roofs: &mut Mesh) {
+    let b = Mesh::cuboid(
+        at + vec3(-size.x * 0.5, 0.0, -size.z * 0.5),
+        at + vec3(size.x * 0.5, size.y, size.z * 0.5),
+        3.0,
+    );
+    walls.merge(&b);
+    if roof {
+        roofs.merge(&Mesh::pyramid(
+            at + vec3(0.0, size.y, 0.0),
+            size.x.max(size.z) * 0.55,
+            size.y * 0.45,
+        ));
+    }
+}
+
+/// A blocky humanoid figure standing at `at` (camera- or world-space).
+fn humanoid(at: Vec3, scale: f32) -> Mesh {
+    let mut m = Mesh::new();
+    // torso
+    m.merge(&Mesh::cuboid(
+        at + vec3(-0.28, 0.7, -0.16) * scale,
+        at + vec3(0.28, 1.45, 0.16) * scale,
+        2.0,
+    ));
+    // head
+    m.merge(&Mesh::cuboid(
+        at + vec3(-0.15, 1.45, -0.15) * scale,
+        at + vec3(0.15, 1.75, 0.15) * scale,
+        1.0,
+    ));
+    // legs
+    m.merge(&Mesh::cuboid(
+        at + vec3(-0.26, 0.0, -0.12) * scale,
+        at + vec3(-0.05, 0.7, 0.12) * scale,
+        1.0,
+    ));
+    m.merge(&Mesh::cuboid(
+        at + vec3(0.05, 0.0, -0.12) * scale,
+        at + vec3(0.26, 0.7, 0.12) * scale,
+        1.0,
+    ));
+    // arms
+    m.merge(&Mesh::cuboid(
+        at + vec3(-0.45, 0.75, -0.1) * scale,
+        at + vec3(-0.28, 1.4, 0.1) * scale,
+        1.0,
+    ));
+    m.merge(&Mesh::cuboid(
+        at + vec3(0.28, 0.75, -0.1) * scale,
+        at + vec3(0.45, 1.4, 0.1) * scale,
+        1.0,
+    ));
+    m
+}
+
+/// A blocky vehicle (car/tractor) centered at `at`.
+fn vehicle(at: Vec3, scale: f32) -> Mesh {
+    let mut m = Mesh::new();
+    // body
+    m.merge(&Mesh::cuboid(
+        at + vec3(-0.9, 0.25, -1.9) * scale,
+        at + vec3(0.9, 0.85, 1.9) * scale,
+        3.0,
+    ));
+    // cabin
+    m.merge(&Mesh::cuboid(
+        at + vec3(-0.7, 0.85, -0.9) * scale,
+        at + vec3(0.7, 1.4, 0.7) * scale,
+        2.0,
+    ));
+    // wheels
+    for (wx, wz) in [(-0.95, -1.2), (0.95, -1.2), (-0.95, 1.2), (0.95, 1.2)] {
+        m.merge(&Mesh::cuboid(
+            at + vec3(wx - 0.12, 0.0, wz - 0.35) * scale,
+            at + vec3(wx + 0.12, 0.55, wz + 0.35) * scale,
+            1.0,
+        ));
+    }
+    m
+}
+
+fn eye_path(start: Vec3, yaw0: f32) -> CameraPath {
+    CameraPath {
+        pitch: -0.05,
+        ..CameraPath::stationary(start, yaw0)
+    }
+}
+
+// ----------------------------------------------------------------- worlds
+
+/// G1 — Metro Exodus: a dim tunnel with pillars and a first-person weapon.
+fn metro_corridor(seed: u64) -> (Scene, CameraPath) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scene = Scene::new();
+    scene.sky_color = [52.0, 50.0, 58.0];
+    scene.ambient = 0.45;
+    scene.fog_density = 0.012;
+
+    // floor and ceiling
+    scene = scene
+        .with(Object::world(Mesh::ground(0.0, 120.0, 24, 3.0), tex_asphalt(seed)))
+        .with(Object::world(
+            {
+                let mut m = Mesh::new();
+                m.merge(&Mesh::cuboid(vec3(-6.0, 5.0, -120.0), vec3(6.0, 5.6, 10.0), 16.0));
+                m
+            },
+            tex_metal(),
+        ));
+    // tunnel walls
+    let mut walls = Mesh::new();
+    walls.merge(&Mesh::cuboid(vec3(-6.6, 0.0, -120.0), vec3(-6.0, 5.0, 10.0), 20.0));
+    walls.merge(&Mesh::cuboid(vec3(6.0, 0.0, -120.0), vec3(6.6, 5.0, 10.0), 20.0));
+    scene = scene.with(Object::world(walls, tex_wall(seed)));
+    // pillars + crates along the tunnel
+    let mut pillars = Mesh::new();
+    let mut crates = Mesh::new();
+    for i in 0..14 {
+        let z = -6.0 - i as f32 * 8.0;
+        pillars.merge(&Mesh::cuboid(vec3(-5.6, 0.0, z - 0.4), vec3(-4.9, 5.0, z + 0.4), 4.0));
+        pillars.merge(&Mesh::cuboid(vec3(4.9, 0.0, z - 0.4), vec3(5.6, 5.0, z + 0.4), 4.0));
+        if rng.gen_bool(0.6) {
+            let cx = rng.gen_range(-3.5..3.5);
+            let s = rng.gen_range(0.5..1.2);
+            crates.merge(&Mesh::cuboid(
+                vec3(cx - s, 0.0, z - s),
+                vec3(cx + s, 2.0 * s, z + s),
+                2.0,
+            ));
+        }
+    }
+    scene = scene
+        .with(Object::world(pillars, tex_metal()))
+        .with(Object::world(crates, tex_rock(seed ^ 1)));
+    // first-person weapon at bottom center-right
+    let weapon = Mesh::cuboid(vec3(0.12, -0.62, -1.75), vec3(0.42, -0.32, -0.65), 5.0);
+    scene = scene.with(Object::camera_relative(weapon, tex_metal()));
+
+    let path = CameraPath {
+        velocity: vec3(0.0, 0.0, -0.11),
+        bob_amplitude: 0.035,
+        bob_frequency: 0.21,
+        sway_amplitude: 0.05,
+        sway_frequency: 0.045,
+        far: 200.0,
+        ..eye_path(vec3(0.0, 1.7, 4.0), 0.0)
+    };
+    (scene, path)
+}
+
+/// G2 — Far Cry 5: open hills, trees, a third-person character ahead.
+fn outdoor_tps(seed: u64) -> (Scene, CameraPath) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scene = Scene::new();
+    scene = scene.with(Object::world(Mesh::ground(0.0, 200.0, 24, 4.0), tex_ground(seed)));
+    let mut trunks = Mesh::new();
+    let mut canopies = Mesh::new();
+    for _ in 0..60 {
+        let x = rng.gen_range(-80.0..80.0f32);
+        let z = rng.gen_range(-160.0..-6.0f32);
+        if x.abs() < 3.0 {
+            continue; // keep the lane ahead clear
+        }
+        tree(vec3(x, 0.0, z), rng.gen_range(0.8..2.2), &mut trunks, &mut canopies);
+    }
+    let mut rocks = Mesh::new();
+    for _ in 0..25 {
+        let x = rng.gen_range(-60.0..60.0f32);
+        let z = rng.gen_range(-140.0..-10.0f32);
+        let s = rng.gen_range(0.4..1.6);
+        rocks.merge(&Mesh::cuboid(
+            vec3(x - s, 0.0, z - s),
+            vec3(x + s, s * 1.2, z + s),
+            2.0,
+        ));
+    }
+    scene = scene
+        .with(Object::world(trunks, tex_rock(seed ^ 2)))
+        .with(Object::world(canopies, tex_foliage(seed)))
+        .with(Object::world(rocks, tex_rock(seed)));
+    // distant ridge
+    scene = scene.with(Object::world(
+        Mesh::cuboid(vec3(-200.0, 0.0, -240.0), vec3(200.0, 28.0, -200.0), 30.0),
+        tex_rock(seed ^ 3),
+    ));
+    // third-person hero a few meters ahead, slightly below center
+    scene = scene.with(Object::camera_relative(
+        humanoid(vec3(0.0, -1.7, -4.4), 1.0),
+        tex_cloth(seed),
+    ));
+
+    let path = CameraPath {
+        velocity: vec3(0.012, 0.0, -0.085),
+        yaw_rate: 0.0012,
+        bob_amplitude: 0.02,
+        bob_frequency: 0.17,
+        sway_amplitude: 0.04,
+        sway_frequency: 0.03,
+        far: 280.0,
+        ..eye_path(vec3(0.0, 1.9, 6.0), 0.0)
+    };
+    (scene, path)
+}
+
+/// G3 — The Witcher 3: a village with huts and a hero walking through.
+fn village_rpg(seed: u64) -> (Scene, CameraPath) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scene = Scene::new();
+    scene = scene.with(Object::world(Mesh::ground(0.0, 160.0, 20, 4.0), tex_ground(seed)));
+    let mut walls = Mesh::new();
+    let mut roofs = Mesh::new();
+    for i in 0..12 {
+        let side = if i % 2 == 0 { -1.0 } else { 1.0 };
+        let x = side * rng.gen_range(6.0..14.0f32);
+        let z = -8.0 - i as f32 * 9.0 + rng.gen_range(-2.0..2.0);
+        building(
+            vec3(x, 0.0, z),
+            vec3(rng.gen_range(4.0..7.0), rng.gen_range(3.0..4.5), rng.gen_range(4.0..7.0)),
+            true,
+            &mut walls,
+            &mut roofs,
+        );
+    }
+    scene = scene
+        .with(Object::world(walls, tex_wall(seed)))
+        .with(Object::world(roofs, tex_cloth(seed ^ 1)));
+    // market crates and a well
+    let mut props = Mesh::new();
+    for _ in 0..14 {
+        let x = rng.gen_range(-5.0..5.0f32);
+        let z = rng.gen_range(-90.0..-6.0f32);
+        if x.abs() < 1.6 {
+            continue;
+        }
+        let s = rng.gen_range(0.4..0.9);
+        props.merge(&Mesh::cuboid(vec3(x - s, 0.0, z - s), vec3(x + s, 1.4 * s, z + s), 2.0));
+    }
+    scene = scene.with(Object::world(props, tex_rock(seed ^ 4)));
+    let mut trunks = Mesh::new();
+    let mut canopies = Mesh::new();
+    for _ in 0..18 {
+        let x = rng.gen_range(-70.0..70.0f32);
+        let z = rng.gen_range(-150.0..-20.0f32);
+        if x.abs() < 15.0 {
+            continue;
+        }
+        tree(vec3(x, 0.0, z), rng.gen_range(1.0..2.0), &mut trunks, &mut canopies);
+    }
+    scene = scene
+        .with(Object::world(trunks, tex_rock(seed ^ 5)))
+        .with(Object::world(canopies, tex_foliage(seed)));
+    // Geralt stand-in, third person
+    scene = scene.with(Object::camera_relative(
+        humanoid(vec3(0.0, -1.8, -4.0), 1.05),
+        tex_cloth(seed),
+    ));
+
+    let path = CameraPath {
+        velocity: vec3(0.0, 0.0, -0.06),
+        yaw_rate: 0.0008,
+        bob_amplitude: 0.02,
+        bob_frequency: 0.15,
+        sway_amplitude: 0.06,
+        sway_frequency: 0.02,
+        far: 260.0,
+        ..eye_path(vec3(0.0, 2.0, 8.0), 0.0)
+    };
+    (scene, path)
+}
+
+/// G4 — Red Dead Redemption 2: plains, a rider, a frontier town far ahead.
+fn frontier_plains(seed: u64) -> (Scene, CameraPath) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scene = Scene::new();
+    scene.sky_color = [205.0, 170.0, 130.0];
+    scene = scene.with(Object::world(Mesh::ground(0.0, 220.0, 24, 4.0), {
+        ProceduralTexture::Noise {
+            base: [140.0, 116.0, 76.0],
+            amplitude: 0.4,
+            octaves: 5,
+            frequency: 5.0,
+            seed,
+        }
+    }));
+    // scattered scrub
+    let mut scrub = Mesh::new();
+    for _ in 0..50 {
+        let x = rng.gen_range(-90.0..90.0f32);
+        let z = rng.gen_range(-180.0..-8.0f32);
+        if x.abs() < 2.5 {
+            continue;
+        }
+        let s = rng.gen_range(0.3..0.9);
+        scrub.merge(&Mesh::pyramid(vec3(x, 0.0, z), s, s * 1.8));
+    }
+    scene = scene.with(Object::world(scrub, tex_foliage(seed)));
+    // town on the horizon
+    let mut walls = Mesh::new();
+    let mut roofs = Mesh::new();
+    for i in 0..8 {
+        building(
+            vec3(-20.0 + i as f32 * 6.0, 0.0, -150.0 - rng.gen_range(0.0..15.0f32)),
+            vec3(5.0, rng.gen_range(4.0..8.0), 5.0),
+            true,
+            &mut walls,
+            &mut roofs,
+        );
+    }
+    scene = scene
+        .with(Object::world(walls, tex_wall(seed)))
+        .with(Object::world(roofs, tex_metal()));
+    // horse + rider stand-in (vehicle body + humanoid)
+    let mut rider = vehicle(vec3(0.0, -1.8, -5.2), 0.55);
+    rider.merge(&humanoid(vec3(0.0, -1.2, -5.2), 0.8));
+    scene = scene.with(Object::camera_relative(rider, tex_cloth(seed)));
+
+    let path = CameraPath {
+        velocity: vec3(-0.01, 0.0, -0.14),
+        yaw_rate: -0.0009,
+        bob_amplitude: 0.05,
+        bob_frequency: 0.3,
+        sway_amplitude: 0.03,
+        sway_frequency: 0.05,
+        far: 300.0,
+        ..eye_path(vec3(0.0, 2.2, 10.0), 0.0)
+    };
+    (scene, path)
+}
+
+/// G5 — GTA V: a street canyon of tall buildings, driving forward.
+fn city_streets(seed: u64) -> (Scene, CameraPath) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scene = Scene::new();
+    scene = scene.with(Object::world(Mesh::ground(0.0, 220.0, 24, 5.0), tex_asphalt(seed)));
+    let mut towers = Mesh::new();
+    for i in 0..16 {
+        for side in [-1.0f32, 1.0] {
+            let z = -8.0 - i as f32 * 14.0;
+            let w = rng.gen_range(4.0..8.0f32);
+            let h = rng.gen_range(8.0..40.0f32);
+            let x = side * rng.gen_range(8.0..13.0f32);
+            towers.merge(&Mesh::cuboid(
+                vec3(x - w * 0.5, 0.0, z - w * 0.5),
+                vec3(x + w * 0.5, h, z + w * 0.5),
+                6.0,
+            ));
+        }
+    }
+    scene = scene.with(Object::world(towers, {
+        ProceduralTexture::Checker {
+            a: [168.0, 176.0, 188.0],
+            b: [64.0, 76.0, 96.0],
+            scale: 10.0,
+        }
+    }));
+    // parked cars
+    let mut cars = Mesh::new();
+    for _ in 0..10 {
+        let x = if rng.gen_bool(0.5) { -5.0 } else { 5.0 };
+        let z = rng.gen_range(-150.0..-10.0f32);
+        cars.merge(&vehicle(vec3(x, 0.0, z), rng.gen_range(0.8..1.0)));
+    }
+    scene = scene.with(Object::world(cars, tex_metal()));
+    // player car hood
+    scene = scene.with(Object::camera_relative(
+        vehicle(vec3(0.0, -1.75, -3.6), 0.85),
+        tex_cloth(seed ^ 2),
+    ));
+
+    let path = CameraPath {
+        velocity: vec3(0.0, 0.0, -0.42),
+        bob_amplitude: 0.012,
+        bob_frequency: 0.6,
+        sway_amplitude: 0.018,
+        sway_frequency: 0.08,
+        far: 320.0,
+        ..eye_path(vec3(0.0, 1.6, 6.0), 0.0)
+    };
+    (scene, path)
+}
+
+/// G6 — God of War: a rocky arena with a large foe mid-frame.
+fn rocky_arena(seed: u64) -> (Scene, CameraPath) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scene = Scene::new();
+    scene.sky_color = [120.0, 130.0, 150.0];
+    scene = scene.with(Object::world(Mesh::ground(0.0, 140.0, 20, 4.0), tex_rock(seed)));
+    // ring of boulders
+    let mut rocks = Mesh::new();
+    for i in 0..26 {
+        let ang = i as f32 / 26.0 * std::f32::consts::TAU;
+        let r = rng.gen_range(22.0..34.0f32);
+        let x = ang.sin() * r;
+        let z = -30.0 + ang.cos() * r;
+        let s = rng.gen_range(1.2..3.5);
+        rocks.merge(&Mesh::cuboid(
+            vec3(x - s, 0.0, z - s),
+            vec3(x + s, s * rng.gen_range(1.0..2.2), z + s),
+            3.0,
+        ));
+    }
+    scene = scene.with(Object::world(rocks, tex_rock(seed ^ 1)));
+    // towering foe near arena center
+    scene = scene.with(Object::world(humanoid(vec3(0.0, 0.0, -16.0), 3.2), tex_rock(seed ^ 2)));
+    // cliff backdrop
+    scene = scene.with(Object::world(
+        Mesh::cuboid(vec3(-160.0, 0.0, -180.0), vec3(160.0, 45.0, -150.0), 24.0),
+        tex_rock(seed ^ 3),
+    ));
+    // Kratos stand-in
+    scene = scene.with(Object::camera_relative(
+        humanoid(vec3(-0.4, -1.8, -3.6), 1.1),
+        tex_cloth(seed),
+    ));
+
+    let path = CameraPath {
+        velocity: vec3(0.03, 0.0, -0.05),
+        yaw_rate: 0.0022,
+        bob_amplitude: 0.025,
+        bob_frequency: 0.2,
+        sway_amplitude: 0.05,
+        sway_frequency: 0.06,
+        far: 260.0,
+        ..eye_path(vec3(2.0, 1.9, 4.0), -0.06)
+    };
+    (scene, path)
+}
+
+/// G7 — Shadow of the Tomb Raider: a cave with stalagmites.
+fn cave_survival(seed: u64) -> (Scene, CameraPath) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scene = Scene::new();
+    scene.sky_color = [34.0, 30.0, 38.0];
+    scene.ambient = 0.5;
+    scene.fog_density = 0.015;
+    scene = scene.with(Object::world(Mesh::ground(0.0, 120.0, 20, 3.0), tex_rock(seed)));
+    // cave ceiling and walls
+    scene = scene.with(Object::world(
+        Mesh::cuboid(vec3(-14.0, 7.0, -130.0), vec3(14.0, 8.0, 8.0), 18.0),
+        tex_rock(seed ^ 1),
+    ));
+    let mut walls = Mesh::new();
+    walls.merge(&Mesh::cuboid(vec3(-15.0, 0.0, -130.0), vec3(-13.0, 7.0, 8.0), 18.0));
+    walls.merge(&Mesh::cuboid(vec3(13.0, 0.0, -130.0), vec3(15.0, 7.0, 8.0), 18.0));
+    scene = scene.with(Object::world(walls, tex_rock(seed ^ 2)));
+    // stalagmites and stalactites
+    let mut spikes = Mesh::new();
+    for _ in 0..30 {
+        let x = rng.gen_range(-11.0..11.0f32);
+        let z = rng.gen_range(-110.0..-6.0f32);
+        if x.abs() < 1.8 {
+            continue;
+        }
+        let s = rng.gen_range(0.4..1.4);
+        spikes.merge(&Mesh::pyramid(vec3(x, 0.0, z), s, s * rng.gen_range(2.0..4.0)));
+    }
+    scene = scene.with(Object::world(spikes, tex_rock(seed ^ 3)));
+    // Lara stand-in
+    scene = scene.with(Object::camera_relative(
+        humanoid(vec3(0.0, -1.75, -3.8), 1.0),
+        tex_cloth(seed),
+    ));
+
+    let path = CameraPath {
+        velocity: vec3(0.0, 0.0, -0.055),
+        yaw_rate: -0.001,
+        bob_amplitude: 0.03,
+        bob_frequency: 0.18,
+        sway_amplitude: 0.07,
+        sway_frequency: 0.025,
+        far: 180.0,
+        ..eye_path(vec3(0.0, 1.8, 4.0), 0.04)
+    };
+    (scene, path)
+}
+
+/// G8 — A Plague Tale: a narrow medieval alley, slow sneaking pace.
+fn alley_stealth(seed: u64) -> (Scene, CameraPath) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scene = Scene::new();
+    scene.sky_color = [96.0, 104.0, 124.0];
+    scene.fog_density = 0.008;
+    scene = scene.with(Object::world(Mesh::ground(0.0, 120.0, 20, 4.0), tex_asphalt(seed)));
+    let mut walls = Mesh::new();
+    let mut roofs = Mesh::new();
+    for i in 0..12 {
+        let z = -4.0 - i as f32 * 9.0;
+        for side in [-1.0f32, 1.0] {
+            let x = side * rng.gen_range(3.2..4.4f32);
+            building(
+                vec3(x + side * 2.5, 0.0, z),
+                vec3(5.0, rng.gen_range(5.0..9.0), 8.0),
+                true,
+                &mut walls,
+                &mut roofs,
+            );
+        }
+    }
+    scene = scene
+        .with(Object::world(walls, tex_wall(seed)))
+        .with(Object::world(roofs, tex_metal()));
+    // barrels and carts in the lane
+    let mut props = Mesh::new();
+    for _ in 0..10 {
+        let x = rng.gen_range(-2.2..2.2f32);
+        let z = rng.gen_range(-90.0..-5.0f32);
+        if x.abs() < 1.0 {
+            continue;
+        }
+        let s = rng.gen_range(0.35..0.8);
+        props.merge(&Mesh::cuboid(vec3(x - s, 0.0, z - s), vec3(x + s, 1.5 * s, z + s), 2.0));
+    }
+    scene = scene.with(Object::world(props, tex_rock(seed ^ 1)));
+    scene = scene.with(Object::camera_relative(
+        humanoid(vec3(0.15, -1.7, -3.2), 0.9),
+        tex_cloth(seed),
+    ));
+
+    let path = CameraPath {
+        velocity: vec3(0.0, 0.0, -0.035),
+        bob_amplitude: 0.015,
+        bob_frequency: 0.12,
+        sway_amplitude: 0.05,
+        sway_frequency: 0.018,
+        far: 200.0,
+        ..eye_path(vec3(0.0, 1.65, 4.0), 0.0)
+    };
+    (scene, path)
+}
+
+/// G9 — Farming Simulator: crop rows to the horizon, slow tractor.
+fn farmland(seed: u64) -> (Scene, CameraPath) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scene = Scene::new();
+    scene = scene.with(Object::world(Mesh::ground(0.0, 240.0, 24, 5.0), {
+        ProceduralTexture::Noise {
+            base: [120.0, 96.0, 60.0],
+            amplitude: 0.4,
+            octaves: 5,
+            frequency: 7.0,
+            seed,
+        }
+    }));
+    // crop rows: long thin boxes parallel to travel
+    let mut crops = Mesh::new();
+    for i in 0..24 {
+        let x = -34.0 + i as f32 * 3.0;
+        if x.abs() < 2.2 {
+            continue;
+        }
+        crops.merge(&Mesh::cuboid(
+            vec3(x - 0.8, 0.0, -220.0),
+            vec3(x + 0.8, rng.gen_range(0.7..1.1), -4.0),
+            40.0,
+        ));
+    }
+    scene = scene.with(Object::world(crops, tex_foliage(seed)));
+    // barn far ahead
+    let mut walls = Mesh::new();
+    let mut roofs = Mesh::new();
+    building(vec3(12.0, 0.0, -170.0), vec3(14.0, 9.0, 12.0), true, &mut walls, &mut roofs);
+    scene = scene
+        .with(Object::world(walls, tex_cloth(seed ^ 1)))
+        .with(Object::world(roofs, tex_metal()));
+    // tractor hood
+    scene = scene.with(Object::camera_relative(
+        vehicle(vec3(0.0, -2.0, -4.0), 1.1),
+        ProceduralTexture::Noise {
+            base: [60.0, 140.0, 60.0],
+            amplitude: 0.3,
+            octaves: 4,
+            frequency: 8.0,
+            seed: seed ^ 2,
+        },
+    ));
+
+    let path = CameraPath {
+        velocity: vec3(0.0, 0.0, -0.045),
+        bob_amplitude: 0.02,
+        bob_frequency: 0.35,
+        sway_amplitude: 0.012,
+        sway_frequency: 0.02,
+        far: 320.0,
+        ..eye_path(vec3(0.0, 2.6, 6.0), 0.0)
+    };
+    (scene, path)
+}
+
+/// G10 — Forza Horizon 5: a straight road with barriers at racing speed.
+fn race_track(seed: u64) -> (Scene, CameraPath) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scene = Scene::new();
+    scene = scene.with(Object::world(Mesh::ground(0.0, 260.0, 24, 6.0), tex_ground(seed)));
+    // road surface (slightly raised strip)
+    scene = scene.with(Object::world(
+        Mesh::cuboid(vec3(-5.0, 0.0, -260.0), vec3(5.0, 0.05, 20.0), 48.0),
+        tex_asphalt(seed ^ 1),
+    ));
+    // barriers
+    let mut barriers = Mesh::new();
+    for i in 0..40 {
+        let z = -6.0 - i as f32 * 6.5;
+        for side in [-1.0f32, 1.0] {
+            barriers.merge(&Mesh::cuboid(
+                vec3(side * 5.4 - 0.2, 0.0, z - 1.6),
+                vec3(side * 5.4 + 0.2, 1.0, z + 1.6),
+                3.0,
+            ));
+        }
+    }
+    scene = scene.with(Object::world(
+        barriers,
+        ProceduralTexture::Checker {
+            a: [220.0, 40.0, 40.0],
+            b: [235.0, 235.0, 235.0],
+            scale: 3.0,
+        },
+    ));
+    // roadside trees and billboards
+    let mut trunks = Mesh::new();
+    let mut canopies = Mesh::new();
+    for _ in 0..30 {
+        let x = rng.gen_range(9.0..60.0f32) * if rng.gen_bool(0.5) { -1.0 } else { 1.0 };
+        let z = rng.gen_range(-230.0..-10.0f32);
+        tree(vec3(x, 0.0, z), rng.gen_range(1.0..2.4), &mut trunks, &mut canopies);
+    }
+    scene = scene
+        .with(Object::world(trunks, tex_rock(seed ^ 2)))
+        .with(Object::world(canopies, tex_foliage(seed)));
+    // rival car ahead on the road
+    scene = scene.with(Object::world(vehicle(vec3(2.0, 0.0, -40.0), 1.0), tex_metal()));
+    // player car hood
+    scene = scene.with(Object::camera_relative(
+        vehicle(vec3(0.0, -1.5, -3.4), 0.9),
+        ProceduralTexture::Noise {
+            base: [40.0, 70.0, 180.0],
+            amplitude: 0.2,
+            octaves: 4,
+            frequency: 9.0,
+            seed: seed ^ 3,
+        },
+    ));
+
+    let path = CameraPath {
+        velocity: vec3(0.0, 0.0, -0.85),
+        bob_amplitude: 0.008,
+        bob_frequency: 0.9,
+        sway_amplitude: 0.012,
+        sway_frequency: 0.12,
+        far: 340.0,
+        ..eye_path(vec3(0.0, 1.4, 10.0), 0.0)
+    };
+    (scene, path)
+}

@@ -1,0 +1,299 @@
+//! Procedural textures with mipmap-style level-of-detail.
+//!
+//! Real engines mipmap their textures: the farther a surface, the lower the
+//! sampled mip level and the less high-frequency detail survives (§III-B of
+//! the paper). The textures here reproduce that by construction — each
+//! variant progressively blends toward its flat mean color as `lod` grows —
+//! so depth genuinely predicts rendered detail in our frames, which is the
+//! premise of depth-guided RoI detection.
+
+/// An RGB color with `f32` channels in `0.0..=255.0`.
+pub type Color = [f32; 3];
+
+/// Linear blend of two colors.
+pub fn mix(a: Color, b: Color, t: f32) -> Color {
+    let t = t.clamp(0.0, 1.0);
+    [
+        a[0] + (b[0] - a[0]) * t,
+        a[1] + (b[1] - a[1]) * t,
+        a[2] + (b[2] - a[2]) * t,
+    ]
+}
+
+/// Scales a color by a brightness factor, saturating at 255.
+pub fn shade(c: Color, k: f32) -> Color {
+    [
+        (c[0] * k).clamp(0.0, 255.0),
+        (c[1] * k).clamp(0.0, 255.0),
+        (c[2] * k).clamp(0.0, 255.0),
+    ]
+}
+
+/// Deterministic lattice hash → `[0, 1)`.
+fn hash2(x: i64, y: i64, seed: u64) -> f32 {
+    let mut h = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((x as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((y as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    h ^= h >> 31;
+    h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    h ^= h >> 27;
+    (h >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// Smoothly interpolated value noise at one frequency.
+fn value_noise(u: f32, v: f32, seed: u64) -> f32 {
+    let x0 = u.floor();
+    let y0 = v.floor();
+    let fx = u - x0;
+    let fy = v - y0;
+    let sx = fx * fx * (3.0 - 2.0 * fx);
+    let sy = fy * fy * (3.0 - 2.0 * fy);
+    let (xi, yi) = (x0 as i64, y0 as i64);
+    let n00 = hash2(xi, yi, seed);
+    let n10 = hash2(xi + 1, yi, seed);
+    let n01 = hash2(xi, yi + 1, seed);
+    let n11 = hash2(xi + 1, yi + 1, seed);
+    let a = n00 + (n10 - n00) * sx;
+    let b = n01 + (n11 - n01) * sx;
+    a + (b - a) * sy
+}
+
+/// A mip-aware procedural texture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ProceduralTexture {
+    /// A flat color (LOD-invariant).
+    Solid(Color),
+    /// A two-color checkerboard with `scale` squares per UV unit.
+    Checker {
+        /// First square color.
+        a: Color,
+        /// Second square color.
+        b: Color,
+        /// Squares per UV unit.
+        scale: f32,
+    },
+    /// Fractal value noise modulating a base color.
+    Noise {
+        /// Base (mean) color.
+        base: Color,
+        /// Peak brightness modulation around the base (0..1).
+        amplitude: f32,
+        /// fBm octaves at LOD 0; higher = more fine detail.
+        octaves: u32,
+        /// Base spatial frequency in UV units.
+        frequency: f32,
+        /// Lattice seed.
+        seed: u64,
+    },
+    /// Brick/panel pattern: mortar grid over a noisy fill.
+    Bricks {
+        /// Brick color.
+        brick: Color,
+        /// Mortar color.
+        mortar: Color,
+        /// Bricks per UV unit horizontally.
+        scale: f32,
+        /// Lattice seed for per-brick tinting.
+        seed: u64,
+    },
+}
+
+impl ProceduralTexture {
+    /// The texture's mean color — the value it converges to as `lod → ∞`,
+    /// like the 1x1 mip tail of a real mip chain.
+    pub fn mean_color(&self) -> Color {
+        match *self {
+            ProceduralTexture::Solid(c) => c,
+            ProceduralTexture::Checker { a, b, .. } => mix(a, b, 0.5),
+            ProceduralTexture::Noise { base, .. } => base,
+            ProceduralTexture::Bricks { brick, mortar, .. } => mix(brick, mortar, 0.18),
+        }
+    }
+
+    /// Samples the texture at `(u, v)` and mip level `lod` (≥ 0; fractional
+    /// levels blend continuously). Level 0 is full detail; each additional
+    /// level halves the surviving detail, mirroring a real mip chain.
+    pub fn sample(&self, u: f32, v: f32, lod: f32) -> Color {
+        let lod = lod.max(0.0);
+        // detail attenuation: like averaging a 2^lod x 2^lod texel footprint
+        let detail = 0.5f32.powf(lod);
+        match *self {
+            ProceduralTexture::Solid(c) => c,
+            ProceduralTexture::Checker { a, b, scale } => {
+                let cell = ((u * scale).floor() as i64 + (v * scale).floor() as i64).rem_euclid(2);
+                let sharp = if cell == 0 { a } else { b };
+                mix(self.mean_color(), sharp, detail)
+            }
+            ProceduralTexture::Noise {
+                base,
+                amplitude,
+                octaves,
+                frequency,
+                seed,
+            } => {
+                // drop one octave per mip level, exactly like prefiltering
+                let eff_octaves = (octaves as f32 - lod).max(0.0);
+                let full = eff_octaves.floor() as u32;
+                let frac = eff_octaves - full as f32;
+                // normalization uses the FULL octave budget so that dropping
+                // octaves strictly removes energy (as prefiltering does)
+                let mut norm = 0.0f32;
+                let mut amp = 1.0f32;
+                for _ in 0..octaves.max(1) {
+                    norm += amp;
+                    amp *= 0.55;
+                }
+                let mut amp = 1.0f32;
+                let mut freq = frequency;
+                let mut total = 0.0f32;
+                for o in 0..=full.min(octaves) {
+                    let w = if o == full { frac } else { 1.0 } * amp;
+                    if w > 0.0 {
+                        total += w * (value_noise(u * freq, v * freq, seed.wrapping_add(o as u64)) - 0.5);
+                    }
+                    amp *= 0.55;
+                    freq *= 2.1;
+                }
+                let n = total / norm;
+                shade(base, 1.0 + 2.0 * amplitude * n)
+            }
+            ProceduralTexture::Bricks {
+                brick,
+                mortar,
+                scale,
+                seed,
+            } => {
+                let row = (v * scale * 0.5).floor();
+                let offset = if (row as i64).rem_euclid(2) == 0 { 0.0 } else { 0.5 };
+                let bu = u * scale + offset;
+                let bv = v * scale * 0.5;
+                let fu = bu - bu.floor();
+                let fv = bv - bv.floor();
+                let mortar_w = 0.06;
+                let is_mortar = fu < mortar_w || fv < mortar_w * 2.0;
+                let tint = 0.85 + 0.3 * hash2(bu.floor() as i64, bv.floor() as i64, seed);
+                let sharp = if is_mortar { mortar } else { shade(brick, tint) };
+                mix(self.mean_color(), sharp, detail)
+            }
+        }
+    }
+
+    /// Detail energy at a LOD: mean absolute deviation from the mean color,
+    /// estimated over a fixed sample lattice. Used by tests to verify the
+    /// mipmap premise (detail decreases with LOD).
+    pub fn detail_energy(&self, lod: f32) -> f32 {
+        let mean = self.mean_color();
+        let mut acc = 0.0f32;
+        let n = 32;
+        for i in 0..n {
+            for j in 0..n {
+                let u = i as f32 / n as f32 * 4.0;
+                let v = j as f32 / n as f32 * 4.0;
+                let c = self.sample(u, v, lod);
+                acc += (c[0] - mean[0]).abs() + (c[1] - mean[1]).abs() + (c[2] - mean[2]).abs();
+            }
+        }
+        acc / (n * n * 3) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textures() -> Vec<ProceduralTexture> {
+        vec![
+            ProceduralTexture::Checker {
+                a: [220.0, 210.0, 190.0],
+                b: [40.0, 45.0, 60.0],
+                scale: 4.0,
+            },
+            ProceduralTexture::Noise {
+                base: [110.0, 140.0, 80.0],
+                amplitude: 0.5,
+                octaves: 5,
+                frequency: 3.0,
+                seed: 7,
+            },
+            ProceduralTexture::Bricks {
+                brick: [150.0, 80.0, 60.0],
+                mortar: [200.0, 200.0, 195.0],
+                scale: 6.0,
+                seed: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        for t in textures() {
+            assert_eq!(t.sample(0.37, 0.91, 0.5), t.sample(0.37, 0.91, 0.5));
+        }
+    }
+
+    #[test]
+    fn detail_decreases_with_lod() {
+        for t in textures() {
+            let d0 = t.detail_energy(0.0);
+            let d2 = t.detail_energy(2.0);
+            let d5 = t.detail_energy(5.0);
+            assert!(d0 > d2, "{t:?}: {d0} vs {d2}");
+            assert!(d2 > d5, "{t:?}: {d2} vs {d5}");
+        }
+    }
+
+    #[test]
+    fn high_lod_converges_to_mean() {
+        for t in textures() {
+            let mean = t.mean_color();
+            let c = t.sample(1.234, 5.678, 12.0);
+            for k in 0..3 {
+                assert!(
+                    (c[k] - mean[k]).abs() < 12.0,
+                    "{t:?} channel {k}: {} vs {}",
+                    c[k],
+                    mean[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solid_ignores_lod() {
+        let t = ProceduralTexture::Solid([9.0, 8.0, 7.0]);
+        assert_eq!(t.sample(0.1, 0.2, 0.0), t.sample(0.9, 0.1, 9.0));
+        assert_eq!(t.detail_energy(0.0), 0.0);
+    }
+
+    #[test]
+    fn colors_stay_in_range() {
+        for t in textures() {
+            for i in 0..50 {
+                let c = t.sample(i as f32 * 0.13, i as f32 * 0.29, (i % 6) as f32 * 0.7);
+                for ch in c {
+                    assert!((0.0..=255.0).contains(&ch), "{t:?}: {ch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        let t = ProceduralTexture::Noise {
+            base: [128.0, 128.0, 128.0],
+            amplitude: 0.5,
+            octaves: 3,
+            frequency: 2.0,
+            seed: 1,
+        };
+        // small UV steps produce small color steps
+        let mut prev = t.sample(0.0, 0.3, 0.0);
+        for i in 1..200 {
+            let c = t.sample(i as f32 * 0.002, 0.3, 0.0);
+            assert!((c[0] - prev[0]).abs() < 24.0, "jump at {i}: {} → {}", prev[0], c[0]);
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Rendering invariants across arbitrary cameras and all game workloads.
+
+use gss_render::{render, Camera, GameId, GameWorkload, Scene};
+use gss_render::math::vec3;
+use gss_render::mesh::Mesh;
+use gss_render::scene::Object;
+use gss_render::texture::ProceduralTexture;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn arbitrary_cameras_never_panic_and_keep_depth_in_range(
+        px in -30.0f32..30.0, py in -5.0f32..15.0, pz in -30.0f32..30.0,
+        yaw in -3.2f32..3.2, pitch in -1.2f32..1.2,
+        fov in 0.4f32..2.4,
+    ) {
+        let scene = Scene::new().with(Object::world(
+            Mesh::cuboid(vec3(-4.0, -1.0, -14.0), vec3(4.0, 3.0, -6.0), 3.0),
+            ProceduralTexture::Checker {
+                a: [220.0, 220.0, 220.0],
+                b: [30.0, 30.0, 30.0],
+                scale: 5.0,
+            },
+        ));
+        let camera = Camera {
+            position: vec3(px, py, pz),
+            yaw,
+            pitch,
+            fov_y: fov,
+            ..Camera::new()
+        };
+        let out = render(&scene, &camera, 48, 32);
+        for &d in out.depth.plane().iter() {
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+        prop_assert_eq!(out.frame.size(), (48, 32));
+        // the stats account for every submitted triangle
+        prop_assert!(out.stats.triangles_culled <= out.stats.triangles_submitted);
+    }
+
+    #[test]
+    fn frame_samples_stay_in_8bit_range(game_idx in 0usize..10, t in 0usize..40) {
+        let game = GameId::ALL[game_idx];
+        let out = GameWorkload::new(game).render_frame(t, 64, 36);
+        for plane in out.frame.planes() {
+            let (lo, hi) = plane.min_max();
+            prop_assert!(lo >= 0.0 && hi <= 255.0, "{game}: {lo}..{hi}");
+        }
+    }
+}
+
+#[test]
+fn covered_pixels_have_non_far_depth_and_vice_versa() {
+    // depth 1.0 must mean sky (background color family), depth < 1.0 must
+    // mean geometry was shaded there
+    let w = GameWorkload::new(GameId::G2);
+    let out = w.render_frame(3, 96, 54);
+    let sky = w.scene().sky_color;
+    let mut sky_like = 0;
+    let mut sky_total = 0;
+    for y in 0..54 {
+        for x in 0..96 {
+            if out.depth.get(x, y) >= 1.0 {
+                sky_total += 1;
+                // the sky gradient scales the base color by 0.92..1.08
+                let px = out.frame.to_rgb8()[y * 96 + x];
+                let near_sky = (px.r as f32 - sky[0]).abs() < 40.0
+                    && (px.b as f32 - sky[2]).abs() < 40.0;
+                if near_sky {
+                    sky_like += 1;
+                }
+            }
+        }
+    }
+    assert!(sky_total > 0, "scene has no sky");
+    assert!(
+        sky_like * 10 >= sky_total * 9,
+        "{sky_like}/{sky_total} sky pixels look like sky"
+    );
+}
+
+#[test]
+fn stats_pixels_shaded_bounded_by_framebuffer() {
+    for game in [GameId::G1, GameId::G5, GameId::G9] {
+        let out = GameWorkload::new(game).render_frame(0, 80, 45);
+        // overdraw exists, but shaded pixel count cannot exceed a small
+        // multiple of the framebuffer (depth test rejects most rewrites)
+        assert!(
+            out.stats.pixels_shaded <= 80 * 45 * 4,
+            "{game}: {} shaded",
+            out.stats.pixels_shaded
+        );
+        assert!(out.stats.pixels_shaded > 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Minimal neural-network building blocks shared by the SR architectures:
+//! CHW tensors, 2D convolutions of arbitrary odd kernel size, ReLU and
+//! sub-pixel (pixel-shuffle) upsampling. Weights are deterministic He
+//! initializations — see the crate docs for why quality measurements use
+//! the classical proxy instead.
+
+use gss_frame::{Frame, Plane};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A CHW `f32` activation tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero tensor.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        Tensor {
+            channels,
+            height,
+            width,
+            data: vec![0.0; channels * height * width],
+        }
+    }
+
+    /// `(channels, height, width)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    #[inline]
+    fn idx(&self, c: usize, y: usize, x: usize) -> usize {
+        (c * self.height + y) * self.width + x
+    }
+
+    /// Sample accessor.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[self.idx(c, y, x)]
+    }
+
+    /// Mutable sample accessor.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        let i = self.idx(c, y, x);
+        self.data[i] = v;
+    }
+
+    /// Raw data slice (CHW order).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice (CHW order).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Builds a 3-channel tensor from a frame, normalizing to roughly
+    /// zero-mean range (`x/127.5 − 1`).
+    pub fn from_frame(frame: &Frame) -> Tensor {
+        let (w, h) = frame.size();
+        let mut t = Tensor::zeros(3, h, w);
+        for (c, plane) in frame.planes().into_iter().enumerate() {
+            for y in 0..h {
+                for x in 0..w {
+                    t.set(c, y, x, plane.get(x, y) / 127.5 - 1.0);
+                }
+            }
+        }
+        t
+    }
+
+    /// Converts a 3-channel tensor back to a frame (denormalizing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor does not have exactly 3 channels.
+    pub fn to_frame(&self) -> Frame {
+        assert_eq!(self.channels, 3, "need 3 channels to build a frame");
+        let mut planes = Vec::with_capacity(3);
+        for c in 0..3 {
+            planes.push(Plane::from_fn(self.width, self.height, |x, y| {
+                ((self.get(c, y, x) + 1.0) * 127.5).clamp(0.0, 255.0)
+            }));
+        }
+        let cr = planes.pop().expect("three planes");
+        let cb = planes.pop().expect("three planes");
+        let y = planes.pop().expect("three planes");
+        Frame::from_planes(y, cb, cr).expect("planes share a size")
+    }
+}
+
+/// A same-padding 2D convolution with an odd square kernel.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    /// `[out][in][ky][kx]` flattened.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// He-initialized layer drawn from a deterministic RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kernel` is even or zero.
+    pub fn init(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut SmallRng) -> Self {
+        assert!(kernel % 2 == 1 && kernel > 0, "kernel must be odd");
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let n = out_channels * in_channels * kernel * kernel;
+        let weights = (0..n)
+            .map(|_| {
+                let u: f32 = (0..4).map(|_| rng.gen::<f32>()).sum::<f32>() / 4.0;
+                (u - 0.5) * std * (12.0f32).sqrt() / 2.0
+            })
+            .collect();
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            weights,
+            bias: vec![0.0; out_channels],
+        }
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Overwrites the weight tensor (tests / hand-crafted kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn set_weights(&mut self, weights: Vec<f32>) {
+        assert_eq!(
+            weights.len(),
+            self.out_channels * self.in_channels * self.kernel * self.kernel,
+            "weight tensor length mismatch"
+        );
+        self.weights = weights;
+    }
+
+    #[inline]
+    fn w(&self, o: usize, i: usize, ky: usize, kx: usize) -> f32 {
+        self.weights[((o * self.in_channels + i) * self.kernel + ky) * self.kernel + kx]
+    }
+
+    /// Applies the convolution with zero padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input channel count differs from the layer's.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.channels, self.in_channels, "channel mismatch");
+        let (h, w) = (input.height, input.width);
+        let half = (self.kernel / 2) as isize;
+        let mut out = Tensor::zeros(self.out_channels, h, w);
+        for o in 0..self.out_channels {
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = self.bias[o];
+                    for i in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            let sy = y as isize + ky as isize - half;
+                            if sy < 0 || sy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let sx = x as isize + kx as isize - half;
+                                if sx < 0 || sx >= w as isize {
+                                    continue;
+                                }
+                                acc += self.w(o, i, ky, kx)
+                                    * input.get(i, sy as usize, sx as usize);
+                            }
+                        }
+                    }
+                    out.set(o, y, x, acc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Multiply-accumulate operations for an `h x w` input.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        (self.out_channels * self.in_channels * self.kernel * self.kernel * h * w) as u64
+    }
+}
+
+/// In-place ReLU.
+pub fn relu(t: &mut Tensor) {
+    for v in &mut t.data {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// `dst += src * scale`, element-wise.
+///
+/// # Panics
+///
+/// Panics on a shape mismatch (debug builds).
+pub fn add_scaled(dst: &mut Tensor, src: &Tensor, scale: f32) {
+    debug_assert_eq!(dst.shape(), src.shape());
+    for (d, s) in dst.data.iter_mut().zip(src.data.iter()) {
+        *d += s * scale;
+    }
+}
+
+/// Rearranges `(C*r^2, H, W)` into `(C, H*r, W*r)` — sub-pixel convolution
+/// upsampling.
+///
+/// # Panics
+///
+/// Panics when the channel count is not divisible by `r^2`.
+pub fn pixel_shuffle(input: &Tensor, r: usize) -> Tensor {
+    let r2 = r * r;
+    assert_eq!(input.channels % r2, 0, "channels must divide r^2");
+    let out_c = input.channels / r2;
+    let mut out = Tensor::zeros(out_c, input.height * r, input.width * r);
+    for c in 0..out_c {
+        for y in 0..input.height {
+            for x in 0..input.width {
+                for dy in 0..r {
+                    for dx in 0..r {
+                        let src_c = c * r2 + dy * r + dx;
+                        out.set(c, y * r + dy, x * r + dx, input.get(src_c, y, x));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut conv = Conv2d::init(1, 1, 3, &mut rng);
+        let mut w = vec![0.0; 9];
+        w[4] = 1.0;
+        conv.set_weights(w);
+        let mut input = Tensor::zeros(1, 3, 3);
+        for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let out = conv.forward(&input);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn conv5_identity_kernel_passes_through() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut conv = Conv2d::init(1, 1, 5, &mut rng);
+        let mut w = vec![0.0; 25];
+        w[12] = 1.0;
+        conv.set_weights(w);
+        let mut input = Tensor::zeros(1, 4, 6);
+        for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32).sin();
+        }
+        let out = conv.forward(&input);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn macs_account_for_kernel_size() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let c3 = Conv2d::init(2, 4, 3, &mut rng);
+        let c5 = Conv2d::init(2, 4, 5, &mut rng);
+        assert_eq!(c3.macs(10, 10), 2 * 4 * 9 * 100);
+        assert_eq!(c5.macs(10, 10), 2 * 4 * 25 * 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernels_rejected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = Conv2d::init(1, 1, 4, &mut rng);
+    }
+
+    #[test]
+    fn pixel_shuffle_rearranges() {
+        let mut t = Tensor::zeros(4, 1, 1);
+        for c in 0..4 {
+            t.set(c, 0, 0, c as f32);
+        }
+        let s = pixel_shuffle(&t, 2);
+        assert_eq!(s.shape(), (1, 2, 2));
+        assert_eq!(s.get(0, 0, 0), 0.0);
+        assert_eq!(s.get(0, 0, 1), 1.0);
+        assert_eq!(s.get(0, 1, 0), 2.0);
+        assert_eq!(s.get(0, 1, 1), 3.0);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut t = Tensor::zeros(1, 1, 3);
+        t.as_mut_slice().copy_from_slice(&[-1.0, 0.0, 2.0]);
+        relu(&mut t);
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn tensor_frame_roundtrip() {
+        let f = Frame::filled(5, 4, [63.75, 127.5, 191.25]);
+        let t = Tensor::from_frame(&f);
+        let back = t.to_frame();
+        for (p, q) in f.planes().into_iter().zip(back.planes()) {
+            for (&a, &b) in p.iter().zip(q.iter()) {
+                assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+}

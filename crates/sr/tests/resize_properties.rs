@@ -1,0 +1,93 @@
+//! Property-based tests of the resampling layer: every kernel, every
+//! direction, bounded outputs and structural invariants.
+
+use gss_frame::Plane;
+use gss_sr::{resize_plane, InterpKernel, InterpUpscaler, NeuralSr, NeuralSrConfig, Upscaler};
+use proptest::prelude::*;
+
+const KERNELS: [InterpKernel; 4] = [
+    InterpKernel::Nearest,
+    InterpKernel::Bilinear,
+    InterpKernel::Bicubic,
+    InterpKernel::Lanczos3,
+];
+
+fn arb_plane() -> impl Strategy<Value = Plane<f32>> {
+    (2usize..24, 2usize..24, 0u64..1000).prop_map(|(w, h, seed)| {
+        Plane::from_fn(w, h, |x, y| {
+            let v = (x as u64)
+                .wrapping_mul(seed.wrapping_add(11))
+                .wrapping_add((y as u64).wrapping_mul(29))
+                .wrapping_mul(0x9E3779B9);
+            (v % 256) as f32
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn resize_output_has_requested_dimensions(
+        p in arb_plane(), ow in 1usize..48, oh in 1usize..48,
+    ) {
+        for k in KERNELS {
+            let out = resize_plane(&p, ow, oh, k);
+            prop_assert_eq!(out.size(), (ow, oh));
+        }
+    }
+
+    #[test]
+    fn nearest_and_bilinear_never_overshoot(
+        p in arb_plane(), ow in 1usize..48, oh in 1usize..48,
+    ) {
+        // non-negative kernels cannot produce values outside the input range
+        let (lo, hi) = p.min_max();
+        for k in [InterpKernel::Nearest, InterpKernel::Bilinear] {
+            let out = resize_plane(&p, ow, oh, k);
+            let (olo, ohi) = out.min_max();
+            prop_assert!(olo >= lo - 1e-3, "{k:?}: {olo} < {lo}");
+            prop_assert!(ohi <= hi + 1e-3, "{k:?}: {ohi} > {hi}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_preserve_constants(
+        value in 0.0f32..255.0, w in 2usize..20, h in 2usize..20,
+        ow in 1usize..40, oh in 1usize..40,
+    ) {
+        let p = Plane::filled(w, h, value);
+        for k in KERNELS {
+            let out = resize_plane(&p, ow, oh, k);
+            for &v in out.iter() {
+                prop_assert!((v - value).abs() < 1e-2, "{k:?}: {v} vs {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn upscale_then_boxdown_approximates_identity(p in arb_plane()) {
+        // the neural proxy enforces exactly this consistency
+        let sr = NeuralSr::new(NeuralSrConfig::default());
+        let up = sr.upscale_plane(&p);
+        let back = up.downsample_box(2);
+        let err = p.zip_map(&back, |a, b| (a - b).abs()).unwrap().mean();
+        prop_assert!(err < 14.0, "mean reconstruction error {err}");
+    }
+
+    #[test]
+    fn identity_resize_returns_input(p in arb_plane()) {
+        let (w, h) = p.size();
+        for k in KERNELS {
+            prop_assert_eq!(resize_plane(&p, w, h, k), p.clone());
+        }
+    }
+
+    #[test]
+    fn upscaler_trait_consistency(p in arb_plane(), scale in 1usize..4) {
+        let up = InterpUpscaler::new(InterpKernel::Bicubic, scale);
+        let out = up.upscale_plane(&p);
+        prop_assert_eq!(out.size(), (p.width() * scale, p.height() * scale));
+        prop_assert_eq!(up.scale(), scale);
+    }
+}

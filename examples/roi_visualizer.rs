@@ -1,0 +1,78 @@
+//! Dumps the depth-guided RoI detection stages as viewable images
+//! (paper Figs. 5 and 8): the rendered frame, its depth map, the
+//! foreground extraction, the spatially-weighted map, the selected depth
+//! layer and the final frame with the RoI marked.
+//!
+//! ```text
+//! cargo run --release --example roi_visualizer [G1..G10] [out_dir]
+//! ```
+
+use gss::core::roi::{RoiDetector, RoiDetectorConfig};
+use gss::frame::io::{save_depth_pgm, save_plane_pgm, save_ppm};
+use gss::frame::Rgb8;
+use gss::render::{GameId, GameWorkload};
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let game = args
+        .get(1)
+        .and_then(|g| GameId::ALL.into_iter().find(|id| id.label() == g))
+        .unwrap_or(GameId::G3);
+    let out_dir = args.get(2).map(String::as_str).unwrap_or("roi_stages");
+    std::fs::create_dir_all(out_dir)?;
+    let out = Path::new(out_dir);
+
+    let workload = GameWorkload::new(game);
+    let rendered = workload.render_frame(0, 640, 360);
+    println!("rendered {game} at 640x360 ({} triangles)", workload.scene().triangle_count());
+
+    save_ppm(out.join("1_frame.ppm"), &rendered.frame)?;
+    save_depth_pgm(out.join("2_depth.pgm"), &rendered.depth)?;
+
+    let detector = RoiDetector::new(RoiDetectorConfig {
+        keep_stages: true,
+        ..RoiDetectorConfig::default()
+    });
+    let result = detector.detect(&rendered.depth, (150, 150));
+    let stages = result.stages.expect("stages requested");
+    println!(
+        "foreground threshold: depth < {:.3}; selected layer {} of {}",
+        stages.threshold,
+        stages.selected_layer + 1,
+        stages.layers.len()
+    );
+    save_plane_pgm(out.join("3_foreground.pgm"), &stages.foreground)?;
+    save_plane_pgm(out.join("4_weighted.pgm"), &stages.weighted)?;
+    save_plane_pgm(out.join("5_selected_layer.pgm"), &stages.processed)?;
+
+    // draw the RoI box on the frame
+    let mut marked = rendered.frame.clone();
+    let roi = result.roi;
+    let mark = |frame: &mut gss::frame::Frame, x: usize, y: usize| {
+        let (yv, cb, cr) = {
+            let px = Rgb8::new(255, 40, 40);
+            // convert once via a tiny 1x1 helper frame
+            let f = gss::frame::Frame::from_rgb_fn(1, 1, |_, _| px);
+            (f.y().get(0, 0), f.cb().get(0, 0), f.cr().get(0, 0))
+        };
+        frame.y_mut().set(x, y, yv);
+        frame.cb_mut().set(x, y, cb);
+        frame.cr_mut().set(x, y, cr);
+    };
+    for x in roi.x..roi.right() {
+        for t in 0..2 {
+            mark(&mut marked, x, roi.y + t);
+            mark(&mut marked, x, roi.bottom() - 1 - t);
+        }
+    }
+    for y in roi.y..roi.bottom() {
+        for t in 0..2 {
+            mark(&mut marked, roi.x + t, y);
+            mark(&mut marked, roi.right() - 1 - t, y);
+        }
+    }
+    save_ppm(out.join("6_frame_with_roi.ppm"), &marked)?;
+    println!("RoI detected at {roi}; images written to {out_dir}/");
+    Ok(())
+}

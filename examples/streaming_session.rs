@@ -1,0 +1,90 @@
+//! A full streaming session: both pipelines (GameStreamSR and the NEMO
+//! baseline) over the same game, device, codec stream and wireless channel,
+//! with the paper's headline metrics printed at the end.
+//!
+//! ```text
+//! cargo run --release --example streaming_session [G1..G10] [s8|pixel] [frames]
+//! ```
+
+use gss::core::session::{run_comparison, SessionConfig};
+use gss::platform::DeviceProfile;
+use gss::render::GameId;
+use gss_codec::FrameType;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let game = args
+        .get(1)
+        .and_then(|g| GameId::ALL.into_iter().find(|id| id.label() == g))
+        .unwrap_or(GameId::G3);
+    let device = match args.get(2).map(String::as_str) {
+        Some("pixel") => DeviceProfile::pixel7_pro(),
+        _ => DeviceProfile::s8_tab(),
+    };
+    let frames: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(60);
+
+    println!("streaming {game} to {} for {frames} frames...", device.name);
+    let cfg = SessionConfig {
+        frames,
+        gop_size: 60,
+        lr_size: (320, 180),
+        ..SessionConfig::new(game, device)
+    };
+    let cmp = run_comparison(&cfg)?;
+
+    println!("\n--- upscaling performance ---");
+    println!(
+        "reference frames:    ours {:6.1} ms | SOTA {:6.1} ms | {:.1}x speedup",
+        cmp.ours.mean_upscale_ms(FrameType::Intra),
+        cmp.sota.mean_upscale_ms(FrameType::Intra),
+        cmp.ref_upscale_speedup()
+    );
+    println!(
+        "non-reference:       ours {:6.1} ms | SOTA {:6.1} ms | {:.2}x speedup",
+        cmp.ours.mean_upscale_ms(FrameType::Inter),
+        cmp.sota.mean_upscale_ms(FrameType::Inter),
+        cmp.nonref_upscale_speedup()
+    );
+    println!(
+        "real-time (60 FPS):  ours {:3.0}% of frames | SOTA {:3.0}%",
+        cmp.ours.realtime_fraction() * 100.0,
+        cmp.sota.realtime_fraction() * 100.0
+    );
+
+    println!("\n--- motion-to-photon latency ---");
+    println!(
+        "reference frames:    ours {:5.1} ms | SOTA {:5.1} ms | {:.1}x better",
+        cmp.ours.mean_mtp_ms(FrameType::Intra),
+        cmp.sota.mean_mtp_ms(FrameType::Intra),
+        cmp.ref_mtp_improvement()
+    );
+    println!("worst frame (ours):  {:5.1} ms", cmp.ours.max_mtp_ms());
+
+    println!("\n--- energy ---");
+    println!(
+        "session energy:      ours {:6.0} mJ | SOTA {:6.0} mJ | {:.1}% savings",
+        cmp.ours.energy.total_mj,
+        cmp.sota.energy.total_mj,
+        cmp.energy_savings() * 100.0
+    );
+
+    println!("\n--- quality (vs native render) ---");
+    if let (Some(gain), Some(perc)) = (cmp.psnr_gain_db(), cmp.perceptual_improvement()) {
+        println!(
+            "PSNR:                ours {:5.2} dB | SOTA {:5.2} dB | {gain:+.2} dB",
+            cmp.ours.mean_psnr_db().unwrap_or(f64::NAN),
+            cmp.sota.mean_psnr_db().unwrap_or(f64::NAN)
+        );
+        println!(
+            "perceptual distance: ours {:6.4} | SOTA {:6.4} | {perc:+.4} improvement",
+            cmp.ours.mean_perceptual().unwrap_or(f64::NAN),
+            cmp.sota.mean_perceptual().unwrap_or(f64::NAN)
+        );
+    }
+    println!(
+        "\nstream: {:.1} Mbps over {}",
+        cmp.ours.mean_bitrate_mbps(),
+        cfg.link.name
+    );
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Facade crate for the GameStreamSR reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can say `use gss::frame::Frame;` etc. See the
+//! individual crates for full documentation:
+//!
+//! * [`frame`] — pixel planes, frames, depth maps, regions
+//! * [`metrics`] — PSNR / SSIM / perceptual distance
+//! * [`sr`] — interpolation and neural super-resolution upscalers
+//! * [`render`] — software rasterizer and the ten game-scene generators
+//! * [`codec`] — block-based hybrid video codec with GOP structure
+//! * [`platform`] — mobile device timing/energy models
+//! * [`net`] — network link simulator
+//! * [`core`] — the GameStreamSR system itself plus the NEMO baseline
+
+pub use gamestreamsr as core;
+pub use gss_codec as codec;
+pub use gss_frame as frame;
+pub use gss_metrics as metrics;
+pub use gss_net as net;
+pub use gss_platform as platform;
+pub use gss_render as render;
+pub use gss_sr as sr;

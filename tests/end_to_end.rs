@@ -1,0 +1,91 @@
+//! Cross-crate integration: the full server → network → client pipeline,
+//! run through the facade crate exactly as a downstream user would.
+
+use gss::codec::FrameType;
+use gss::core::session::{run_session, Pipeline, SessionConfig};
+use gss::core::{GameStreamClient, GameStreamServer, NemoClient, ServerConfig};
+use gss::platform::DeviceProfile;
+use gss::render::GameId;
+
+fn small_session(game: GameId) -> SessionConfig {
+    SessionConfig {
+        frames: 8,
+        gop_size: 4,
+        lr_size: (128, 72),
+        ..SessionConfig::new(game, DeviceProfile::s8_tab())
+    }
+}
+
+#[test]
+fn both_pipelines_complete_on_every_game() {
+    for game in GameId::ALL {
+        let cfg = small_session(game).without_quality();
+        for pipeline in [Pipeline::GameStreamSr, Pipeline::Nemo] {
+            let report = run_session(&cfg, pipeline)
+                .unwrap_or_else(|e| panic!("{game} / {pipeline:?}: {e}"));
+            assert_eq!(report.frames.len(), 8);
+            assert!(report.energy.total_mj > 0.0);
+        }
+    }
+}
+
+#[test]
+fn frame_types_alternate_with_gop() {
+    let cfg = small_session(GameId::G7).without_quality();
+    let report = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+    let types: Vec<FrameType> = report.frames.iter().map(|f| f.frame_type).collect();
+    use FrameType::*;
+    assert_eq!(types, vec![Intra, Inter, Inter, Inter, Intra, Inter, Inter, Inter]);
+}
+
+#[test]
+fn server_packets_feed_both_clients_identically() {
+    // both clients decode the same stream; their decoded LR content (and
+    // hence their quality differences) must come only from upscaling policy
+    let mut server = GameStreamServer::new(ServerConfig::new(GameId::G2, (96, 54), (32, 32)));
+    let mut ours = GameStreamClient::new(2);
+    let mut nemo = NemoClient::new(2);
+    for _ in 0..3 {
+        let p = server.next_frame().unwrap();
+        let a = ours.process(&p.encoded, p.roi).unwrap();
+        let b = nemo.process(&p.encoded).unwrap();
+        assert_eq!(a.frame.size(), (192, 108));
+        assert_eq!(b.frame.size(), (192, 108));
+    }
+}
+
+#[test]
+fn session_reports_are_serializable_data() {
+    // reports are plain data for downstream tooling: Serialize must hold
+    let cfg = small_session(GameId::G9).without_quality().with_frames(4);
+    let report = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+    fn assert_serialize<T: serde::Serialize>(_: &T) {}
+    assert_serialize(&report);
+}
+
+#[test]
+fn dropped_frames_are_flagged_not_fatal() {
+    // strangle the link so drops occur; the session must still complete
+    let mut cfg = small_session(GameId::G5).without_quality().with_frames(12);
+    cfg.link.bandwidth_mbps = 3.0;
+    cfg.link.bandwidth_cv = 0.0;
+    let report = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+    assert!(report.frames.iter().any(|f| f.dropped));
+    assert_eq!(report.frames.len(), 12);
+}
+
+#[test]
+fn energy_scales_linearly_with_frames() {
+    let short = run_session(
+        &small_session(GameId::G1).without_quality().with_frames(4),
+        Pipeline::GameStreamSr,
+    )
+    .unwrap();
+    let long = run_session(
+        &small_session(GameId::G1).without_quality().with_frames(8),
+        Pipeline::GameStreamSr,
+    )
+    .unwrap();
+    let ratio = long.energy.total_mj / short.energy.total_mj;
+    assert!((1.8..2.2).contains(&ratio), "ratio {ratio:.3}");
+}

@@ -1,0 +1,103 @@
+//! Integration tests for the extensions beyond the paper (DESIGN.md §4b):
+//! temporal RoI tracking, closed-loop rate control and loss recovery, all
+//! running through the full session pipeline.
+
+use gss::codec::RateControlConfig;
+use gss::core::roi::TrackerConfig;
+use gss::core::session::{run_session, Pipeline, SessionConfig};
+use gss::platform::DeviceProfile;
+use gss::render::GameId;
+
+fn base(game: GameId) -> SessionConfig {
+    SessionConfig {
+        frames: 12,
+        gop_size: 12,
+        lr_size: (128, 72),
+        ..SessionConfig::new(game, DeviceProfile::s8_tab())
+    }
+    .without_quality()
+}
+
+#[test]
+fn tracker_in_session_produces_valid_frames() {
+    let mut cfg = base(GameId::G10);
+    cfg.tracker = Some(TrackerConfig::default());
+    let r = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+    assert_eq!(r.frames.len(), 12);
+    // all modeled numbers remain sane with tracking enabled
+    assert!(r.realtime_fraction() == 1.0);
+}
+
+#[test]
+fn rate_control_in_session_cuts_bytes() {
+    let free = run_session(&base(GameId::G5), Pipeline::GameStreamSr)
+        .unwrap()
+        .total_bytes();
+    let mut cfg = base(GameId::G5);
+    cfg.rate_control = Some(RateControlConfig {
+        // a budget well under the free-running stream
+        target_bytes_per_frame: 400,
+        ..RateControlConfig::for_bitrate_mbps(1.0)
+    });
+    let governed = run_session(&cfg, Pipeline::GameStreamSr)
+        .unwrap()
+        .total_bytes();
+    assert!(
+        governed < free * 4 / 5,
+        "governed {governed} vs free {free}"
+    );
+}
+
+#[test]
+fn rate_control_reduces_drops_on_a_tight_link() {
+    // the whole point of rate control: fit the channel
+    let mut cfg = base(GameId::G5).with_frames(30);
+    cfg.link.bandwidth_mbps = 25.0;
+    cfg.link.bandwidth_cv = 0.2;
+    let free_drops = run_session(&cfg, Pipeline::GameStreamSr)
+        .unwrap()
+        .frames
+        .iter()
+        .filter(|f| f.dropped)
+        .count();
+    cfg.rate_control = Some(RateControlConfig::for_bitrate_mbps(12.0));
+    let governed_drops = run_session(&cfg, Pipeline::GameStreamSr)
+        .unwrap()
+        .frames
+        .iter()
+        .filter(|f| f.dropped)
+        .count();
+    assert!(
+        governed_drops <= free_drops,
+        "governed {governed_drops} vs free {free_drops}"
+    );
+}
+
+#[test]
+fn loss_recovery_composes_with_rate_control_and_tracker() {
+    // everything on at once over a bad link: the session must complete and
+    // recover
+    let mut cfg = base(GameId::G3).with_frames(24);
+    cfg.loss_recovery = true;
+    cfg.tracker = Some(TrackerConfig::default());
+    cfg.rate_control = Some(RateControlConfig::for_bitrate_mbps(10.0));
+    cfg.link.bandwidth_mbps = 12.0;
+    cfg.link.bandwidth_cv = 0.5;
+    let r = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+    assert_eq!(r.frames.len(), 24);
+    // any drop must eventually be followed by a displayed frame
+    if let Some(first_drop) = r.frames.iter().position(|f| f.dropped) {
+        assert!(
+            r.frames[first_drop..].iter().any(|f| !f.frozen && !f.dropped),
+            "never recovered after frame {first_drop}"
+        );
+    }
+}
+
+#[test]
+fn extensions_default_off_matches_paper_configuration() {
+    let cfg = base(GameId::G1);
+    assert!(cfg.tracker.is_none());
+    assert!(cfg.rate_control.is_none());
+    assert!(!cfg.loss_recovery);
+}

@@ -1,0 +1,144 @@
+//! Property-based and rendered-scene tests of the RoI detection pipeline
+//! across crates (renderer → depth buffer → detector).
+
+use gss::core::roi::{
+    plan_roi_window, preprocess, search_roi, PreprocessConfig, RoiDetector, RoiDetectorConfig,
+    SearchConfig,
+};
+use gss::frame::{DepthMap, Plane, Rect};
+use gss::platform::DeviceProfile;
+use gss::render::{GameId, GameWorkload};
+use proptest::prelude::*;
+
+#[test]
+fn roi_tracks_the_hero_across_frames() {
+    // in TPS games the camera-attached hero keeps a near object close to
+    // the frame center; the RoI should stay near it across the session
+    for game in [GameId::G2, GameId::G3, GameId::G6] {
+        let workload = GameWorkload::new(game);
+        let detector = RoiDetector::default();
+        for t in [0usize, 10, 20] {
+            let out = workload.render_frame(t, 256, 144);
+            let depth = out.depth.downsample_box(2);
+            let roi = detector.detect(&depth, (48, 40)).roi;
+            let (cx, cy) = roi.center();
+            assert!(
+                (16..=112).contains(&cx) && (10..=62).contains(&cy),
+                "{game} t={t}: roi center ({cx},{cy}) far off-center"
+            );
+        }
+    }
+}
+
+#[test]
+fn detector_is_stable_under_small_temporal_changes() {
+    // consecutive frames move the camera slightly; the RoI must not leap
+    // across the frame (it feeds a visual quality region — jumps would
+    // flicker)
+    let workload = GameWorkload::new(GameId::G9); // slowest camera
+    let detector = RoiDetector::default();
+    let mut prev: Option<Rect> = None;
+    for t in 0..5 {
+        let out = workload.render_frame(t, 256, 144);
+        let depth = out.depth.downsample_box(2);
+        let roi = detector.detect(&depth, (48, 40)).roi;
+        if let Some(p) = prev {
+            let (ax, ay) = p.center();
+            let (bx, by) = roi.center();
+            let dist = (((ax as f64 - bx as f64).powi(2)) + ((ay as f64 - by as f64).powi(2)))
+                .sqrt();
+            assert!(dist < 24.0, "t={t}: RoI jumped {dist:.1}px");
+        }
+        prev = Some(roi);
+    }
+}
+
+#[test]
+fn window_plans_are_consistent_across_devices() {
+    for device in DeviceProfile::all() {
+        let plan = plan_roi_window(&device, 2, 1280, 720);
+        assert!(plan.chosen_side <= plan.max_side);
+        assert!(plan.chosen_side <= 720);
+        assert!(plan.max_side >= 200, "{}: {}", device.name, plan.max_side);
+        // the chosen window must actually fit the real-time budget
+        assert!(
+            device.npu_sr_ms(plan.chosen_side * plan.chosen_side)
+                <= gss::platform::REALTIME_BUDGET_MS + 1e-9
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn detection_never_escapes_bounds(
+        w in 40usize..160,
+        h in 30usize..120,
+        win_frac in 0.2f64..0.9,
+        blob_x in 0.0f64..1.0,
+        blob_y in 0.0f64..1.0,
+        blob_r in 0.05f64..0.4,
+    ) {
+        let depth = DepthMap::from_fn(w, h, |x, y| {
+            let dx = x as f64 - blob_x * w as f64;
+            let dy = y as f64 - blob_y * h as f64;
+            if (dx * dx + dy * dy).sqrt() < blob_r * w.min(h) as f64 {
+                0.1
+            } else {
+                0.85
+            }
+        });
+        let win = (
+            ((w as f64 * win_frac) as usize).max(1),
+            ((h as f64 * win_frac) as usize).max(1),
+        );
+        let roi = RoiDetector::new(RoiDetectorConfig::default()).detect(&depth, win).roi;
+        prop_assert!(roi.right() <= w);
+        prop_assert!(roi.bottom() <= h);
+        prop_assert_eq!((roi.width, roi.height), win);
+    }
+
+    #[test]
+    fn search_finds_the_best_window_with_unit_strides(
+        w in 24usize..64,
+        h in 24usize..64,
+        bx in 0usize..64,
+        by in 0usize..64,
+    ) {
+        let bx = bx % w;
+        let by = by % h;
+        let map = Plane::from_fn(w, h, |x, y| {
+            if x == bx && y == by { 100.0 } else { 0.0 }
+        });
+        let win = (w / 3 + 1, h / 3 + 1);
+        let roi = search_roi(
+            &map,
+            win,
+            &SearchConfig { fine_stride: 1, boundary: Some(w.max(h)), coarse_only: false },
+        );
+        // with full refinement the single hot pixel must be inside the RoI
+        prop_assert!(roi.contains(bx, by), "{roi:?} misses ({bx},{by})");
+    }
+
+    #[test]
+    fn preprocessing_keeps_mass_nonnegative(
+        seed in 0u64..500,
+        layers in 1usize..8,
+        gaussian in 0.0f32..1.0,
+    ) {
+        let depth = DepthMap::from_fn(48, 48, |x, y| {
+            let v = (x as u64).wrapping_mul(seed + 3).wrapping_add((y as u64) * 17) % 97;
+            v as f32 / 97.0
+        });
+        let cfg = PreprocessConfig {
+            layers,
+            gaussian_weight: gaussian,
+            ..PreprocessConfig::default()
+        };
+        let stages = preprocess(&depth, &cfg);
+        prop_assert!(stages.processed.iter().all(|&v| v >= 0.0));
+        prop_assert!(stages.processed.sum() >= 0.0);
+        prop_assert!(stages.selected_layer < stages.layers.len());
+    }
+}
