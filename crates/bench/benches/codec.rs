@@ -17,12 +17,16 @@ fn bench_encode(c: &mut Criterion) {
     for (w, h) in [(320usize, 180usize), (640, 360)] {
         let f0 = game_frame(0, w, h);
         let f1 = game_frame(2, w, h);
-        group.bench_with_input(BenchmarkId::new("intra", format!("{w}x{h}")), &f0, |b, f| {
-            b.iter(|| {
-                let mut enc = Encoder::new(EncoderConfig::default());
-                black_box(enc.encode(f).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("intra", format!("{w}x{h}")),
+            &f0,
+            |b, f| {
+                b.iter(|| {
+                    let mut enc = Encoder::new(EncoderConfig::default());
+                    black_box(enc.encode(f).unwrap())
+                })
+            },
+        );
         group.bench_function(BenchmarkId::new("inter", format!("{w}x{h}")), |b| {
             b.iter(|| {
                 let mut enc = Encoder::new(EncoderConfig::default());

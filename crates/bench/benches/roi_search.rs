@@ -12,7 +12,11 @@ fn bench_roi(c: &mut Criterion) {
     let mut group = c.benchmark_group("roi");
     group.sample_size(20);
 
-    for (w, h, win) in [(320usize, 180usize, 75usize), (640, 360, 150), (1280, 720, 300)] {
+    for (w, h, win) in [
+        (320usize, 180usize, 75usize),
+        (640, 360, 150),
+        (1280, 720, 300),
+    ] {
         let depth = workload.render_frame(0, w, h).depth;
         group.bench_with_input(
             BenchmarkId::new("preprocess", format!("{w}x{h}")),
@@ -23,9 +27,7 @@ fn bench_roi(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("search_two_phase", format!("{w}x{h}")),
             &stages.processed,
-            |b, p| {
-                b.iter(|| black_box(search_roi(p, (win, win), &SearchConfig::default())))
-            },
+            |b, p| b.iter(|| black_box(search_roi(p, (win, win), &SearchConfig::default()))),
         );
         group.bench_with_input(
             BenchmarkId::new("search_coarse_only", format!("{w}x{h}")),

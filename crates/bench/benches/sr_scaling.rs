@@ -26,14 +26,10 @@ fn bench_upscalers(c: &mut Criterion) {
             InterpKernel::Bicubic,
             InterpKernel::Lanczos3,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(kernel.name(), side),
-                &plane,
-                |b, p| {
-                    let up = InterpUpscaler::new(kernel, 2);
-                    b.iter(|| black_box(up.upscale_plane(p)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kernel.name(), side), &plane, |b, p| {
+                let up = InterpUpscaler::new(kernel, 2);
+                b.iter(|| black_box(up.upscale_plane(p)))
+            });
         }
         group.bench_with_input(BenchmarkId::new("neural_proxy", side), &plane, |b, p| {
             let sr = NeuralSr::new(NeuralSrConfig::default());

@@ -1,22 +1,35 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [experiment-id ...]
+//! figures [--quick] [--telemetry out.jsonl] [experiment-id ...]
 //! ```
 //!
-//! With no ids, every experiment runs in report order.
+//! With no ids, every experiment runs in report order. `--telemetry`
+//! streams every session's frame-scoped event trace (stage spans,
+//! counters, deadline verdicts) to a JSONL file; harness diagnostics go
+//! through the same sink as structured log events.
 
 use gss_bench::{run_experiment, RunOptions, ALL_EXPERIMENTS};
+use gss_telemetry::{JsonlSink, Level, SinkHandle};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut quick = false;
+    let mut telemetry_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--telemetry" => match args.next() {
+                Some(path) => telemetry_path = Some(path),
+                None => {
+                    eprintln!("error: --telemetry needs a file path (e.g. --telemetry out.jsonl)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: figures [--quick] [experiment-id ...]");
+                println!("usage: figures [--quick] [--telemetry out.jsonl] [experiment-id ...]");
                 println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 return ExitCode::SUCCESS;
             }
@@ -26,14 +39,39 @@ fn main() -> ExitCode {
     if ids.is_empty() {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
-    let options = RunOptions { quick };
+
+    // one shared sink: every experiment's sessions append to the same trace
+    let telemetry = match telemetry_path.as_deref().map(JsonlSink::create) {
+        Some(Ok(sink)) => Some(SinkHandle::new(sink)),
+        Some(Err(e)) => {
+            eprintln!(
+                "error: cannot open telemetry file {}: {e}",
+                telemetry_path.as_deref().unwrap_or_default()
+            );
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
+    let options = RunOptions { quick, telemetry };
+
     for id in &ids {
         println!("\n################ {id} ################\n");
+        options.log(Level::Info, format!("experiment {id} starting"));
         if let Err(e) = run_experiment(id, &options) {
+            // diagnostics flow through the telemetry sink as structured
+            // events; the terminal keeps a copy either way
+            options.log(Level::Error, &e);
             eprintln!("error: {e}");
             eprintln!("known experiments: {}", ALL_EXPERIMENTS.join(" "));
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(sink) = &options.telemetry {
+        sink.flush();
+        println!(
+            "\ntelemetry trace written to {}",
+            telemetry_path.as_deref().unwrap_or_default()
+        );
     }
     ExitCode::SUCCESS
 }

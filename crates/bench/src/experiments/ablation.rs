@@ -26,7 +26,10 @@ fn model_choice(_options: &RunOptions) {
     use gss_sr::fsrcnn::{Fsrcnn, FsrcnnConfig};
     let reference = Edsr::new(EdsrConfig::default()).macs_for_input(300, 300) as f64;
     let models: [(&str, u64); 3] = [
-        ("EDSR-16/64 (paper)", Edsr::new(EdsrConfig::default()).macs_for_input(300, 300)),
+        (
+            "EDSR-16/64 (paper)",
+            Edsr::new(EdsrConfig::default()).macs_for_input(300, 300),
+        ),
         (
             "EDSR-8/32",
             Edsr::new(EdsrConfig {
@@ -36,12 +39,20 @@ fn model_choice(_options: &RunOptions) {
             })
             .macs_for_input(300, 300),
         ),
-        ("FSRCNN-56/12/4", Fsrcnn::new(FsrcnnConfig::default()).macs_for_input(300, 300)),
+        (
+            "FSRCNN-56/12/4",
+            Fsrcnn::new(FsrcnnConfig::default()).macs_for_input(300, 300),
+        ),
     ];
     let device = DeviceProfile::s8_tab();
     let mut t = Table::new(
         "Ablation: SR model choice vs real-time RoI window (S8 Tab)",
-        &["model", "GMACs @300x300", "cost vs EDSR", "max real-time RoI"],
+        &[
+            "model",
+            "GMACs @300x300",
+            "cost vs EDSR",
+            "max real-time RoI",
+        ],
     );
     for (name, macs) in models {
         let ratio = macs as f64 / reference;
@@ -214,6 +225,9 @@ mod tests {
 
     #[test]
     fn quick_run_completes() {
-        run(&RunOptions { quick: true });
+        run(&RunOptions {
+            quick: true,
+            ..Default::default()
+        });
     }
 }

@@ -13,11 +13,17 @@ pub const FAST_CANVAS: (usize, usize) = (128, 72);
 pub const QUALITY_CANVAS: (usize, usize) = (320, 180);
 
 /// A latency/energy session (quality metrics off) over full GOPs.
-pub fn fast_cfg(game: GameId, device: DeviceProfile, frames: usize) -> SessionConfig {
+pub fn fast_cfg(
+    game: GameId,
+    device: DeviceProfile,
+    frames: usize,
+    options: &crate::RunOptions,
+) -> SessionConfig {
     SessionConfig {
         frames,
         gop_size: 60,
         lr_size: FAST_CANVAS,
+        telemetry: options.telemetry.clone(),
         ..SessionConfig::new(game, device)
     }
     .without_quality()
@@ -43,6 +49,7 @@ pub fn quality_cfg(
         frames,
         gop_size: 60,
         lr_size: quality_canvas(options),
+        telemetry: options.telemetry.clone(),
         ..SessionConfig::new(game, device)
     }
 }
@@ -53,8 +60,18 @@ mod tests {
 
     #[test]
     fn configs_differ_only_where_expected() {
-        let f = fast_cfg(GameId::G1, DeviceProfile::s8_tab(), 10);
-        let q = quality_cfg(GameId::G1, DeviceProfile::s8_tab(), 10, &crate::RunOptions::default());
+        let f = fast_cfg(
+            GameId::G1,
+            DeviceProfile::s8_tab(),
+            10,
+            &crate::RunOptions::default(),
+        );
+        let q = quality_cfg(
+            GameId::G1,
+            DeviceProfile::s8_tab(),
+            10,
+            &crate::RunOptions::default(),
+        );
         assert!(!f.evaluate_quality);
         assert!(q.evaluate_quality);
         assert_eq!(f.gop_size, 60);

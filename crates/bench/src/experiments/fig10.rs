@@ -25,8 +25,8 @@ pub fn run_a(options: &RunOptions) {
         ],
     );
     for device in DeviceProfile::all() {
-        let cmp =
-            run_comparison(&fast_cfg(GameId::G3, device.clone(), frames)).expect("session");
+        let cmp = run_comparison(&fast_cfg(GameId::G3, device.clone(), frames, options))
+            .expect("session");
         t.row(&[
             device.name.to_string(),
             format!("{:.1}x", cmp.ref_upscale_speedup()),
@@ -37,7 +37,9 @@ pub fn run_a(options: &RunOptions) {
         ]);
     }
     t.print();
-    println!("(speedups are content-independent; the paper likewise reports no per-game variation)\n");
+    println!(
+        "(speedups are content-independent; the paper likewise reports no per-game variation)\n"
+    );
 }
 
 /// Fig. 10b: end-to-end MTP latency improvement for reference frames.
@@ -45,11 +47,16 @@ pub fn run_b(options: &RunOptions) {
     let frames = options.frames(120, 12);
     let mut t = Table::new(
         "Fig. 10b: reference-frame MTP latency improvement over SOTA",
-        &["device", "SOTA ref MTP ms", "ours ref MTP ms", "improvement"],
+        &[
+            "device",
+            "SOTA ref MTP ms",
+            "ours ref MTP ms",
+            "improvement",
+        ],
     );
     for device in DeviceProfile::all() {
-        let cmp =
-            run_comparison(&fast_cfg(GameId::G3, device.clone(), frames)).expect("session");
+        let cmp = run_comparison(&fast_cfg(GameId::G3, device.clone(), frames, options))
+            .expect("session");
         t.row(&[
             device.name.to_string(),
             f(cmp.sota.mean_mtp_ms(FrameType::Intra), 1),
@@ -64,7 +71,7 @@ pub fn run_b(options: &RunOptions) {
 /// reference frames, both pipelines.
 pub fn run_c(options: &RunOptions) {
     let frames = options.frames(61, 2);
-    let cfg = fast_cfg(GameId::G3, DeviceProfile::pixel7_pro(), frames);
+    let cfg = fast_cfg(GameId::G3, DeviceProfile::pixel7_pro(), frames, options);
     let ours = run_session(&cfg, Pipeline::GameStreamSr).expect("session");
     let sota = run_session(&cfg, Pipeline::Nemo).expect("session");
     let pick = |r: &gamestreamsr::session::SessionReport| {
@@ -100,7 +107,10 @@ mod tests {
 
     #[test]
     fn quick_runs_complete() {
-        let q = RunOptions { quick: true };
+        let q = RunOptions {
+            quick: true,
+            ..Default::default()
+        };
         run_a(&q);
         run_b(&q);
         run_c(&q);

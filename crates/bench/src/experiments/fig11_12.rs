@@ -23,7 +23,7 @@ pub fn run_savings(options: &RunOptions) {
     for &game in games {
         let mut cells = vec![game.label().to_string()];
         for (i, device) in DeviceProfile::all().into_iter().enumerate() {
-            let cmp = run_comparison(&fast_cfg(game, device, frames)).expect("session");
+            let cmp = run_comparison(&fast_cfg(game, device, frames, options)).expect("session");
             let savings = cmp.energy_savings();
             sums[i] += savings;
             cells.push(format!("{:.1}%", savings * 100.0));
@@ -41,7 +41,7 @@ pub fn run_savings(options: &RunOptions) {
 /// Fig. 12: energy-consumption breakdown, G3 on the Pixel 7 Pro.
 pub fn run_breakdown(options: &RunOptions) {
     let frames = options.frames(60, 30);
-    let cfg = fast_cfg(GameId::G3, DeviceProfile::pixel7_pro(), frames);
+    let cfg = fast_cfg(GameId::G3, DeviceProfile::pixel7_pro(), frames, options);
     let ours = run_session(&cfg, Pipeline::GameStreamSr).expect("session");
     let sota = run_session(&cfg, Pipeline::Nemo).expect("session");
     let mut t = Table::new(
@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn quick_runs_complete() {
-        let q = RunOptions { quick: true };
+        let q = RunOptions {
+            quick: true,
+            ..Default::default()
+        };
         run_savings(&q);
         run_breakdown(&q);
     }

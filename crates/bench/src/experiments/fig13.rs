@@ -29,7 +29,10 @@ pub fn run(options: &RunOptions) {
     for (i, (a, b)) in ours.iter().zip(sota.iter()).enumerate() {
         let pos = i % gop_size;
         // sample the series: GOP start, quartiles, GOP end
-        if pos == 0 || pos == gop_size / 4 || pos == gop_size / 2 || pos == 3 * gop_size / 4
+        if pos == 0
+            || pos == gop_size / 4
+            || pos == gop_size / 2
+            || pos == 3 * gop_size / 4
             || pos == gop_size - 1
         {
             t.row(&[i.to_string(), pos.to_string(), f(*a, 2), f(*b, 2)]);
@@ -57,6 +60,9 @@ mod tests {
 
     #[test]
     fn quick_run_completes() {
-        run(&RunOptions { quick: true });
+        run(&RunOptions {
+            quick: true,
+            ..Default::default()
+        });
     }
 }

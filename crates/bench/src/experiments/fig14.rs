@@ -95,7 +95,10 @@ mod tests {
 
     #[test]
     fn quick_runs_complete() {
-        let q = RunOptions { quick: true };
+        let q = RunOptions {
+            quick: true,
+            ..Default::default()
+        };
         run_psnr(&q);
     }
 }

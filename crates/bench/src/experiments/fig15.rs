@@ -15,7 +15,12 @@ use gss_render::GameId;
 pub fn run(options: &RunOptions) {
     let mut t = Table::new(
         "Fig. 15: SR-integrated decoder prototype - projected energy per GOP (60 frames)",
-        &["device", "this work mJ", "prototype mJ", "additional saving"],
+        &[
+            "device",
+            "this work mJ",
+            "prototype mJ",
+            "additional saving",
+        ],
     );
     for device in DeviceProfile::all() {
         let plan = plan_roi_window(&device, 2, 1280, 720);
@@ -62,6 +67,9 @@ mod tests {
 
     #[test]
     fn quick_run_completes() {
-        run(&RunOptions { quick: true });
+        run(&RunOptions {
+            quick: true,
+            ..Default::default()
+        });
     }
 }

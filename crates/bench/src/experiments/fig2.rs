@@ -12,7 +12,7 @@ use gss_render::GameId;
 /// Prints the SOTA per-frame upscaling timeline for 3 GOPs.
 pub fn run(options: &RunOptions) {
     let frames = options.frames(180, 12);
-    let cfg = fast_cfg(GameId::G3, DeviceProfile::s8_tab(), frames);
+    let cfg = fast_cfg(GameId::G3, DeviceProfile::s8_tab(), frames, options);
     let report = run_session(&cfg, Pipeline::Nemo).expect("session");
 
     let mut t = Table::new(
@@ -58,6 +58,9 @@ mod tests {
 
     #[test]
     fn quick_run_completes() {
-        run(&RunOptions { quick: true });
+        run(&RunOptions {
+            quick: true,
+            ..Default::default()
+        });
     }
 }

@@ -55,7 +55,13 @@ pub fn run_a(options: &RunOptions) {
 pub fn run_b(_options: &RunOptions) {
     let mut t = Table::new(
         "Fig. 3b: SR latency vs input resolution (x2 factor)",
-        &["input", "pixels", "S8 Tab ms", "Pixel 7 Pro ms", "real-time?"],
+        &[
+            "input",
+            "pixels",
+            "S8 Tab ms",
+            "Pixel 7 Pro ms",
+            "real-time?",
+        ],
     );
     let s8 = DeviceProfile::s8_tab();
     let pixel = DeviceProfile::pixel7_pro();
@@ -88,7 +94,13 @@ mod tests {
 
     #[test]
     fn quick_runs_complete() {
-        run_a(&RunOptions { quick: true });
-        run_b(&RunOptions { quick: true });
+        run_a(&RunOptions {
+            quick: true,
+            ..Default::default()
+        });
+        run_b(&RunOptions {
+            quick: true,
+            ..Default::default()
+        });
     }
 }

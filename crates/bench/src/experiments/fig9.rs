@@ -33,7 +33,9 @@ pub fn run(_options: &RunOptions) {
         ]);
     }
     t.print();
-    println!("the NPU and GPU paths run concurrently; the critical path is max(NPU, GPU) + merge\n");
+    println!(
+        "the NPU and GPU paths run concurrently; the critical path is max(NPU, GPU) + merge\n"
+    );
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ pub fn run(options: &RunOptions) {
         gop_size: frames,
         lr_size: quality_canvas(options),
         loss_recovery: true,
+        telemetry: options.telemetry.clone(),
         ..SessionConfig::new(GameId::G3, DeviceProfile::pixel7_pro())
     };
     // a fading channel tight against the stream's bitrate
@@ -41,9 +42,10 @@ pub fn run(options: &RunOptions) {
         // print drops, freezes, and their neighbourhood
         let interesting = rec.dropped
             || rec.frozen
-            || report.frames.iter().any(|o| {
-                (o.dropped || o.frozen) && rec.index.abs_diff(o.index) <= 1
-            });
+            || report
+                .frames
+                .iter()
+                .any(|o| (o.dropped || o.frozen) && rec.index.abs_diff(o.index) <= 1);
         if interesting && shown < 24 {
             shown += 1;
             t.row(&[
@@ -69,6 +71,9 @@ mod tests {
 
     #[test]
     fn quick_run_completes() {
-        run(&RunOptions { quick: true });
+        run(&RunOptions {
+            quick: true,
+            ..Default::default()
+        });
     }
 }

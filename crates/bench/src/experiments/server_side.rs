@@ -85,6 +85,9 @@ mod tests {
 
     #[test]
     fn quick_run_completes() {
-        run(&RunOptions { quick: true });
+        run(&RunOptions {
+            quick: true,
+            ..Default::default()
+        });
     }
 }

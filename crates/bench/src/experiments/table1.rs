@@ -11,7 +11,12 @@ pub fn run(_options: &RunOptions) {
     let mut t = Table::new(
         "Table I: game workloads",
         &[
-            "ID", "Game", "Genre", "triangles", "mean depth", "motion px/frame",
+            "ID",
+            "Game",
+            "Genre",
+            "triangles",
+            "mean depth",
+            "motion px/frame",
         ],
     );
     for id in GameId::ALL {
@@ -37,6 +42,9 @@ mod tests {
 
     #[test]
     fn runs_and_covers_all_games() {
-        run(&RunOptions { quick: true });
+        run(&RunOptions {
+            quick: true,
+            ..Default::default()
+        });
     }
 }

@@ -28,10 +28,14 @@ mod table;
 pub use table::Table;
 
 /// Global knobs shared by all experiments.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// Shrink frame counts (smoke mode).
     pub quick: bool,
+    /// Telemetry sink every experiment session streams its event trace
+    /// into (`--telemetry out.jsonl` on the `figures` binary). `None`
+    /// keeps sessions aggregate-only.
+    pub telemetry: Option<gss_telemetry::SinkHandle>,
 }
 
 impl RunOptions {
@@ -41,6 +45,17 @@ impl RunOptions {
             quick
         } else {
             full
+        }
+    }
+
+    /// Emits a structured log event to the telemetry sink, if one is
+    /// attached (the harness still prints to the terminal either way).
+    pub fn log(&self, level: gss_telemetry::Level, message: impl Into<String>) {
+        if let Some(sink) = &self.telemetry {
+            sink.emit(&gss_telemetry::Event::Log {
+                level,
+                message: message.into(),
+            });
         }
     }
 }

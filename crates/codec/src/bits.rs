@@ -225,10 +225,7 @@ mod tests {
         let data = [0xFFu8];
         let mut r = BitReader::new(&data);
         assert_eq!(r.get_bits(8).unwrap(), 0xFF);
-        assert!(matches!(
-            r.get_bit(),
-            Err(CodecError::CorruptStream { .. })
-        ));
+        assert!(matches!(r.get_bit(), Err(CodecError::CorruptStream { .. })));
     }
 
     #[test]

@@ -92,6 +92,25 @@ impl Decoder {
         }
     }
 
+    /// [`Decoder::decode`] plus telemetry: bumps `FramesReconstructed` for
+    /// inter packets (frames rebuilt from motion + residual against the
+    /// reference). The output is identical to an untraced decode.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decoder::decode`].
+    pub fn decode_traced(
+        &mut self,
+        packet: &EncodedFrame,
+        rec: &mut gss_telemetry::Recorder,
+    ) -> Result<DecodedFrame, CodecError> {
+        let decoded = self.decode(packet)?;
+        if packet.frame_type == FrameType::Inter {
+            rec.incr(gss_telemetry::Counter::FramesReconstructed);
+        }
+        Ok(decoded)
+    }
+
     /// The decoder's current reference frame, if any.
     pub fn reference(&self) -> Option<&Frame> {
         self.reference.as_ref()
@@ -152,13 +171,27 @@ pub(crate) fn decode_inter_payload(
 
     let pred_y = compensate(reference.y(), &motion, MB_SIZE);
     let chroma_motion = halved(&motion);
-    let pred_cb = compensate(&reference.cb().downsample_box(2), &chroma_motion, MB_SIZE / 2);
-    let pred_cr = compensate(&reference.cr().downsample_box(2), &chroma_motion, MB_SIZE / 2);
+    let pred_cb = compensate(
+        &reference.cb().downsample_box(2),
+        &chroma_motion,
+        MB_SIZE / 2,
+    );
+    let pred_cr = compensate(
+        &reference.cr().downsample_box(2),
+        &chroma_motion,
+        MB_SIZE / 2,
+    );
 
     let clamp = |v: f32| v.clamp(0.0, 255.0);
-    let y = pred_y.zip_map(&res_y, |p, d| clamp(p + d)).expect("same size");
-    let cb_half = pred_cb.zip_map(&res_cb, |p, d| clamp(p + d)).expect("same size");
-    let cr_half = pred_cr.zip_map(&res_cr, |p, d| clamp(p + d)).expect("same size");
+    let y = pred_y
+        .zip_map(&res_y, |p, d| clamp(p + d))
+        .expect("same size");
+    let cb_half = pred_cb
+        .zip_map(&res_cb, |p, d| clamp(p + d))
+        .expect("same size");
+    let cr_half = pred_cr
+        .zip_map(&res_cr, |p, d| clamp(p + d))
+        .expect("same size");
 
     let frame = Frame::from_planes(
         y,

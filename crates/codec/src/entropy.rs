@@ -154,10 +154,7 @@ mod tests {
         let data = w.finish();
         let mut r = BitReader::new(&data);
         let back = decode_plane(40, 24, &q, &mut r).unwrap();
-        let mse = p
-            .zip_map(&back, |a, b| (a - b) * (a - b))
-            .unwrap()
-            .mean();
+        let mse = p.zip_map(&back, |a, b| (a - b) * (a - b)).unwrap().mean();
         assert!(mse < 12.0, "mse {mse}");
     }
 
@@ -172,14 +169,19 @@ mod tests {
                 encode_plane(&p, &q, &mut w);
                 let bits = w.bit_len();
                 let data = w.finish();
-                let back =
-                    decode_plane(64, 64, &q, &mut BitReader::new(&data)).unwrap();
+                let back = decode_plane(64, 64, &q, &mut BitReader::new(&data)).unwrap();
                 let mse = p.zip_map(&back, |a, b| (a - b) * (a - b)).unwrap().mean();
                 (bits, mse)
             })
             .collect();
-        assert!(sizes[0].0 < sizes[1].0 && sizes[1].0 < sizes[2].0, "{sizes:?}");
-        assert!(sizes[0].1 > sizes[1].1 && sizes[1].1 > sizes[2].1, "{sizes:?}");
+        assert!(
+            sizes[0].0 < sizes[1].0 && sizes[1].0 < sizes[2].0,
+            "{sizes:?}"
+        );
+        assert!(
+            sizes[0].1 > sizes[1].1 && sizes[1].1 > sizes[2].1,
+            "{sizes:?}"
+        );
     }
 
     #[test]

@@ -162,7 +162,11 @@ pub fn encode_plane_intra(plane: &Plane<f32>, q: &QuantMatrix, w: &mut BitWriter
                     if px >= width {
                         break;
                     }
-                    recon.set(px, py, (pred[y * 8 + x] + rec_res[y * 8 + x]).clamp(-128.0, 127.0));
+                    recon.set(
+                        px,
+                        py,
+                        (pred[y * 8 + x] + rec_res[y * 8 + x]).clamp(-128.0, 127.0),
+                    );
                 }
             }
         }
@@ -203,7 +207,11 @@ pub fn decode_plane_intra(
                     if px >= width {
                         break;
                     }
-                    recon.set(px, py, (pred[y * 8 + x] + rec_res[y * 8 + x]).clamp(-128.0, 127.0));
+                    recon.set(
+                        px,
+                        py,
+                        (pred[y * 8 + x] + rec_res[y * 8 + x]).clamp(-128.0, 127.0),
+                    );
                 }
             }
         }

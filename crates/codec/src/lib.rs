@@ -51,12 +51,12 @@ mod quant;
 mod rate;
 
 pub use bits::{BitReader, BitWriter};
-pub use decoder::{DecodeDetail, DecodedFrame, Decoder};
 pub use dct::{dct8_forward, dct8_inverse, Block8};
+pub use decoder::{DecodeDetail, DecodedFrame, Decoder};
 pub use encoder::{EncodedFrame, Encoder, EncoderConfig, FrameType};
 pub use entropy::{decode_plane, encode_plane};
-pub use intra::{decode_plane_intra, encode_plane_intra, IntraMode};
 pub use error::CodecError;
+pub use intra::{decode_plane_intra, encode_plane_intra, IntraMode};
 pub use motion::{compensate, estimate_motion, MotionField, MotionVector, MB_SIZE};
 pub use quant::{dequantize, quantize, QuantMatrix};
 pub use rate::{RateControlConfig, RateController};

@@ -260,7 +260,10 @@ mod tests {
         let mf = MotionField::from_vectors(
             2,
             1,
-            vec![MotionVector { dx: 3, dy: -2 }, MotionVector { dx: -60, dy: 100 }],
+            vec![
+                MotionVector { dx: 3, dy: -2 },
+                MotionVector { dx: -60, dy: 100 },
+            ],
         );
         let s = mf.scaled(2);
         assert_eq!(s.get(0, 0), MotionVector { dx: 6, dy: -4 });

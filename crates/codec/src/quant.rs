@@ -63,7 +63,9 @@ impl QuantMatrix {
 pub fn quantize(coeffs: &Block8, q: &QuantMatrix) -> [i16; 64] {
     let mut out = [0i16; 64];
     for i in 0..64 {
-        out[i] = (coeffs[i] / q.steps[i] as f32).round().clamp(-32768.0, 32767.0) as i16;
+        out[i] = (coeffs[i] / q.steps[i] as f32)
+            .round()
+            .clamp(-32768.0, 32767.0) as i16;
     }
     out
 }

@@ -60,7 +60,10 @@ impl RateController {
     /// Panics when the target is zero or the bounds are inverted.
     pub fn new(config: RateControlConfig, start: &EncoderConfig) -> Self {
         assert!(config.target_bytes_per_frame > 0, "target must be nonzero");
-        assert!(config.min_quality <= config.max_quality, "quality bounds inverted");
+        assert!(
+            config.min_quality <= config.max_quality,
+            "quality bounds inverted"
+        );
         assert!(
             config.min_residual_step <= config.max_residual_step,
             "residual bounds inverted"
@@ -85,9 +88,7 @@ impl RateController {
         let budget = self.config.target_bytes_per_frame as f64 * if was_intra { 4.0 } else { 1.0 };
         let err = (bytes as f64 - budget) / budget; // +1 = 100% overshoot
         self.debt_bytes += bytes as f64 - self.config.target_bytes_per_frame as f64;
-        self.debt_bytes = self
-            .debt_bytes
-            .clamp(-16.0 * budget, 16.0 * budget);
+        self.debt_bytes = self.debt_bytes.clamp(-16.0 * budget, 16.0 * budget);
         let integral = self.debt_bytes / (8.0 * self.config.target_bytes_per_frame as f64);
         let step = self.config.gain * err + 2.0 * integral;
         self.quality = (self.quality - step).clamp(
@@ -98,6 +99,24 @@ impl RateController {
         self.residual_step = (self.residual_step + step * 0.45).clamp(
             self.config.min_residual_step as f64,
             self.config.max_residual_step as f64,
+        );
+    }
+
+    /// [`RateController::observe`] plus telemetry: reports the resulting
+    /// quantizer decisions as `EncodeQuality` / `EncodeResidualStep` gauges.
+    /// The control trajectory is identical to an untraced observation.
+    pub fn observe_traced(
+        &mut self,
+        bytes: usize,
+        was_intra: bool,
+        rec: &mut gss_telemetry::Recorder,
+    ) {
+        self.observe(bytes, was_intra);
+        let (quality, residual_step) = self.quantizers();
+        rec.gauge(gss_telemetry::Gauge::EncodeQuality, quality as f64);
+        rec.gauge(
+            gss_telemetry::Gauge::EncodeResidualStep,
+            residual_step as f64,
         );
     }
 
@@ -127,7 +146,8 @@ mod tests {
         Frame::from_planes(
             Plane::from_fn(w, h, |x, y| {
                 let fx = x as f32 + t;
-                (128.0 + 70.0 * ((fx * 0.4).sin() * (y as f32 * 0.3).cos())
+                (128.0
+                    + 70.0 * ((fx * 0.4).sin() * (y as f32 * 0.3).cos())
                     + 30.0 * ((fx * 1.1 + y as f32 * 0.9).sin()))
                 .clamp(0.0, 255.0)
             }),
@@ -163,7 +183,9 @@ mod tests {
             // GOP in real use — here quality changes apply to residuals via
             // a new encoder every frame would break the reference chain, so
             // we accept stepwise application per observation window)
-            let packet = encoder.encode(&textured_frame(160, 96, t as f32 * 2.0)).unwrap();
+            let packet = encoder
+                .encode(&textured_frame(160, 96, t as f32 * 2.0))
+                .unwrap();
             rc.observe(packet.size_bytes(), packet.frame_type == FrameType::Intra);
             if packet.frame_type == FrameType::Inter && t > frames / 2 {
                 total += packet.size_bytes();
@@ -209,6 +231,29 @@ mod tests {
         let (q, r) = rc.quantizers();
         assert_eq!(q, cfg.max_quality);
         assert_eq!(r, cfg.min_residual_step);
+    }
+
+    #[test]
+    fn traced_observation_matches_untraced_and_gauges_decisions() {
+        use gss_telemetry::{Gauge, Recorder};
+        let cfg = RateControlConfig::for_bitrate_mbps(5.0);
+        let mut plain = RateController::new(cfg, &EncoderConfig::default());
+        let mut traced = RateController::new(cfg, &EncoderConfig::default());
+        let mut rec = Recorder::new("rc-test", 16.67);
+        for i in 0..20 {
+            let bytes = 4000 + i * 500;
+            plain.observe(bytes, false);
+            traced.observe_traced(bytes, false, &mut rec);
+            assert_eq!(plain.quantizers(), traced.quantizers());
+        }
+        let s = rec.summary();
+        let quality = s.gauge(Gauge::EncodeQuality).expect("quality gauged");
+        assert_eq!(quality.count, 20);
+        assert_eq!(quality.last, traced.quantizers().0 as f64);
+        assert_eq!(
+            s.gauge(Gauge::EncodeResidualStep).unwrap().last,
+            traced.quantizers().1 as f64
+        );
     }
 
     #[test]

@@ -16,12 +16,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 .wrapping_mul(2654435761);
             (v % 256) as f32
         });
-        Frame::from_planes(
-            lum,
-            Plane::filled(w, h, 120.0),
-            Plane::filled(w, h, 136.0),
-        )
-        .expect("planes share size")
+        Frame::from_planes(lum, Plane::filled(w, h, 120.0), Plane::filled(w, h, 136.0))
+            .expect("planes share size")
     })
 }
 
@@ -70,7 +66,7 @@ proptest! {
         let packet = enc.encode(&frame).unwrap();
         let mut bytes = packet.payload.to_vec();
         let keep = ((bytes.len() as f64) * cut) as usize;
-        bytes.truncate(keep.max(0));
+        bytes.truncate(keep);
         if !bytes.is_empty() {
             let i = flip_byte % bytes.len();
             bytes[i] ^= flip_mask;

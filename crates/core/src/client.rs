@@ -86,12 +86,28 @@ impl GameStreamClient {
     /// # Errors
     ///
     /// Propagates codec errors (missing reference, corrupt stream, …).
-    pub fn process(
+    pub fn process(&mut self, packet: &EncodedFrame, roi: Rect) -> Result<ClientOutput, GssError> {
+        let decoded = self.decoder.decode(packet)?;
+        Ok(self.upscale(&decoded.frame, roi))
+    }
+
+    /// [`GameStreamClient::process`] plus telemetry: bumps the
+    /// `FramesUpscaled` counter and lets the (black-box) decoder count
+    /// reconstructed inter frames. Modeled stage *timings* are recorded by
+    /// the session from the platform model, not here — the client only
+    /// moves pixels. The output is identical to an untraced call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GameStreamClient::process`].
+    pub fn process_traced(
         &mut self,
         packet: &EncodedFrame,
         roi: Rect,
+        rec: &mut gss_telemetry::Recorder,
     ) -> Result<ClientOutput, GssError> {
-        let decoded = self.decoder.decode(packet)?;
+        let decoded = self.decoder.decode_traced(packet, rec)?;
+        rec.incr(gss_telemetry::Counter::FramesUpscaled);
         Ok(self.upscale(&decoded.frame, roi))
     }
 
@@ -132,7 +148,11 @@ mod tests {
     fn scene_frame(w: usize, h: usize) -> Frame {
         Frame::from_planes(
             Plane::from_fn(w, h, |x, y| {
-                let stripes = if (x / 5 + y / 4) % 2 == 0 { 70.0 } else { 180.0 };
+                let stripes = if (x / 5 + y / 4) % 2 == 0 {
+                    70.0
+                } else {
+                    180.0
+                };
                 let tex = 20.0 * ((x as f32 * 0.7).sin() * (y as f32 * 0.5).cos());
                 (stripes + tex).clamp(0.0, 255.0)
             }),
@@ -165,7 +185,10 @@ mod tests {
         let plain_patch = plain.y().crop(roi_hr).unwrap();
         let p_ours = psnr_planes(&gt_patch, &ours_patch).unwrap();
         let p_plain = psnr_planes(&gt_patch, &plain_patch).unwrap();
-        assert!(p_ours > p_plain, "roi psnr {p_ours:.2} vs bilinear {p_plain:.2}");
+        assert!(
+            p_ours > p_plain,
+            "roi psnr {p_ours:.2} vs bilinear {p_plain:.2}"
+        );
     }
 
     #[test]

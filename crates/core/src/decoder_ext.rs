@@ -157,8 +157,8 @@ pub fn gop_energy_projection(
     // performs HR motion compensation + RoI-guided residual interpolation
     // at roughly half the per-pixel cost of a full decode
     let ext_ref_frame = ours_frame;
-    let ext_nonref_frame = device.hw_decoder_w
-        * (device.hw_decode_ms(lr_px) + 0.5 * device.hw_decode_ms(hr_px));
+    let ext_nonref_frame =
+        device.hw_decoder_w * (device.hw_decode_ms(lr_px) + 0.5 * device.hw_decode_ms(hr_px));
 
     let shared = (device.net_uj_per_byte * bytes_per_frame as f64 / 1000.0
         + device.display_mj_per_frame)

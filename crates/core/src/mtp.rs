@@ -53,6 +53,36 @@ impl MtpBreakdown {
             + self.display_ms
     }
 
+    /// Records the serial stages of this breakdown as telemetry spans on a
+    /// frame timeline beginning at `t0_ms` (the instant the user input
+    /// leaves the controller) and returns the instant upscaling starts.
+    ///
+    /// Only the stages this struct resolves 1:1 are recorded here: render,
+    /// encode, decode and display. The downlink span is recorded by the
+    /// link model at transfer time, the RoI/depth spans by the session
+    /// (their overlap with encode is not recoverable from the summed
+    /// `roi_extra_ms`), and the upscale spans by
+    /// [`UpscaleTiming::record_spans`].
+    pub fn record_spans(&self, rec: &mut gss_telemetry::Recorder, t0_ms: f64) -> f64 {
+        use gss_telemetry::Stage;
+        let mut span = |stage, start, dur| {
+            // zero-duration stages (e.g. decode of a frozen frame) are
+            // omitted so they cannot drag stage percentiles to zero
+            if dur > 0.0 {
+                rec.record_span(stage, start, dur);
+            }
+        };
+        let mut t = t0_ms + self.input_uplink_ms + self.engine_ms;
+        span(Stage::Render, t, self.render_ms);
+        t += self.render_ms;
+        span(Stage::Encode, t, self.encode_ms);
+        t += self.encode_ms + self.roi_extra_ms + self.downlink_ms;
+        span(Stage::Decode, t, self.decode_ms);
+        t += self.decode_ms;
+        span(Stage::Display, t + self.upscale_ms, self.display_ms);
+        t
+    }
+
     /// `(label, value)` pairs in pipeline order, for reports.
     pub fn stages(&self) -> [(&'static str, f64); 9] {
         [
@@ -82,6 +112,33 @@ pub struct UpscaleTiming {
     pub cpu_ms: f64,
     /// Critical-path latency of the whole upscaling stage, ms.
     pub critical_ms: f64,
+}
+
+impl UpscaleTiming {
+    /// Records the upscale as telemetry spans starting at `start_ms`.
+    ///
+    /// NPU super-resolution and GPU interpolation are genuinely parallel,
+    /// so their spans share a start and overlap in time; the merge begins
+    /// after the slower of the two. NEMO's CPU reconstruction path is
+    /// recorded under the generic interpolation stage (see
+    /// [`gss_telemetry::Stage::GpuInterp`]). Zero-duration stages (paths a
+    /// pipeline does not use) are omitted.
+    pub fn record_spans(&self, rec: &mut gss_telemetry::Recorder, start_ms: f64) {
+        use gss_telemetry::Stage;
+        if self.npu_ms > 0.0 {
+            rec.record_span(Stage::NpuSr, start_ms, self.npu_ms);
+        }
+        if self.gpu_ms > 0.0 {
+            rec.record_span(Stage::GpuInterp, start_ms, self.gpu_ms);
+        }
+        if self.cpu_ms > 0.0 {
+            rec.record_span(Stage::GpuInterp, start_ms, self.cpu_ms);
+        }
+        if self.merge_ms > 0.0 {
+            let merge_start = start_ms + self.npu_ms.max(self.gpu_ms);
+            rec.record_span(Stage::Merge, merge_start, self.merge_ms);
+        }
+    }
 }
 
 /// GameStreamSR's upscaling timing: NPU (RoI) and GPU (non-RoI) run in
@@ -151,6 +208,78 @@ mod tests {
         assert!((m.total_ms() - 36.5).abs() < 1e-12);
         let stage_sum: f64 = m.stages().iter().map(|(_, v)| v).sum();
         assert!((stage_sum - m.total_ms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_spans_line_up_on_the_frame_timeline() {
+        use gss_telemetry::{Recorder, Stage};
+        let m = MtpBreakdown {
+            input_uplink_ms: 1.0,
+            engine_ms: 2.0,
+            render_ms: 3.0,
+            roi_extra_ms: 0.5,
+            encode_ms: 4.0,
+            downlink_ms: 5.0,
+            decode_ms: 6.0,
+            upscale_ms: 7.0,
+            display_ms: 8.0,
+        };
+        let mut rec = Recorder::new("mtp-test", 100.0);
+        rec.begin_frame(0);
+        let upscale_start = m.record_spans(&mut rec, 0.0);
+        assert!((upscale_start - 21.5).abs() < 1e-12);
+        let s = rec.summary();
+        for (stage, dur) in [
+            (Stage::Render, 3.0),
+            (Stage::Encode, 4.0),
+            (Stage::Decode, 6.0),
+            (Stage::Display, 8.0),
+        ] {
+            assert_eq!(s.stage(stage).unwrap().dist.p50, dur, "{}", stage.label());
+        }
+    }
+
+    #[test]
+    fn upscale_spans_follow_the_parallel_timeline() {
+        use gss_telemetry::{MemorySink, Recorder, SinkHandle};
+        let s8 = DeviceProfile::s8_tab();
+        let side = s8.max_realtime_roi_side(REALTIME_BUDGET_MS);
+        let timing = ours_upscale(&s8, side);
+        let mem = MemorySink::new();
+        let mut rec = Recorder::new("mtp-test", 100.0).with_sink(SinkHandle::new(mem.clone()));
+        timing.record_spans(&mut rec, 10.0);
+        let spans: Vec<(String, f64, f64)> = mem
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                gss_telemetry::Event::Span {
+                    stage,
+                    start_ms,
+                    end_ms,
+                    ..
+                } => Some((stage.label().to_owned(), *start_ms, *end_ms)),
+                _ => None,
+            })
+            .collect();
+        // NPU and GPU start together; the merge starts when the slower ends.
+        assert_eq!(spans[0].0, "npu-sr");
+        assert_eq!(spans[1].0, "gpu-interp");
+        assert_eq!(spans[0].1, spans[1].1);
+        let merge = spans.iter().find(|s| s.0 == "merge").expect("merge span");
+        assert!((merge.1 - (10.0 + timing.npu_ms.max(timing.gpu_ms))).abs() < 1e-12);
+        // Whole-stage extent matches the critical path.
+        assert!((merge.2 - (10.0 + timing.critical_ms)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nemo_cpu_path_records_as_interpolation() {
+        use gss_telemetry::{Recorder, Stage};
+        let mut rec = Recorder::new("mtp-test", 100.0);
+        sota_nonref_upscale(&DeviceProfile::s8_tab()).record_spans(&mut rec, 0.0);
+        let s = rec.summary();
+        assert!(s.stage(Stage::GpuInterp).is_some());
+        assert!(s.stage(Stage::NpuSr).is_none());
+        assert!(s.stage(Stage::Merge).is_none());
     }
 
     #[test]

@@ -108,6 +108,28 @@ impl NemoClient {
         }
     }
 
+    /// [`NemoClient::process`] plus telemetry: the software decoder counts
+    /// reconstructed inter frames (NEMO's defining cost — it is the reason
+    /// the baseline cannot use the hardware decoder), and reference frames
+    /// count as full-frame upscales. The output is identical to an
+    /// untraced call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NemoClient::process`].
+    pub fn process_traced(
+        &mut self,
+        packet: &EncodedFrame,
+        rec: &mut gss_telemetry::Recorder,
+    ) -> Result<NemoOutput, GssError> {
+        let out = self.process(packet)?;
+        match out.frame_type {
+            FrameType::Intra => rec.incr(gss_telemetry::Counter::FramesUpscaled),
+            FrameType::Inter => rec.incr(gss_telemetry::Counter::FramesReconstructed),
+        }
+        Ok(out)
+    }
+
     /// NEMO's non-reference reconstruction: upscale the motion vectors by
     /// the scale factor, motion-compensate the previous *high-resolution*
     /// frame, and add the bilinearly-upscaled residual.
@@ -200,7 +222,11 @@ mod tests {
         assert!(late < early - 0.4, "early {early:.2} late {late:.2}");
         // the next keyframe restores quality above the late-GOP level
         // (recovery is bounded by the codec's own intra quality)
-        assert!(series[10] > late + 0.15, "key {:.2} late {late:.2}", series[10]);
+        assert!(
+            series[10] > late + 0.15,
+            "key {:.2} late {late:.2}",
+            series[10]
+        );
     }
 
     #[test]

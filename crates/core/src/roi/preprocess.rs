@@ -268,11 +268,7 @@ mod tests {
         for y in 0..64 {
             for x in 0..64 {
                 let v = stages.weighted.get(x, y);
-                let hits = stages
-                    .layers
-                    .iter()
-                    .filter(|l| l.get(x, y) != 0.0)
-                    .count();
+                let hits = stages.layers.iter().filter(|l| l.get(x, y) != 0.0).count();
                 if v != 0.0 {
                     assert_eq!(hits, 1, "pixel ({x},{y}) value {v} in {hits} layers");
                 } else {

@@ -35,11 +35,7 @@ impl Default for SearchConfig {
 /// # Panics
 ///
 /// Panics when the window is empty or does not fit inside the map.
-pub fn search_roi(
-    processed: &Plane<f32>,
-    window: (usize, usize),
-    config: &SearchConfig,
-) -> Rect {
+pub fn search_roi(processed: &Plane<f32>, window: (usize, usize), config: &SearchConfig) -> Rect {
     let (map_w, map_h) = processed.size();
     let (win_w, win_h) = window;
     assert!(

@@ -73,7 +73,11 @@ mod tests {
     fn s8_plan_matches_paper_example() {
         let plan = plan_roi_window(&DeviceProfile::s8_tab(), 2, 1280, 720);
         // §IV-B1: foveal ≈172 px, compute max ≈300 px on the S8
-        assert!((170..=173).contains(&plan.foveal_side), "{}", plan.foveal_side);
+        assert!(
+            (170..=173).contains(&plan.foveal_side),
+            "{}",
+            plan.foveal_side
+        );
         assert!((296..=312).contains(&plan.max_side), "{}", plan.max_side);
         assert_eq!(plan.chosen_side, plan.max_side);
         assert!(!plan.foveal_compromised);

@@ -115,7 +115,10 @@ impl GameStreamServer {
     pub fn new(config: ServerConfig) -> Self {
         assert!(config.scale > 0, "scale must be nonzero");
         let (w, h) = config.lr_size;
-        assert!(w > 0 && h > 0 && w % 2 == 0 && h % 2 == 0, "lr size must be even");
+        assert!(
+            w > 0 && h > 0 && w % 2 == 0 && h % 2 == 0,
+            "lr size must be even"
+        );
         assert!(
             config.roi_window.0 <= w && config.roi_window.1 <= h,
             "roi window must fit the lr frame"
@@ -156,6 +159,28 @@ impl GameStreamServer {
     ///
     /// Propagates codec errors.
     pub fn next_frame(&mut self) -> Result<ServerPacket, GssError> {
+        self.next_frame_inner(None)
+    }
+
+    /// [`GameStreamServer::next_frame`] plus telemetry: the codec counts
+    /// encoded frames and forced keyframes, the rate controller gauges its
+    /// quantizer decisions, and the selected RoI area is gauged per frame.
+    /// The emitted packet is identical to an untraced call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors.
+    pub fn next_frame_traced(
+        &mut self,
+        rec: &mut gss_telemetry::Recorder,
+    ) -> Result<ServerPacket, GssError> {
+        self.next_frame_inner(Some(rec))
+    }
+
+    fn next_frame_inner(
+        &mut self,
+        mut rec: Option<&mut gss_telemetry::Recorder>,
+    ) -> Result<ServerPacket, GssError> {
         let index = self.frame_index;
         self.frame_index += 1;
         let (lw, lh) = self.config.lr_size;
@@ -171,18 +196,28 @@ impl GameStreamServer {
         let lr = native.frame.downsample_box(scale);
         let depth_lr = native.depth.downsample_box(scale);
 
-        let detected = self
-            .detector
-            .detect(&depth_lr, self.config.roi_window)
-            .roi;
+        let detected = self.detector.detect(&depth_lr, self.config.roi_window).roi;
         let roi = match &mut self.tracker {
             Some(tracker) => tracker.track(detected, (lw, lh)),
             None => detected,
         };
-        let encoded = self.encoder.encode(&lr)?;
+        if let Some(rec) = rec.as_deref_mut() {
+            rec.gauge(
+                gss_telemetry::Gauge::RoiAreaPx,
+                (roi.width * roi.height) as f64,
+            );
+        }
+        let encoded = match rec.as_deref_mut() {
+            Some(rec) => self.encoder.encode_traced(&lr, rec)?,
+            None => self.encoder.encode(&lr)?,
+        };
         let frame_type = encoded.frame_type;
         if let Some(rc) = &mut self.rate_controller {
-            rc.observe(encoded.size_bytes(), frame_type == FrameType::Intra);
+            let intra = frame_type == FrameType::Intra;
+            match rec {
+                Some(rec) => rc.observe_traced(encoded.size_bytes(), intra, rec),
+                None => rc.observe(encoded.size_bytes(), intra),
+            }
             let (quality, residual_step) = rc.quantizers();
             self.encoder.set_quantizers(quality, residual_step);
         }
@@ -215,8 +250,7 @@ mod tests {
 
     #[test]
     fn roi_stays_inside_lr_frame() {
-        let mut server =
-            GameStreamServer::new(ServerConfig::new(GameId::G5, (128, 72), (48, 48)));
+        let mut server = GameStreamServer::new(ServerConfig::new(GameId::G5, (128, 72), (48, 48)));
         for _ in 0..5 {
             let p = server.next_frame().unwrap();
             assert!(p.roi.right() <= 128 && p.roi.bottom() <= 72);
@@ -232,8 +266,7 @@ mod tests {
         let mut roi_sum = 0.0;
         let mut frame_sum = 0.0;
         for game in GameId::ALL {
-            let mut server =
-                GameStreamServer::new(ServerConfig::new(game, (128, 72), (48, 40)));
+            let mut server = GameStreamServer::new(ServerConfig::new(game, (128, 72), (48, 40)));
             let p = server.next_frame().unwrap();
             let roi_depth = p.depth_lr.mean_in(p.roi);
             let frame_depth = p.depth_lr.plane().mean();
@@ -261,6 +294,29 @@ mod tests {
             assert_eq!(pa.roi, pb.roi);
             assert_eq!(pa.encoded.payload, pb.encoded.payload);
         }
+    }
+
+    #[test]
+    fn traced_frames_match_untraced_and_gauge_the_roi() {
+        use gss_telemetry::{Counter, Gauge, Recorder};
+        let mk = || {
+            let mut cfg = ServerConfig::new(GameId::G3, (96, 54), (32, 32));
+            cfg.rate_control = Some(RateControlConfig::for_bitrate_mbps(2.0));
+            GameStreamServer::new(cfg)
+        };
+        let mut plain = mk();
+        let mut traced = mk();
+        let mut rec = Recorder::new("server-test", 16.67);
+        for _ in 0..4 {
+            let a = plain.next_frame().unwrap();
+            let b = traced.next_frame_traced(&mut rec).unwrap();
+            assert_eq!(a.encoded.payload, b.encoded.payload);
+            assert_eq!(a.roi, b.roi);
+        }
+        assert_eq!(rec.counter(Counter::FramesEncoded), 4);
+        let s = rec.summary();
+        assert_eq!(s.gauge(Gauge::RoiAreaPx).unwrap().last, (32 * 32) as f64);
+        assert!(s.gauge(Gauge::EncodeQuality).is_some());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use gss_platform::{
     DeviceProfile, EnergyBreakdown, EnergyMeter, Rail, ServerModel, Stage, REALTIME_BUDGET_MS,
 };
 use gss_render::GameId;
+use gss_telemetry::{Counter, Recorder, SinkHandle, TelemetrySummary};
 use serde::{Deserialize, Serialize};
 
 /// Which client pipeline a session runs.
@@ -93,6 +94,11 @@ pub struct SessionConfig {
     /// that keyframe. `false` (default) assumes lossless delivery, like the
     /// paper's evaluation.
     pub loss_recovery: bool,
+    /// Optional sink receiving the per-frame telemetry event stream
+    /// ([`gss_telemetry::Event`]). Aggregates (stage percentiles, counters,
+    /// deadline misses) are collected either way and land on
+    /// [`SessionReport::telemetry`]; the sink only adds the raw events.
+    pub telemetry: Option<SinkHandle>,
 }
 
 impl SessionConfig {
@@ -115,6 +121,7 @@ impl SessionConfig {
             tracker: None,
             rate_control: None,
             loss_recovery: false,
+            telemetry: None,
         }
     }
 
@@ -127,6 +134,13 @@ impl SessionConfig {
     /// Sets the frame count.
     pub fn with_frames(mut self, frames: usize) -> Self {
         self.frames = frames;
+        self
+    }
+
+    /// Streams telemetry events into `sink` (aggregation is always on;
+    /// this adds the raw per-frame event stream, e.g. for a JSONL trace).
+    pub fn with_telemetry(mut self, sink: SinkHandle) -> Self {
+        self.telemetry = Some(sink);
         self
     }
 
@@ -164,6 +178,11 @@ pub struct FrameRecord {
     /// Whether the client displayed a stale (frozen) frame because of loss
     /// recovery.
     pub frozen: bool,
+    /// Whether the upscaling stage fit the 16.66 ms real-time budget — the
+    /// per-frame deadline a 60 FPS pipeline must hold (end-to-end MTP is
+    /// longer but pipelined). Frozen frames consume no upscale time and
+    /// trivially meet it.
+    pub deadline_met: bool,
     /// Luma PSNR against the native render, dB (when evaluated).
     pub psnr_db: Option<f64>,
     /// Foveated PSNR: squared error inside the detected RoI weighted 4x
@@ -186,6 +205,9 @@ pub struct SessionReport {
     pub frames: Vec<FrameRecord>,
     /// Session energy breakdown (deployment scale).
     pub energy: EnergyBreakdown,
+    /// Aggregated telemetry: per-stage latency percentiles, counters,
+    /// gauges and deadline-miss accounting for the whole session.
+    pub telemetry: TelemetrySummary,
 }
 
 impl SessionReport {
@@ -223,12 +245,15 @@ impl SessionReport {
 
     /// Fraction of frames whose upscaling met the 16.66 ms budget.
     pub fn realtime_fraction(&self) -> f64 {
-        let ok = self
-            .frames
-            .iter()
-            .filter(|f| f.upscale_ms <= REALTIME_BUDGET_MS + 1e-9)
-            .count();
+        let ok = self.frames.iter().filter(|f| f.deadline_met).count();
         ok as f64 / self.frames.len().max(1) as f64
+    }
+
+    /// Effective display rate: the 60 FPS source rate times the fraction
+    /// of frames that met the real-time deadline — a frame that misses its
+    /// slot is a repeat from the display's point of view.
+    pub fn fps_effective(&self) -> f64 {
+        60.0 * self.realtime_fraction()
     }
 
     /// Session mean PSNR (dB) when quality was evaluated.
@@ -306,7 +331,12 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 /// Propagates codec failures (which would indicate a bug — the simulated
 /// stream is delivered losslessly to the decoder).
 pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<SessionReport, GssError> {
-    let plan = plan_roi_window(&config.device, config.scale, FULL_LR.width(), FULL_LR.height());
+    let plan = plan_roi_window(
+        &config.device,
+        config.scale,
+        FULL_LR.width(),
+        FULL_LR.height(),
+    );
     let roi_window = plan.scaled_to_canvas(config.lr_size.0, FULL_LR.width());
 
     let mut server = GameStreamServer::new(ServerConfig {
@@ -325,10 +355,8 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
         // the controller sees canvas-scale byte counts: rescale the
         // deployment-scale target accordingly
         rate_control: config.rate_control.map(|mut rc| {
-            rc.target_bytes_per_frame = ((rc.target_bytes_per_frame as f64
-                / config.canvas_to_full())
-                as usize)
-                .max(1);
+            rc.target_bytes_per_frame =
+                ((rc.target_bytes_per_frame as f64 / config.canvas_to_full()) as usize).max(1);
             rc
         }),
     });
@@ -339,23 +367,38 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
     let mut meter = EnergyMeter::new(&config.device);
     let byte_scale = config.canvas_to_full();
 
+    let mut rec = Recorder::new(
+        format!(
+            "{} | {} | {}",
+            pipeline.label(),
+            config.device.name,
+            config.link.name
+        ),
+        REALTIME_BUDGET_MS,
+    );
+    if let Some(sink) = &config.telemetry {
+        rec = rec.with_sink(sink.clone());
+    }
+
     let mut frames = Vec::with_capacity(config.frames);
     // loss-recovery state (only used when config.loss_recovery)
     let mut nack_pending = false;
     let mut awaiting_keyframe = false;
     let mut last_displayed: Option<Frame> = None;
     for i in 0..config.frames {
+        rec.begin_frame(i as u64);
         if config.loss_recovery && nack_pending {
             server.request_keyframe();
+            rec.incr(Counter::Nacks);
             nack_pending = false;
         }
-        let packet = server.next_frame()?;
+        let packet = server.next_frame_traced(&mut rec)?;
         let bytes_full = (packet.encoded.size_bytes() as f64 * byte_scale) as usize;
 
         // ---- network ------------------------------------------------------
         let input_uplink_ms = link.control_latency_ms();
         let send_time = i as f64 * 1000.0 / 60.0;
-        let transfer = link.send(bytes_full, send_time);
+        let transfer = link.send_traced(bytes_full, send_time, &mut rec);
         let (dropped, downlink_ms) = if transfer.delivered {
             (false, transfer.transit_ms)
         } else {
@@ -369,6 +412,9 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
         // reference the client never received
         let frozen = config.loss_recovery
             && (dropped || (awaiting_keyframe && packet.frame_type == FrameType::Inter));
+        if frozen {
+            rec.incr(Counter::FramesFrozen);
+        }
         if config.loss_recovery {
             if dropped {
                 awaiting_keyframe = true;
@@ -384,31 +430,31 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
             (0.0, mtp::UpscaleTiming::default())
         } else {
             match pipeline {
-            Pipeline::GameStreamSr => {
-                let decode = config.device.hw_decode_ms(FULL_LR.pixels());
-                meter.add_busy(Stage::Decode, Rail::HwDecoder, decode);
-                let t = mtp::ours_upscale(&config.device, plan.chosen_side);
-                meter.add_busy(Stage::Upscale, Rail::Npu, t.npu_ms);
-                meter.add_busy(Stage::Upscale, Rail::Gpu, t.gpu_ms + t.merge_ms);
-                (decode, t)
-            }
-            Pipeline::Nemo => {
-                let decode = config.device.sw_decode_ms(FULL_LR.pixels());
-                meter.add_busy(Stage::Decode, Rail::CpuHeavy, decode);
-                let t = match packet.frame_type {
-                    FrameType::Intra => {
-                        let t = mtp::sota_ref_upscale(&config.device);
-                        meter.add_busy(Stage::Upscale, Rail::Npu, t.npu_ms);
-                        t
-                    }
-                    FrameType::Inter => {
-                        let t = mtp::sota_nonref_upscale(&config.device);
-                        meter.add_busy(Stage::Upscale, Rail::CpuLight, t.cpu_ms);
-                        t
-                    }
-                };
-                (decode, t)
-            }
+                Pipeline::GameStreamSr => {
+                    let decode = config.device.hw_decode_ms(FULL_LR.pixels());
+                    meter.add_busy(Stage::Decode, Rail::HwDecoder, decode);
+                    let t = mtp::ours_upscale(&config.device, plan.chosen_side);
+                    meter.add_busy(Stage::Upscale, Rail::Npu, t.npu_ms);
+                    meter.add_busy(Stage::Upscale, Rail::Gpu, t.gpu_ms + t.merge_ms);
+                    (decode, t)
+                }
+                Pipeline::Nemo => {
+                    let decode = config.device.sw_decode_ms(FULL_LR.pixels());
+                    meter.add_busy(Stage::Decode, Rail::CpuHeavy, decode);
+                    let t = match packet.frame_type {
+                        FrameType::Intra => {
+                            let t = mtp::sota_ref_upscale(&config.device);
+                            meter.add_busy(Stage::Upscale, Rail::Npu, t.npu_ms);
+                            t
+                        }
+                        FrameType::Inter => {
+                            let t = mtp::sota_nonref_upscale(&config.device);
+                            meter.add_busy(Stage::Upscale, Rail::CpuLight, t.cpu_ms);
+                            t
+                        }
+                    };
+                    (decode, t)
+                }
             }
         };
         meter.add_display_frame();
@@ -432,6 +478,31 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
             display_ms: config.device.display_present_ms,
         };
 
+        // ---- telemetry spans on the session clock ---------------------------
+        // Anchor the frame's MTP timeline so its downlink segment coincides
+        // with the link span recorded at `send_time`: the controller input
+        // behind frame i left the client `server_side_ms` before the packet
+        // hit the wire.
+        let server_side_ms = input_uplink_ms
+            + mtp_breakdown.engine_ms
+            + mtp_breakdown.render_ms
+            + mtp_breakdown.roi_extra_ms
+            + mtp_breakdown.encode_ms;
+        let upscale_start = mtp_breakdown.record_spans(&mut rec, send_time - server_side_ms);
+        if with_roi {
+            // depth capture then RoI search, pipelined against the encode
+            // (the breakdown only carries their excess beyond the encode)
+            let render_end = send_time - mtp_breakdown.roi_extra_ms - mtp_breakdown.encode_ms;
+            let depth_ms = sm.depth_capture_ms(FULL_LR);
+            rec.record_span(gss_telemetry::Stage::DepthCapture, render_end, depth_ms);
+            rec.record_span(
+                gss_telemetry::Stage::RoiDetect,
+                render_end + depth_ms,
+                sm.roi_search_ms(FULL_LR),
+            );
+        }
+        upscale.record_spans(&mut rec, upscale_start);
+
         // ---- data path + quality --------------------------------------------
         let (psnr_db, foveated_psnr_db, perceptual) = if config.evaluate_quality {
             let displayed: Option<Frame> = if frozen {
@@ -439,9 +510,11 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
             } else {
                 let out: Frame = match pipeline {
                     Pipeline::GameStreamSr => {
-                        ours_client.process(&packet.encoded, packet.roi)?.frame
+                        ours_client
+                            .process_traced(&packet.encoded, packet.roi, &mut rec)?
+                            .frame
                     }
-                    Pipeline::Nemo => nemo_client.process(&packet.encoded)?.frame,
+                    Pipeline::Nemo => nemo_client.process_traced(&packet.encoded, &mut rec)?.frame,
                 };
                 Some(out)
             };
@@ -468,6 +541,17 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
             (None, None, None)
         };
 
+        // the recorder judges the same per-frame critical path the report
+        // exposes, so its miss count is consistent with the FrameRecords by
+        // construction
+        let deadline_met = rec
+            .end_frame(
+                mtp_breakdown.total_ms(),
+                upscale.critical_ms,
+                bytes_full as u64,
+            )
+            .expect("session records one-shot spans only; none can be left open");
+
         frames.push(FrameRecord {
             index: i,
             frame_type: packet.frame_type,
@@ -477,6 +561,7 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
             bytes: bytes_full,
             dropped,
             frozen,
+            deadline_met,
             psnr_db,
             foveated_psnr_db,
             perceptual,
@@ -489,6 +574,7 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
         device: config.device.name.to_owned(),
         frames,
         energy: meter.breakdown(),
+        telemetry: rec.finish(),
     })
 }
 
@@ -555,6 +641,11 @@ impl ComparisonReport {
     /// RoI weighted 4x; extension metric).
     pub fn foveated_psnr_gain_db(&self) -> Option<f64> {
         Some(self.ours.mean_foveated_psnr_db()? - self.sota.mean_foveated_psnr_db()?)
+    }
+
+    /// Both pipelines' telemetry summaries, ours first.
+    pub fn telemetry(&self) -> (&TelemetrySummary, &TelemetrySummary) {
+        (&self.ours.telemetry, &self.sota.telemetry)
     }
 }
 
@@ -672,6 +763,78 @@ mod tests {
         let frozen = r.frames.iter().find(|f| f.frozen).unwrap();
         assert_eq!(frozen.decode_ms, 0.0);
         assert_eq!(frozen.upscale_ms, 0.0);
+    }
+
+    #[test]
+    fn telemetry_summary_is_consistent_with_frame_records() {
+        use gss_telemetry::{Gauge, Stage};
+        let cfg = tiny_config().without_quality();
+        let r = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+        let t = &r.telemetry;
+        assert_eq!(t.frames as usize, r.frames.len());
+        assert_eq!(
+            t.deadline_misses as usize,
+            r.frames.iter().filter(|f| !f.deadline_met).count()
+        );
+        assert_eq!(t.counter(Counter::BytesOnWire) as usize, r.total_bytes());
+        assert_eq!(t.counter(Counter::FramesEncoded) as usize, r.frames.len());
+        // every stage of the ours pipeline shows up with full percentiles
+        for stage in [
+            Stage::Render,
+            Stage::DepthCapture,
+            Stage::RoiDetect,
+            Stage::Encode,
+            Stage::LinkTransfer,
+            Stage::Decode,
+            Stage::NpuSr,
+            Stage::GpuInterp,
+            Stage::Merge,
+            Stage::Display,
+        ] {
+            let s = t
+                .stage(stage)
+                .unwrap_or_else(|| panic!("{} missing", stage.label()));
+            assert!(s.dist.p50 > 0.0 && s.dist.p50 <= s.dist.p95 && s.dist.p95 <= s.dist.p99);
+        }
+        // whole-frame MTP distribution covers every frame and matches the
+        // per-record extremes to bucket resolution
+        let mtp = t.mtp_ms.expect("mtp histogram");
+        assert_eq!(mtp.count as usize, r.frames.len());
+        assert!((mtp.max - r.max_mtp_ms()).abs() < 1e-9);
+        // the RoI pipeline gauges the detected area every frame
+        assert!(t.gauge(Gauge::RoiAreaPx).is_some());
+    }
+
+    #[test]
+    fn fps_effective_follows_the_deadline_ledger() {
+        let cfg = tiny_config().without_quality();
+        let ours = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+        let sota = run_session(&cfg, Pipeline::Nemo).unwrap();
+        assert_eq!(ours.fps_effective(), 60.0);
+        assert_eq!(sota.fps_effective(), 0.0);
+        assert_eq!(ours.telemetry.deadline_misses, 0);
+        assert_eq!(sota.telemetry.deadline_misses, sota.telemetry.frames);
+    }
+
+    #[test]
+    fn memory_sink_sees_the_event_stream() {
+        use gss_telemetry::{Event, MemorySink, SinkHandle};
+        let mem = MemorySink::new();
+        let cfg = tiny_config()
+            .without_quality()
+            .with_telemetry(SinkHandle::new(mem.clone()));
+        run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+        let events = mem.events();
+        assert!(matches!(events[0], Event::SessionStart { .. }));
+        assert!(matches!(
+            events.last(),
+            Some(Event::SessionEnd { frames: 6, .. })
+        ));
+        let frame_ends = events
+            .iter()
+            .filter(|e| matches!(e, Event::FrameEnd { .. }))
+            .count();
+        assert_eq!(frame_ends, 6);
     }
 
     #[test]

@@ -66,11 +66,7 @@ impl Frame {
     /// # Errors
     ///
     /// Returns [`FrameError::SizeMismatch`] when plane sizes differ.
-    pub fn from_planes(
-        y: Plane<f32>,
-        cb: Plane<f32>,
-        cr: Plane<f32>,
-    ) -> Result<Self, FrameError> {
+    pub fn from_planes(y: Plane<f32>, cb: Plane<f32>, cr: Plane<f32>) -> Result<Self, FrameError> {
         if y.size() != cb.size() {
             return Err(FrameError::SizeMismatch {
                 left: y.size(),
@@ -278,9 +274,21 @@ mod tests {
         ] {
             let (y, cb, cr) = rgb_to_ycbcr(Rgb8::new(r, g, b));
             let back = ycbcr_to_rgb(y, cb, cr);
-            assert!((back.r as i32 - r as i32).abs() <= 1, "r: {r} vs {}", back.r);
-            assert!((back.g as i32 - g as i32).abs() <= 1, "g: {g} vs {}", back.g);
-            assert!((back.b as i32 - b as i32).abs() <= 1, "b: {b} vs {}", back.b);
+            assert!(
+                (back.r as i32 - r as i32).abs() <= 1,
+                "r: {r} vs {}",
+                back.r
+            );
+            assert!(
+                (back.g as i32 - g as i32).abs() <= 1,
+                "g: {g} vs {}",
+                back.g
+            );
+            assert!(
+                (back.b as i32 - b as i32).abs() <= 1,
+                "b: {b} vs {}",
+                back.b
+            );
         }
     }
 

@@ -273,7 +273,7 @@ fn src_row_of<T: Copy>(p: &Plane<T>, y: usize) -> &[T] {
 impl Plane<f32> {
     /// Sum of all samples in `f64` precision.
     pub fn sum(&self) -> f64 {
-        self.data.iter().map(|&v| v as f64) .sum()
+        self.data.iter().map(|&v| v as f64).sum()
     }
 
     /// Mean sample value.

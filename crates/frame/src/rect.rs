@@ -139,11 +139,7 @@ impl Rect {
 
 impl std::fmt::Display for Rect {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}x{}+{}+{}",
-            self.width, self.height, self.x, self.y
-        )
+        write!(f, "{}x{}+{}+{}", self.width, self.height, self.x, self.y)
     }
 }
 

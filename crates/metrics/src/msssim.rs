@@ -95,9 +95,9 @@ pub fn msssim_planes(reference: &Plane<f32>, distorted: &Plane<f32>) -> Result<f
     let mut usable = 0usize;
     let mut cs_terms = [1.0f64; 5];
     let mut l_last = 1.0f64;
-    for scale in 0..WEIGHTS.len() {
+    for (scale, cs_term) in cs_terms.iter_mut().enumerate() {
         let (l, cs) = plane_terms(&a, &b);
-        cs_terms[scale] = cs;
+        *cs_term = cs;
         l_last = l;
         usable = scale + 1;
         if scale + 1 == WEIGHTS.len() || a.width() / 2 < WINDOW || a.height() / 2 < WINDOW {

@@ -168,8 +168,7 @@ mod tests {
     #[test]
     fn identical_is_zero() {
         let p = textured(48, 48);
-        let d =
-            perceptual_distance_planes(&p, &p, &PerceptualConfig::default()).unwrap();
+        let d = perceptual_distance_planes(&p, &p, &PerceptualConfig::default()).unwrap();
         assert_eq!(d, 0.0);
     }
 

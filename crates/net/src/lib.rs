@@ -176,6 +176,32 @@ impl Link {
         }
     }
 
+    /// [`Link::send`] plus telemetry: records the transfer as a
+    /// [`Stage::LinkTransfer`] span over `[send_time, arrival]`, counts the
+    /// payload toward `BytesOnWire`, bumps `FramesDropped` on a tail drop,
+    /// and reports the channel's current goodput as a gauge. The channel
+    /// trace is identical to an untraced send.
+    pub fn send_traced(
+        &mut self,
+        bytes: usize,
+        send_time_ms: f64,
+        rec: &mut gss_telemetry::Recorder,
+    ) -> Transfer {
+        let transfer = self.send(bytes, send_time_ms);
+        rec.gauge(gss_telemetry::Gauge::LinkBandwidthMbps, self.current_mbps);
+        rec.add(gss_telemetry::Counter::BytesOnWire, bytes as u64);
+        if transfer.delivered {
+            rec.record_span(
+                gss_telemetry::Stage::LinkTransfer,
+                send_time_ms,
+                transfer.transit_ms,
+            );
+        } else {
+            rec.incr(gss_telemetry::Counter::FramesDropped);
+        }
+        transfer
+    }
+
     /// Fraction of sent frames dropped so far.
     pub fn drop_rate(&self) -> f64 {
         if self.sent == 0 {
@@ -299,6 +325,26 @@ mod tests {
             9,
         );
         assert!((link.control_latency_ms() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_send_matches_untraced_and_records_the_transfer() {
+        use gss_telemetry::{Counter, Gauge, Recorder, Stage};
+        let mut plain = Link::new(LinkProfile::wifi(), 7);
+        let mut traced = Link::new(LinkProfile::wifi(), 7);
+        let mut rec = Recorder::new("net-test", 16.67);
+        for i in 0..50 {
+            let t = i as f64 * 16.66;
+            assert_eq!(
+                plain.send(10_000, t),
+                traced.send_traced(10_000, t, &mut rec)
+            );
+        }
+        let s = rec.summary();
+        assert_eq!(s.counter(Counter::BytesOnWire), 50 * 10_000);
+        let link = s.stage(Stage::LinkTransfer).expect("link spans recorded");
+        assert_eq!(link.dist.count + s.counter(Counter::FramesDropped), 50);
+        assert!(s.gauge(Gauge::LinkBandwidthMbps).unwrap().count == 50);
     }
 
     #[test]

@@ -112,8 +112,7 @@ impl EnergyMeter {
 
     /// Charges the display pipeline for one presented frame.
     pub fn add_display_frame(&mut self) {
-        *self.per_stage_mj.entry(Stage::Display).or_insert(0.0) +=
-            self.device.display_mj_per_frame;
+        *self.per_stage_mj.entry(Stage::Display).or_insert(0.0) += self.device.display_mj_per_frame;
     }
 
     /// Total accumulated energy in millijoules.

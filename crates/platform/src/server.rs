@@ -37,6 +37,11 @@ impl Default for ServerModel {
 /// to the paper's published 52% (720p) / 79% (1440p) utilization pair.
 const GPU_SCALING_EXPONENT: f64 = 0.374;
 
+/// Share of the RoI-detection budget spent on depth capture/pre-processing;
+/// the rest is the search proper. The split is a telemetry refinement only —
+/// every latency formula uses the combined `roi_detect_ms`.
+const DEPTH_CAPTURE_FRACTION: f64 = 0.4;
+
 impl ServerModel {
     /// Render latency for a target resolution.
     pub fn render_ms(&self, res: Resolution) -> f64 {
@@ -51,6 +56,20 @@ impl ServerModel {
     /// RoI-detection latency for a depth map at the given resolution.
     pub fn roi_detect_ms(&self, res: Resolution) -> f64 {
         self.roi_detect_720p_ms * res.pixel_ratio(Resolution::P720)
+    }
+
+    /// Depth-buffer capture + pre-processing share of [`Self::roi_detect_ms`]:
+    /// copying the depth attachment out of the render target and building the
+    /// histogram pyramid the search runs over.
+    pub fn depth_capture_ms(&self, res: Resolution) -> f64 {
+        self.roi_detect_ms(res) * DEPTH_CAPTURE_FRACTION
+    }
+
+    /// RoI search share of [`Self::roi_detect_ms`] (the sliding-window scan
+    /// over the pre-processed depth map). Defined as the remainder so the two
+    /// phases always sum exactly to [`Self::roi_detect_ms`].
+    pub fn roi_search_ms(&self, res: Resolution) -> f64 {
+        self.roi_detect_ms(res) - self.depth_capture_ms(res)
     }
 
     /// GPU utilization at 60 FPS when streaming at `res`, optionally with
@@ -110,6 +129,17 @@ mod tests {
             s.frame_latency_ms(Resolution::P720, true),
             s.frame_latency_ms(Resolution::P720, false)
         );
+    }
+
+    #[test]
+    fn depth_capture_and_roi_search_partition_roi_detect() {
+        let s = ServerModel::default();
+        for res in [Resolution::P720, Resolution::P1080, Resolution::P1440] {
+            let sum = s.depth_capture_ms(res) + s.roi_search_ms(res);
+            assert_eq!(sum, s.roi_detect_ms(res), "split must be exact at {res:?}");
+            assert!(s.depth_capture_ms(res) > 0.0);
+            assert!(s.roi_search_ms(res) > s.depth_capture_ms(res));
+        }
     }
 
     #[test]

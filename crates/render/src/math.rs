@@ -216,7 +216,9 @@ impl Mat4 {
     pub fn perspective(fov_y: f32, aspect: f32, near: f32, far: f32) -> Mat4 {
         assert!(near > 0.0 && far > near, "invalid near/far planes");
         let f = 1.0 / (fov_y * 0.5).tan();
-        let mut m = Mat4 { rows: [[0.0; 4]; 4] };
+        let mut m = Mat4 {
+            rows: [[0.0; 4]; 4],
+        };
         m.rows[0][0] = f / aspect;
         m.rows[1][1] = f;
         m.rows[2][2] = (far + near) / (near - far);
@@ -250,7 +252,9 @@ impl Mat4 {
 impl Mul for Mat4 {
     type Output = Mat4;
     fn mul(self, rhs: Mat4) -> Mat4 {
-        let mut out = Mat4 { rows: [[0.0; 4]; 4] };
+        let mut out = Mat4 {
+            rows: [[0.0; 4]; 4],
+        };
         for i in 0..4 {
             for j in 0..4 {
                 let mut acc = 0.0;
@@ -296,14 +300,20 @@ mod tests {
     fn translation_moves_points_not_dirs() {
         let m = Mat4::translation(vec3(1.0, 2.0, 3.0));
         assert!(approx(m.transform_point(Vec3::ZERO), vec3(1.0, 2.0, 3.0)));
-        assert!(approx(m.transform_dir(vec3(1.0, 0.0, 0.0)), vec3(1.0, 0.0, 0.0)));
+        assert!(approx(
+            m.transform_dir(vec3(1.0, 0.0, 0.0)),
+            vec3(1.0, 0.0, 0.0)
+        ));
     }
 
     #[test]
     fn rotation_y_quarter_turn() {
         let m = Mat4::rotation_y(std::f32::consts::FRAC_PI_2);
         // +Z rotates onto +X under this convention
-        assert!(approx(m.transform_point(vec3(0.0, 0.0, 1.0)), vec3(1.0, 0.0, 0.0)));
+        assert!(approx(
+            m.transform_point(vec3(0.0, 0.0, 1.0)),
+            vec3(1.0, 0.0, 0.0)
+        ));
     }
 
     #[test]
@@ -312,7 +322,10 @@ mod tests {
         let s = Mat4::scale(vec3(2.0, 2.0, 2.0));
         let ts = t * s;
         // scale first, then translate
-        assert!(approx(ts.transform_point(vec3(1.0, 0.0, 0.0)), vec3(3.0, 0.0, 0.0)));
+        assert!(approx(
+            ts.transform_point(vec3(1.0, 0.0, 0.0)),
+            vec3(3.0, 0.0, 0.0)
+        ));
     }
 
     #[test]

@@ -193,8 +193,16 @@ impl Mesh {
         let mut lo = first.position;
         let mut hi = first.position;
         for v in &self.vertices {
-            lo = vec3(lo.x.min(v.position.x), lo.y.min(v.position.y), lo.z.min(v.position.z));
-            hi = vec3(hi.x.max(v.position.x), hi.y.max(v.position.y), hi.z.max(v.position.z));
+            lo = vec3(
+                lo.x.min(v.position.x),
+                lo.y.min(v.position.y),
+                lo.z.min(v.position.z),
+            );
+            hi = vec3(
+                hi.x.max(v.position.x),
+                hi.y.max(v.position.y),
+                hi.z.max(v.position.z),
+            );
         }
         Some((lo, hi))
     }

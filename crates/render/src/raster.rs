@@ -211,7 +211,9 @@ fn clip_near(tri: &[ClipVertex], near: f32) -> Vec<[ClipVertex; 3]> {
     }
     match poly.len() {
         0..=2 => Vec::new(),
-        n => (1..n - 1).map(|i| [poly[0], poly[i], poly[i + 1]]).collect(),
+        n => (1..n - 1)
+            .map(|i| [poly[0], poly[i], poly[i + 1]])
+            .collect(),
     }
 }
 
@@ -262,11 +264,29 @@ fn raster_triangle(
     }
     let inv_area = 1.0 / area;
 
-    let min_x = sv.iter().map(|v| v.x).fold(f32::INFINITY, f32::min).floor().max(0.0) as usize;
-    let max_x = (sv.iter().map(|v| v.x).fold(f32::NEG_INFINITY, f32::max).ceil() as usize)
+    let min_x = sv
+        .iter()
+        .map(|v| v.x)
+        .fold(f32::INFINITY, f32::min)
+        .floor()
+        .max(0.0) as usize;
+    let max_x = (sv
+        .iter()
+        .map(|v| v.x)
+        .fold(f32::NEG_INFINITY, f32::max)
+        .ceil() as usize)
         .min(width.saturating_sub(1));
-    let min_y = sv.iter().map(|v| v.y).fold(f32::INFINITY, f32::min).floor().max(0.0) as usize;
-    let max_y = (sv.iter().map(|v| v.y).fold(f32::NEG_INFINITY, f32::max).ceil() as usize)
+    let min_y = sv
+        .iter()
+        .map(|v| v.y)
+        .fold(f32::INFINITY, f32::min)
+        .floor()
+        .max(0.0) as usize;
+    let max_y = (sv
+        .iter()
+        .map(|v| v.y)
+        .fold(f32::NEG_INFINITY, f32::max)
+        .ceil() as usize)
         .min(height.saturating_sub(1));
     if min_x > max_x || min_y > max_y {
         return 0;
@@ -345,7 +365,10 @@ mod tests {
         let d_center = out.depth.get(32, 24);
         // near box front face at z = -5.5 → depth ≈ (5.5-0.3)/(250-0.3)
         let expected = (5.5 - 0.3) / (250.0 - 0.3);
-        assert!((d_center - expected).abs() < 0.01, "depth {d_center} vs {expected}");
+        assert!(
+            (d_center - expected).abs() < 0.01,
+            "depth {d_center} vs {expected}"
+        );
     }
 
     #[test]
@@ -417,13 +440,15 @@ mod tests {
                 }
             }
         }
-        assert!(near.1 > 100 && far.1 > 100, "bins too small: {} / {}", near.1, far.1);
+        assert!(
+            near.1 > 100 && far.1 > 100,
+            "bins too small: {} / {}",
+            near.1,
+            far.1
+        );
         let near_g = near.0 / near.1 as f64;
         let far_g = far.0 / far.1 as f64;
-        assert!(
-            near_g > far_g * 1.5,
-            "near {near_g:.2} vs far {far_g:.2}"
-        );
+        assert!(near_g > far_g * 1.5, "near {near_g:.2} vs far {far_g:.2}");
     }
 
     #[test]
@@ -465,7 +490,11 @@ mod culling_tests {
 
     fn box_at(z: f32, x: f32) -> Object {
         Object::world(
-            Mesh::cuboid(vec3(x - 1.0, -1.0, z - 1.0), vec3(x + 1.0, 1.0, z + 1.0), 1.0),
+            Mesh::cuboid(
+                vec3(x - 1.0, -1.0, z - 1.0),
+                vec3(x + 1.0, 1.0, z + 1.0),
+                1.0,
+            ),
             ProceduralTexture::Solid([200.0, 10.0, 10.0]),
         )
     }
@@ -520,10 +549,7 @@ mod culling_tests {
         let w = crate::scenes::GameWorkload::new(crate::scenes::GameId::G2);
         let out = w.render_frame(0, 96, 54);
         let s = out.stats;
-        assert_eq!(
-            s.triangles_submitted,
-            w.scene().triangle_count()
-        );
+        assert_eq!(s.triangles_submitted, w.scene().triangle_count());
         assert!(
             s.triangles_culled * 10 >= s.triangles_submitted,
             "only {}/{} culled",

@@ -174,16 +174,8 @@ mod tests {
             let out = w.render_frame(0, 96, 54);
             assert_eq!(out.frame.size(), (96, 54), "{id}");
             // every scene must put some geometry in view
-            let drawn = out
-                .depth
-                .plane()
-                .iter()
-                .filter(|&&d| d < 1.0)
-                .count();
-            assert!(
-                drawn > 96 * 54 / 4,
-                "{id}: only {drawn} covered pixels"
-            );
+            let drawn = out.depth.plane().iter().filter(|&&d| d < 1.0).count();
+            assert!(drawn > 96 * 54 / 4, "{id}: only {drawn} covered pixels");
         }
     }
 

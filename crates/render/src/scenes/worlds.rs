@@ -217,27 +217,50 @@ fn metro_corridor(seed: u64) -> (Scene, CameraPath) {
 
     // floor and ceiling
     scene = scene
-        .with(Object::world(Mesh::ground(0.0, 120.0, 24, 3.0), tex_asphalt(seed)))
+        .with(Object::world(
+            Mesh::ground(0.0, 120.0, 24, 3.0),
+            tex_asphalt(seed),
+        ))
         .with(Object::world(
             {
                 let mut m = Mesh::new();
-                m.merge(&Mesh::cuboid(vec3(-6.0, 5.0, -120.0), vec3(6.0, 5.6, 10.0), 16.0));
+                m.merge(&Mesh::cuboid(
+                    vec3(-6.0, 5.0, -120.0),
+                    vec3(6.0, 5.6, 10.0),
+                    16.0,
+                ));
                 m
             },
             tex_metal(),
         ));
     // tunnel walls
     let mut walls = Mesh::new();
-    walls.merge(&Mesh::cuboid(vec3(-6.6, 0.0, -120.0), vec3(-6.0, 5.0, 10.0), 20.0));
-    walls.merge(&Mesh::cuboid(vec3(6.0, 0.0, -120.0), vec3(6.6, 5.0, 10.0), 20.0));
+    walls.merge(&Mesh::cuboid(
+        vec3(-6.6, 0.0, -120.0),
+        vec3(-6.0, 5.0, 10.0),
+        20.0,
+    ));
+    walls.merge(&Mesh::cuboid(
+        vec3(6.0, 0.0, -120.0),
+        vec3(6.6, 5.0, 10.0),
+        20.0,
+    ));
     scene = scene.with(Object::world(walls, tex_wall(seed)));
     // pillars + crates along the tunnel
     let mut pillars = Mesh::new();
     let mut crates = Mesh::new();
     for i in 0..14 {
         let z = -6.0 - i as f32 * 8.0;
-        pillars.merge(&Mesh::cuboid(vec3(-5.6, 0.0, z - 0.4), vec3(-4.9, 5.0, z + 0.4), 4.0));
-        pillars.merge(&Mesh::cuboid(vec3(4.9, 0.0, z - 0.4), vec3(5.6, 5.0, z + 0.4), 4.0));
+        pillars.merge(&Mesh::cuboid(
+            vec3(-5.6, 0.0, z - 0.4),
+            vec3(-4.9, 5.0, z + 0.4),
+            4.0,
+        ));
+        pillars.merge(&Mesh::cuboid(
+            vec3(4.9, 0.0, z - 0.4),
+            vec3(5.6, 5.0, z + 0.4),
+            4.0,
+        ));
         if rng.gen_bool(0.6) {
             let cx = rng.gen_range(-3.5..3.5);
             let s = rng.gen_range(0.5..1.2);
@@ -271,7 +294,10 @@ fn metro_corridor(seed: u64) -> (Scene, CameraPath) {
 fn outdoor_tps(seed: u64) -> (Scene, CameraPath) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut scene = Scene::new();
-    scene = scene.with(Object::world(Mesh::ground(0.0, 200.0, 24, 4.0), tex_ground(seed)));
+    scene = scene.with(Object::world(
+        Mesh::ground(0.0, 200.0, 24, 4.0),
+        tex_ground(seed),
+    ));
     let mut trunks = Mesh::new();
     let mut canopies = Mesh::new();
     for _ in 0..60 {
@@ -280,7 +306,12 @@ fn outdoor_tps(seed: u64) -> (Scene, CameraPath) {
         if x.abs() < 3.0 {
             continue; // keep the lane ahead clear
         }
-        tree(vec3(x, 0.0, z), rng.gen_range(0.8..2.2), &mut trunks, &mut canopies);
+        tree(
+            vec3(x, 0.0, z),
+            rng.gen_range(0.8..2.2),
+            &mut trunks,
+            &mut canopies,
+        );
     }
     let mut rocks = Mesh::new();
     for _ in 0..25 {
@@ -325,7 +356,10 @@ fn outdoor_tps(seed: u64) -> (Scene, CameraPath) {
 fn village_rpg(seed: u64) -> (Scene, CameraPath) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut scene = Scene::new();
-    scene = scene.with(Object::world(Mesh::ground(0.0, 160.0, 20, 4.0), tex_ground(seed)));
+    scene = scene.with(Object::world(
+        Mesh::ground(0.0, 160.0, 20, 4.0),
+        tex_ground(seed),
+    ));
     let mut walls = Mesh::new();
     let mut roofs = Mesh::new();
     for i in 0..12 {
@@ -334,7 +368,11 @@ fn village_rpg(seed: u64) -> (Scene, CameraPath) {
         let z = -8.0 - i as f32 * 9.0 + rng.gen_range(-2.0..2.0);
         building(
             vec3(x, 0.0, z),
-            vec3(rng.gen_range(4.0..7.0), rng.gen_range(3.0..4.5), rng.gen_range(4.0..7.0)),
+            vec3(
+                rng.gen_range(4.0..7.0),
+                rng.gen_range(3.0..4.5),
+                rng.gen_range(4.0..7.0),
+            ),
             true,
             &mut walls,
             &mut roofs,
@@ -352,7 +390,11 @@ fn village_rpg(seed: u64) -> (Scene, CameraPath) {
             continue;
         }
         let s = rng.gen_range(0.4..0.9);
-        props.merge(&Mesh::cuboid(vec3(x - s, 0.0, z - s), vec3(x + s, 1.4 * s, z + s), 2.0));
+        props.merge(&Mesh::cuboid(
+            vec3(x - s, 0.0, z - s),
+            vec3(x + s, 1.4 * s, z + s),
+            2.0,
+        ));
     }
     scene = scene.with(Object::world(props, tex_rock(seed ^ 4)));
     let mut trunks = Mesh::new();
@@ -363,7 +405,12 @@ fn village_rpg(seed: u64) -> (Scene, CameraPath) {
         if x.abs() < 15.0 {
             continue;
         }
-        tree(vec3(x, 0.0, z), rng.gen_range(1.0..2.0), &mut trunks, &mut canopies);
+        tree(
+            vec3(x, 0.0, z),
+            rng.gen_range(1.0..2.0),
+            &mut trunks,
+            &mut canopies,
+        );
     }
     scene = scene
         .with(Object::world(trunks, tex_rock(seed ^ 5)))
@@ -418,7 +465,11 @@ fn frontier_plains(seed: u64) -> (Scene, CameraPath) {
     let mut roofs = Mesh::new();
     for i in 0..8 {
         building(
-            vec3(-20.0 + i as f32 * 6.0, 0.0, -150.0 - rng.gen_range(0.0..15.0f32)),
+            vec3(
+                -20.0 + i as f32 * 6.0,
+                0.0,
+                -150.0 - rng.gen_range(0.0..15.0f32),
+            ),
             vec3(5.0, rng.gen_range(4.0..8.0), 5.0),
             true,
             &mut walls,
@@ -450,7 +501,10 @@ fn frontier_plains(seed: u64) -> (Scene, CameraPath) {
 fn city_streets(seed: u64) -> (Scene, CameraPath) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut scene = Scene::new();
-    scene = scene.with(Object::world(Mesh::ground(0.0, 220.0, 24, 5.0), tex_asphalt(seed)));
+    scene = scene.with(Object::world(
+        Mesh::ground(0.0, 220.0, 24, 5.0),
+        tex_asphalt(seed),
+    ));
     let mut towers = Mesh::new();
     for i in 0..16 {
         for side in [-1.0f32, 1.0] {
@@ -503,7 +557,10 @@ fn rocky_arena(seed: u64) -> (Scene, CameraPath) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut scene = Scene::new();
     scene.sky_color = [120.0, 130.0, 150.0];
-    scene = scene.with(Object::world(Mesh::ground(0.0, 140.0, 20, 4.0), tex_rock(seed)));
+    scene = scene.with(Object::world(
+        Mesh::ground(0.0, 140.0, 20, 4.0),
+        tex_rock(seed),
+    ));
     // ring of boulders
     let mut rocks = Mesh::new();
     for i in 0..26 {
@@ -520,7 +577,10 @@ fn rocky_arena(seed: u64) -> (Scene, CameraPath) {
     }
     scene = scene.with(Object::world(rocks, tex_rock(seed ^ 1)));
     // towering foe near arena center
-    scene = scene.with(Object::world(humanoid(vec3(0.0, 0.0, -16.0), 3.2), tex_rock(seed ^ 2)));
+    scene = scene.with(Object::world(
+        humanoid(vec3(0.0, 0.0, -16.0), 3.2),
+        tex_rock(seed ^ 2),
+    ));
     // cliff backdrop
     scene = scene.with(Object::world(
         Mesh::cuboid(vec3(-160.0, 0.0, -180.0), vec3(160.0, 45.0, -150.0), 24.0),
@@ -552,15 +612,26 @@ fn cave_survival(seed: u64) -> (Scene, CameraPath) {
     scene.sky_color = [34.0, 30.0, 38.0];
     scene.ambient = 0.5;
     scene.fog_density = 0.015;
-    scene = scene.with(Object::world(Mesh::ground(0.0, 120.0, 20, 3.0), tex_rock(seed)));
+    scene = scene.with(Object::world(
+        Mesh::ground(0.0, 120.0, 20, 3.0),
+        tex_rock(seed),
+    ));
     // cave ceiling and walls
     scene = scene.with(Object::world(
         Mesh::cuboid(vec3(-14.0, 7.0, -130.0), vec3(14.0, 8.0, 8.0), 18.0),
         tex_rock(seed ^ 1),
     ));
     let mut walls = Mesh::new();
-    walls.merge(&Mesh::cuboid(vec3(-15.0, 0.0, -130.0), vec3(-13.0, 7.0, 8.0), 18.0));
-    walls.merge(&Mesh::cuboid(vec3(13.0, 0.0, -130.0), vec3(15.0, 7.0, 8.0), 18.0));
+    walls.merge(&Mesh::cuboid(
+        vec3(-15.0, 0.0, -130.0),
+        vec3(-13.0, 7.0, 8.0),
+        18.0,
+    ));
+    walls.merge(&Mesh::cuboid(
+        vec3(13.0, 0.0, -130.0),
+        vec3(15.0, 7.0, 8.0),
+        18.0,
+    ));
     scene = scene.with(Object::world(walls, tex_rock(seed ^ 2)));
     // stalagmites and stalactites
     let mut spikes = Mesh::new();
@@ -571,7 +642,11 @@ fn cave_survival(seed: u64) -> (Scene, CameraPath) {
             continue;
         }
         let s = rng.gen_range(0.4..1.4);
-        spikes.merge(&Mesh::pyramid(vec3(x, 0.0, z), s, s * rng.gen_range(2.0..4.0)));
+        spikes.merge(&Mesh::pyramid(
+            vec3(x, 0.0, z),
+            s,
+            s * rng.gen_range(2.0..4.0),
+        ));
     }
     scene = scene.with(Object::world(spikes, tex_rock(seed ^ 3)));
     // Lara stand-in
@@ -599,7 +674,10 @@ fn alley_stealth(seed: u64) -> (Scene, CameraPath) {
     let mut scene = Scene::new();
     scene.sky_color = [96.0, 104.0, 124.0];
     scene.fog_density = 0.008;
-    scene = scene.with(Object::world(Mesh::ground(0.0, 120.0, 20, 4.0), tex_asphalt(seed)));
+    scene = scene.with(Object::world(
+        Mesh::ground(0.0, 120.0, 20, 4.0),
+        tex_asphalt(seed),
+    ));
     let mut walls = Mesh::new();
     let mut roofs = Mesh::new();
     for i in 0..12 {
@@ -627,7 +705,11 @@ fn alley_stealth(seed: u64) -> (Scene, CameraPath) {
             continue;
         }
         let s = rng.gen_range(0.35..0.8);
-        props.merge(&Mesh::cuboid(vec3(x - s, 0.0, z - s), vec3(x + s, 1.5 * s, z + s), 2.0));
+        props.merge(&Mesh::cuboid(
+            vec3(x - s, 0.0, z - s),
+            vec3(x + s, 1.5 * s, z + s),
+            2.0,
+        ));
     }
     scene = scene.with(Object::world(props, tex_rock(seed ^ 1)));
     scene = scene.with(Object::camera_relative(
@@ -677,7 +759,13 @@ fn farmland(seed: u64) -> (Scene, CameraPath) {
     // barn far ahead
     let mut walls = Mesh::new();
     let mut roofs = Mesh::new();
-    building(vec3(12.0, 0.0, -170.0), vec3(14.0, 9.0, 12.0), true, &mut walls, &mut roofs);
+    building(
+        vec3(12.0, 0.0, -170.0),
+        vec3(14.0, 9.0, 12.0),
+        true,
+        &mut walls,
+        &mut roofs,
+    );
     scene = scene
         .with(Object::world(walls, tex_cloth(seed ^ 1)))
         .with(Object::world(roofs, tex_metal()));
@@ -709,7 +797,10 @@ fn farmland(seed: u64) -> (Scene, CameraPath) {
 fn race_track(seed: u64) -> (Scene, CameraPath) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut scene = Scene::new();
-    scene = scene.with(Object::world(Mesh::ground(0.0, 260.0, 24, 6.0), tex_ground(seed)));
+    scene = scene.with(Object::world(
+        Mesh::ground(0.0, 260.0, 24, 6.0),
+        tex_ground(seed),
+    ));
     // road surface (slightly raised strip)
     scene = scene.with(Object::world(
         Mesh::cuboid(vec3(-5.0, 0.0, -260.0), vec3(5.0, 0.05, 20.0), 48.0),
@@ -741,13 +832,21 @@ fn race_track(seed: u64) -> (Scene, CameraPath) {
     for _ in 0..30 {
         let x = rng.gen_range(9.0..60.0f32) * if rng.gen_bool(0.5) { -1.0 } else { 1.0 };
         let z = rng.gen_range(-230.0..-10.0f32);
-        tree(vec3(x, 0.0, z), rng.gen_range(1.0..2.4), &mut trunks, &mut canopies);
+        tree(
+            vec3(x, 0.0, z),
+            rng.gen_range(1.0..2.4),
+            &mut trunks,
+            &mut canopies,
+        );
     }
     scene = scene
         .with(Object::world(trunks, tex_rock(seed ^ 2)))
         .with(Object::world(canopies, tex_foliage(seed)));
     // rival car ahead on the road
-    scene = scene.with(Object::world(vehicle(vec3(2.0, 0.0, -40.0), 1.0), tex_metal()));
+    scene = scene.with(Object::world(
+        vehicle(vec3(2.0, 0.0, -40.0), 1.0),
+        tex_metal(),
+    ));
     // player car hood
     scene = scene.with(Object::camera_relative(
         vehicle(vec3(0.0, -1.5, -3.4), 0.9),

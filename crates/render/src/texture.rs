@@ -151,7 +151,8 @@ impl ProceduralTexture {
                 for o in 0..=full.min(octaves) {
                     let w = if o == full { frac } else { 1.0 } * amp;
                     if w > 0.0 {
-                        total += w * (value_noise(u * freq, v * freq, seed.wrapping_add(o as u64)) - 0.5);
+                        total += w
+                            * (value_noise(u * freq, v * freq, seed.wrapping_add(o as u64)) - 0.5);
                     }
                     amp *= 0.55;
                     freq *= 2.1;
@@ -166,7 +167,11 @@ impl ProceduralTexture {
                 seed,
             } => {
                 let row = (v * scale * 0.5).floor();
-                let offset = if (row as i64).rem_euclid(2) == 0 { 0.0 } else { 0.5 };
+                let offset = if (row as i64).rem_euclid(2) == 0 {
+                    0.0
+                } else {
+                    0.5
+                };
                 let bu = u * scale + offset;
                 let bv = v * scale * 0.5;
                 let fu = bu - bu.floor();
@@ -174,7 +179,11 @@ impl ProceduralTexture {
                 let mortar_w = 0.06;
                 let is_mortar = fu < mortar_w || fv < mortar_w * 2.0;
                 let tint = 0.85 + 0.3 * hash2(bu.floor() as i64, bv.floor() as i64, seed);
-                let sharp = if is_mortar { mortar } else { shade(brick, tint) };
+                let sharp = if is_mortar {
+                    mortar
+                } else {
+                    shade(brick, tint)
+                };
                 mix(self.mean_color(), sharp, detail)
             }
         }
@@ -292,7 +301,12 @@ mod tests {
         let mut prev = t.sample(0.0, 0.3, 0.0);
         for i in 1..200 {
             let c = t.sample(i as f32 * 0.002, 0.3, 0.0);
-            assert!((c[0] - prev[0]).abs() < 24.0, "jump at {i}: {} → {}", prev[0], c[0]);
+            assert!(
+                (c[0] - prev[0]).abs() < 24.0,
+                "jump at {i}: {} → {}",
+                prev[0],
+                c[0]
+            );
             prev = c;
         }
     }

@@ -1,10 +1,10 @@
 //! Rendering invariants across arbitrary cameras and all game workloads.
 
-use gss_render::{render, Camera, GameId, GameWorkload, Scene};
 use gss_render::math::vec3;
 use gss_render::mesh::Mesh;
 use gss_render::scene::Object;
 use gss_render::texture::ProceduralTexture;
+use gss_render::{render, Camera, GameId, GameWorkload, Scene};
 use proptest::prelude::*;
 
 proptest! {
@@ -66,8 +66,8 @@ fn covered_pixels_have_non_far_depth_and_vice_versa() {
                 sky_total += 1;
                 // the sky gradient scales the base color by 0.92..1.08
                 let px = out.frame.to_rgb8()[y * 96 + x];
-                let near_sky = (px.r as f32 - sky[0]).abs() < 40.0
-                    && (px.b as f32 - sky[2]).abs() < 40.0;
+                let near_sky =
+                    (px.r as f32 - sky[0]).abs() < 40.0 && (px.b as f32 - sky[2]).abs() < 40.0;
                 if near_sky {
                     sky_like += 1;
                 }

@@ -151,8 +151,7 @@ mod tests {
     fn fsrcnn_is_an_order_of_magnitude_cheaper_than_edsr() {
         let fsrcnn = Fsrcnn::new(FsrcnnConfig::default());
         let edsr = Edsr::new(EdsrConfig::default());
-        let ratio =
-            edsr.macs_for_input(300, 300) as f64 / fsrcnn.macs_for_input(300, 300) as f64;
+        let ratio = edsr.macs_for_input(300, 300) as f64 / fsrcnn.macs_for_input(300, 300) as f64;
         assert!(ratio > 10.0, "EDSR/FSRCNN MAC ratio {ratio:.1}");
     }
 
@@ -170,6 +169,9 @@ mod tests {
             mapping: 1,
             scale: 3,
         });
-        assert_eq!(m.forward(&Frame::filled(5, 4, [0.0, 128.0, 128.0])).size(), (15, 12));
+        assert_eq!(
+            m.forward(&Frame::filled(5, 4, [0.0, 128.0, 128.0])).size(),
+            (15, 12)
+        );
     }
 }

@@ -40,8 +40,8 @@
 pub mod edsr;
 pub mod fsrcnn;
 mod interp;
-pub mod nn;
 mod neural;
+pub mod nn;
 
 pub use interp::{resize_frame, resize_plane, InterpKernel, InterpUpscaler};
 pub use neural::{NeuralSr, NeuralSrConfig};

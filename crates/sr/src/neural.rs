@@ -164,7 +164,11 @@ mod tests {
         let p_bc = psnr_planes(&hr, &bicubic).unwrap();
         assert!(p_n > p_bc, "neural {p_n:.2} <= bicubic {p_bc:.2}");
         assert!(p_bc > p_bl, "bicubic {p_bc:.2} <= bilinear {p_bl:.2}");
-        assert!(p_n - p_bl > 0.8, "gain over bilinear only {:.2} dB", p_n - p_bl);
+        assert!(
+            p_n - p_bl > 0.8,
+            "gain over bilinear only {:.2} dB",
+            p_n - p_bl
+        );
     }
 
     #[test]

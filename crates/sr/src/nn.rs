@@ -113,7 +113,12 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics when `kernel` is even or zero.
-    pub fn init(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut SmallRng) -> Self {
+    pub fn init(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
         assert!(kernel % 2 == 1 && kernel > 0, "kernel must be odd");
         let fan_in = (in_channels * kernel * kernel) as f32;
         let std = (2.0 / fan_in).sqrt();
@@ -182,8 +187,8 @@ impl Conv2d {
                                 if sx < 0 || sx >= w as isize {
                                     continue;
                                 }
-                                acc += self.w(o, i, ky, kx)
-                                    * input.get(i, sy as usize, sx as usize);
+                                acc +=
+                                    self.w(o, i, ky, kx) * input.get(i, sy as usize, sx as usize);
                             }
                         }
                     }

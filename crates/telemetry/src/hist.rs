@@ -1,0 +1,247 @@
+//! Fixed-bucket histograms for latency and byte distributions.
+//!
+//! The recorder keeps one histogram per pipeline stage plus one for
+//! whole-frame motion-to-photon time and one for per-frame wire bytes. All
+//! storage is inline fixed-size arrays so recording a sample never
+//! allocates. Buckets are geometrically spaced between a configured floor
+//! and ceiling; each bucket keeps both a count and a running sum, so a
+//! percentile query returns the *mean of the bucket containing that rank*
+//! rather than a bucket edge. That makes percentiles exact whenever a
+//! bucket holds identical values — in particular, a single-sample histogram
+//! reports that sample exactly at every percentile.
+
+/// Number of buckets per histogram. 64 geometric buckets over three to six
+/// decades keeps worst-case relative bucket width under ~20%.
+pub const BUCKETS: usize = 64;
+
+/// A geometric fixed-bucket histogram with per-bucket count and sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    /// Precomputed `BUCKETS / log2(hi / lo)` so bucket lookup is one log2.
+    inv_log_span: f64,
+    counts: [u64; BUCKETS],
+    sums: [f64; BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Compact summary of a recorded distribution.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct DistSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest recorded sample (exact, not bucketed).
+    pub min: f64,
+    /// Largest recorded sample (exact, not bucketed).
+    pub max: f64,
+    /// Arithmetic mean (exact, from the running sum).
+    pub mean: f64,
+    /// Median estimate (bucket mean at rank 0.50).
+    pub p50: f64,
+    /// 90th percentile estimate.
+    pub p90: f64,
+    /// 95th percentile estimate.
+    pub p95: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+}
+
+impl Histogram {
+    /// A histogram spanning `[lo, hi]`; samples outside the range clamp to
+    /// the first or last bucket (their exact values still feed min/max and
+    /// the mean). `lo` and `hi` must be positive with `lo < hi`.
+    pub fn with_range(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo > 0.0 && hi > lo,
+            "histogram range must satisfy 0 < lo < hi"
+        );
+        Histogram {
+            lo,
+            hi,
+            inv_log_span: BUCKETS as f64 / (hi / lo).log2(),
+            counts: [0; BUCKETS],
+            sums: [0.0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Range suited to per-stage and whole-frame latencies: 10 µs to 1 s.
+    pub fn latency_ms() -> Self {
+        Histogram::with_range(0.01, 1000.0)
+    }
+
+    /// Range suited to per-frame wire sizes: 16 B to 16 MiB.
+    pub fn bytes() -> Self {
+        Histogram::with_range(16.0, 16.0 * 1024.0 * 1024.0)
+    }
+
+    fn bucket_index(&self, value: f64) -> usize {
+        if value <= self.lo {
+            return 0;
+        }
+        if value >= self.hi {
+            return BUCKETS - 1;
+        }
+        let idx = ((value / self.lo).log2() * self.inv_log_span) as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Records one sample. Non-finite and negative samples are ignored so a
+    /// modelling bug upstream cannot poison the running sums.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() || value < 0.0 {
+            return;
+        }
+        let idx = self.bucket_index(value);
+        self.counts[idx] += 1;
+        self.sums[idx] += value;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Value estimate at quantile `q` in `[0, 1]`: the mean of the bucket
+    /// containing the sample of that rank. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the selected sample; q = 0 selects the first.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.counts[i];
+            if seen >= rank {
+                // the bucket mean can drift past the exact extremes by
+                // float-summation noise; a quantile estimate must never
+                // leave the observed range
+                return Some((self.sums[i] / self.counts[i] as f64).clamp(self.min, self.max));
+            }
+        }
+        // Unreachable while count equals the sum of bucket counts; fall back
+        // to the exact max rather than panicking on an internal error.
+        Some(self.max)
+    }
+
+    /// Full distribution summary, or `None` when no samples were recorded.
+    pub fn summary(&self) -> Option<DistSummary> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(DistSummary {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            mean: self.sum / self.count as f64,
+            p50: self.quantile(0.50).unwrap_or(self.max),
+            p90: self.quantile(0.90).unwrap_or(self.max),
+            p95: self.quantile(0.95).unwrap_or(self.max),
+            p99: self.quantile(0.99).unwrap_or(self.max),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = Histogram::latency_ms();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.summary(), None);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_percentile() {
+        let mut h = Histogram::latency_ms();
+        h.record(7.25);
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 1);
+        for v in [s.min, s.max, s.mean, s.p50, s.p90, s.p95, s.p99] {
+            assert_eq!(v, 7.25);
+        }
+    }
+
+    #[test]
+    fn identical_samples_stay_exact() {
+        let mut h = Histogram::latency_ms();
+        for _ in 0..1000 {
+            h.record(3.5);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.p50, 3.5);
+        assert_eq!(s.p99, 3.5);
+        assert_eq!(s.mean, 3.5);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let mut h = Histogram::latency_ms();
+        for i in 1..=1000 {
+            h.record(i as f64 * 0.05); // 0.05 .. 50.0 ms
+        }
+        let s = h.summary().unwrap();
+        assert!(s.min <= s.p50 && s.p50 <= s.p90, "{s:?}");
+        assert!(s.p90 <= s.p95 && s.p95 <= s.p99, "{s:?}");
+        assert!(s.p99 <= s.max, "{s:?}");
+        // Geometric buckets bound relative error; the true p50 is 25.025.
+        assert!((s.p50 - 25.0).abs() / 25.0 < 0.2, "p50 = {}", s.p50);
+        assert!((s.p99 - 49.5).abs() / 49.5 < 0.2, "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp_to_edge_buckets() {
+        let mut h = Histogram::with_range(1.0, 100.0);
+        h.record(0.001); // below lo -> first bucket
+        h.record(5000.0); // above hi -> last bucket
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 0.001);
+        assert_eq!(s.max, 5000.0);
+    }
+
+    #[test]
+    fn rejects_non_finite_and_negative() {
+        let mut h = Histogram::latency_ms();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-1.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn bytes_range_covers_packet_sizes() {
+        let mut h = Histogram::bytes();
+        h.record(1500.0);
+        h.record(64_000.0);
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 2);
+        assert!(s.p50 >= s.min && s.p99 <= s.max * 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,297 @@
+//! Frame-scoped telemetry for the GameStreamSR reproduction.
+//!
+//! The simulated streaming pipeline (render → encode → link → decode →
+//! NPU/GPU upscale → display) previously reported only end-of-run
+//! aggregates. This crate adds an observability layer that works at frame
+//! granularity while staying deterministic and allocation-free on the hot
+//! path:
+//!
+//! - [`Recorder`] — one per session; records stage spans keyed by
+//!   [`Stage`], counters ([`Counter`]), gauges ([`Gauge`]), per-frame
+//!   motion-to-photon latency, wire bytes, and deadline misses against a
+//!   configurable budget. All aggregate state lives in fixed-size arrays.
+//! - [`Histogram`] — fixed geometric buckets with per-bucket count *and*
+//!   sum, so percentile queries return bucket means (exact for a bucket of
+//!   identical samples, and therefore exact for a single sample).
+//! - [`Sink`] implementations — [`NullSink`], [`MemorySink`] (tests),
+//!   [`JsonlSink`] (one JSON object per line) — shared via [`SinkHandle`].
+//!   With no sink attached, recording is pure array arithmetic.
+//! - [`TelemetrySummary`] — the durable per-session aggregate, rendered as
+//!   a human-readable table or deterministic JSON.
+//!
+//! All recorded times are *modeled* milliseconds from the platform timing
+//! models, not wall-clock measurements, so identical seeded sessions
+//! produce byte-identical summaries — a property the workspace tests
+//! assert.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod recorder;
+mod sink;
+mod summary;
+
+pub use hist::{DistSummary, Histogram, BUCKETS};
+pub use recorder::{Recorder, TelemetryError, MAX_SPAN_DEPTH};
+pub use sink::{Event, JsonlSink, Level, MemorySink, NullSink, Sink, SinkHandle};
+pub use summary::{CounterSummary, GaugeSummary, StageSummary, TelemetrySummary};
+
+/// The pipeline stages a frame passes through, server to display.
+///
+/// Stage spans may overlap in time: the server searches the region of
+/// interest while encoding, and the client's NPU super-resolution runs in
+/// parallel with GPU interpolation. Spans carry explicit start/end times
+/// rather than relying on nesting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum Stage {
+    /// Game render of the native frame on the server GPU.
+    Render,
+    /// Depth-buffer capture and pre-processing on the server.
+    DepthCapture,
+    /// Depth-guided region-of-interest search on the server.
+    RoiDetect,
+    /// Video encode of the low-resolution frame.
+    Encode,
+    /// Network transfer from server to client.
+    LinkTransfer,
+    /// Video decode on the client.
+    Decode,
+    /// Neural super-resolution of the region of interest on the NPU.
+    NpuSr,
+    /// Interpolation upscale of the full frame on the client GPU (also
+    /// used for generic client-side reconstruction in the SOTA baseline).
+    GpuInterp,
+    /// Merge of the neural region into the interpolated frame.
+    Merge,
+    /// Scan-out / display of the finished frame.
+    Display,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 10;
+
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Render,
+        Stage::DepthCapture,
+        Stage::RoiDetect,
+        Stage::Encode,
+        Stage::LinkTransfer,
+        Stage::Decode,
+        Stage::NpuSr,
+        Stage::GpuInterp,
+        Stage::Merge,
+        Stage::Display,
+    ];
+
+    /// Stable array index of this stage.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Kebab-case label used in serialized events and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Render => "render",
+            Stage::DepthCapture => "depth-capture",
+            Stage::RoiDetect => "roi-detect",
+            Stage::Encode => "encode",
+            Stage::LinkTransfer => "link-transfer",
+            Stage::Decode => "decode",
+            Stage::NpuSr => "npu-sr",
+            Stage::GpuInterp => "gpu-interp",
+            Stage::Merge => "merge",
+            Stage::Display => "display",
+        }
+    }
+}
+
+/// Monotonic event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum Counter {
+    /// Frames encoded by the server codec.
+    FramesEncoded,
+    /// Keyframes forced by loss recovery (NACK-triggered intra refresh).
+    KeyframesForced,
+    /// NACKs raised by the client after a lost transfer.
+    Nacks,
+    /// Transfers dropped by the link model.
+    FramesDropped,
+    /// Frames the client displayed frozen (no fresh data).
+    FramesFrozen,
+    /// Frames upscaled through the RoI-parallel client path.
+    FramesUpscaled,
+    /// Inter frames reconstructed from motion + residual (NEMO baseline).
+    FramesReconstructed,
+    /// Frames whose motion-to-photon latency exceeded the budget.
+    DeadlineMisses,
+    /// Total payload bytes put on the wire.
+    BytesOnWire,
+}
+
+impl Counter {
+    /// Number of counters.
+    pub const COUNT: usize = 9;
+
+    /// All counters, in declaration order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::FramesEncoded,
+        Counter::KeyframesForced,
+        Counter::Nacks,
+        Counter::FramesDropped,
+        Counter::FramesFrozen,
+        Counter::FramesUpscaled,
+        Counter::FramesReconstructed,
+        Counter::DeadlineMisses,
+        Counter::BytesOnWire,
+    ];
+
+    /// Stable array index of this counter.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Kebab-case label used in serialized events and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Counter::FramesEncoded => "frames-encoded",
+            Counter::KeyframesForced => "keyframes-forced",
+            Counter::Nacks => "nacks",
+            Counter::FramesDropped => "frames-dropped",
+            Counter::FramesFrozen => "frames-frozen",
+            Counter::FramesUpscaled => "frames-upscaled",
+            Counter::FramesReconstructed => "frames-reconstructed",
+            Counter::DeadlineMisses => "deadline-misses",
+            Counter::BytesOnWire => "bytes-on-wire",
+        }
+    }
+}
+
+/// Sampled values whose latest/extreme/mean readings matter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum Gauge {
+    /// Area of the selected region of interest, in low-res pixels.
+    RoiAreaPx,
+    /// Base-layer quantizer chosen by the rate controller.
+    EncodeQuality,
+    /// Residual quantization step chosen by the rate controller.
+    EncodeResidualStep,
+    /// Link goodput observed by the network model, in Mbit/s.
+    LinkBandwidthMbps,
+}
+
+impl Gauge {
+    /// Number of gauges.
+    pub const COUNT: usize = 4;
+
+    /// All gauges, in declaration order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::RoiAreaPx,
+        Gauge::EncodeQuality,
+        Gauge::EncodeResidualStep,
+        Gauge::LinkBandwidthMbps,
+    ];
+
+    /// Stable array index of this gauge.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Kebab-case label used in serialized events and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Gauge::RoiAreaPx => "roi-area-px",
+            Gauge::EncodeQuality => "encode-quality",
+            Gauge::EncodeResidualStep => "encode-residual-step",
+            Gauge::LinkBandwidthMbps => "link-bandwidth-mbps",
+        }
+    }
+}
+
+/// Running statistics of one gauge.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct GaugeStat {
+    /// Most recent observation.
+    pub last: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sum of observations (for the mean).
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Default for GaugeStat {
+    fn default() -> Self {
+        GaugeStat {
+            last: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+}
+
+impl GaugeStat {
+    /// Folds one observation into the statistics.
+    pub fn observe(&mut self, value: f64) {
+        self.last = value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Mean of the observations (0 when none were made).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_match_all_order() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+        let labels: std::collections::HashSet<&str> =
+            Stage::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), Stage::COUNT, "stage labels must be unique");
+    }
+
+    #[test]
+    fn counter_and_gauge_indices_match_all_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+    }
+
+    #[test]
+    fn gauge_stat_tracks_extremes_and_mean() {
+        let mut g = GaugeStat::default();
+        assert_eq!(g.mean(), 0.0);
+        g.observe(4.0);
+        g.observe(2.0);
+        g.observe(6.0);
+        assert_eq!(g.last, 6.0);
+        assert_eq!(g.min, 2.0);
+        assert_eq!(g.max, 6.0);
+        assert_eq!(g.mean(), 4.0);
+        assert_eq!(g.count, 3);
+    }
+}

@@ -1,0 +1,503 @@
+//! The frame-scoped recorder: the single object threaded through the
+//! pipeline.
+//!
+//! A [`Recorder`] owns fixed-size aggregate state (one histogram per stage,
+//! counter and gauge arrays, an inline span stack), so the per-frame hot
+//! path performs no heap allocation. When a [`SinkHandle`] is attached it
+//! additionally streams fine-grained [`Event`]s; without one, recording is
+//! pure array arithmetic.
+//!
+//! Two span APIs coexist deliberately:
+//!
+//! - [`Recorder::record_span`] is a one-shot `(stage, start, duration)`
+//!   record. The simulated pipeline has genuinely *overlapping* stages (RoI
+//!   search overlaps encode on the server; NPU super-resolution runs in
+//!   parallel with GPU interpolation on the client), which a strict stack
+//!   cannot express, so the pipeline integration uses this form.
+//! - [`Recorder::span_open`] / [`Recorder::span_close`] is a checked
+//!   LIFO bracket API for callers with properly nested phases; it reports
+//!   imbalance, mismatched closes and overflow as typed errors, and
+//!   [`Recorder::end_frame`] refuses to close a frame with spans still open.
+
+use crate::hist::Histogram;
+use crate::sink::{Event, Level, SinkHandle};
+use crate::summary::{CounterSummary, GaugeSummary, StageSummary, TelemetrySummary};
+use crate::{Counter, Gauge, GaugeStat, Stage};
+
+/// Maximum depth of the checked span stack. Ten pipeline stages with a
+/// couple of synthetic wrappers fit comfortably; deeper nesting is a bug.
+pub const MAX_SPAN_DEPTH: usize = 16;
+
+/// Errors surfaced by the checked span API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TelemetryError {
+    /// `span_open` would exceed [`MAX_SPAN_DEPTH`].
+    SpanOverflow {
+        /// The stage whose open was rejected.
+        stage: Stage,
+    },
+    /// `span_close` was called with no span open.
+    SpanUnderflow {
+        /// The stage whose close was rejected.
+        stage: Stage,
+    },
+    /// `span_close` named a different stage than the innermost open span.
+    SpanMismatch {
+        /// The innermost open stage that should have been closed.
+        expected: Stage,
+        /// The stage the caller tried to close.
+        found: Stage,
+    },
+    /// `end_frame` was called with spans still open.
+    UnbalancedSpans {
+        /// How many spans were still open.
+        open: usize,
+    },
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryError::SpanOverflow { stage } => {
+                write!(f, "span stack overflow opening {}", stage.label())
+            }
+            TelemetryError::SpanUnderflow { stage } => {
+                write!(f, "span close for {} with no span open", stage.label())
+            }
+            TelemetryError::SpanMismatch { expected, found } => write!(
+                f,
+                "span close mismatch: expected {}, found {}",
+                expected.label(),
+                found.label()
+            ),
+            TelemetryError::UnbalancedSpans { open } => {
+                write!(f, "frame ended with {open} span(s) still open")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+/// Frame-scoped telemetry recorder. See the module docs for the design.
+#[derive(Debug)]
+pub struct Recorder {
+    label: String,
+    budget_ms: f64,
+    sink: Option<SinkHandle>,
+    frame: u64,
+    frames: u64,
+    deadline_misses: u64,
+    stage_hists: [Histogram; Stage::COUNT],
+    mtp_hist: Histogram,
+    bytes_hist: Histogram,
+    counters: [u64; Counter::COUNT],
+    gauges: [GaugeStat; Gauge::COUNT],
+    stack: [(Stage, f64); MAX_SPAN_DEPTH],
+    depth: usize,
+}
+
+impl Recorder {
+    /// A recorder for a session judged against `budget_ms` per frame.
+    pub fn new(label: impl Into<String>, budget_ms: f64) -> Self {
+        Recorder {
+            label: label.into(),
+            budget_ms,
+            sink: None,
+            frame: 0,
+            frames: 0,
+            deadline_misses: 0,
+            stage_hists: std::array::from_fn(|_| Histogram::latency_ms()),
+            mtp_hist: Histogram::latency_ms(),
+            bytes_hist: Histogram::bytes(),
+            counters: [0; Counter::COUNT],
+            gauges: [GaugeStat::default(); Gauge::COUNT],
+            stack: [(Stage::Render, 0.0); MAX_SPAN_DEPTH],
+            depth: 0,
+        }
+    }
+
+    /// Attaches a sink and announces the session on it.
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        sink.emit(&Event::SessionStart {
+            label: self.label.clone(),
+            budget_ms: self.budget_ms,
+        });
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The session label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The per-frame deadline budget in milliseconds.
+    pub fn budget_ms(&self) -> f64 {
+        self.budget_ms
+    }
+
+    /// Frames completed so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// How many spans are currently open on the checked stack.
+    pub fn open_spans(&self) -> usize {
+        self.depth
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&event);
+        }
+    }
+
+    /// Marks the start of frame `frame`.
+    pub fn begin_frame(&mut self, frame: u64) {
+        self.frame = frame;
+        if self.sink.is_some() {
+            self.emit(Event::FrameStart { frame });
+        }
+    }
+
+    /// Records a completed stage span in one shot. This is the form the
+    /// pipeline uses: overlapping stages (NPU ∥ GPU) are recorded as two
+    /// spans with overlapping `[start, start+duration]` intervals.
+    pub fn record_span(&mut self, stage: Stage, start_ms: f64, duration_ms: f64) {
+        self.stage_hists[stage.index()].record(duration_ms);
+        if self.sink.is_some() {
+            self.emit(Event::Span {
+                frame: self.frame,
+                stage,
+                start_ms,
+                end_ms: start_ms + duration_ms,
+            });
+        }
+    }
+
+    /// Opens a checked span for `stage` at `start_ms`.
+    pub fn span_open(&mut self, stage: Stage, start_ms: f64) -> Result<(), TelemetryError> {
+        if self.depth == MAX_SPAN_DEPTH {
+            return Err(TelemetryError::SpanOverflow { stage });
+        }
+        self.stack[self.depth] = (stage, start_ms);
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Closes the innermost open span, which must be `stage`, at `end_ms`.
+    pub fn span_close(&mut self, stage: Stage, end_ms: f64) -> Result<(), TelemetryError> {
+        if self.depth == 0 {
+            return Err(TelemetryError::SpanUnderflow { stage });
+        }
+        let (open_stage, start_ms) = self.stack[self.depth - 1];
+        if open_stage != stage {
+            return Err(TelemetryError::SpanMismatch {
+                expected: open_stage,
+                found: stage,
+            });
+        }
+        self.depth -= 1;
+        self.record_span(stage, start_ms, (end_ms - start_ms).max(0.0));
+        Ok(())
+    }
+
+    /// Increments `counter` by one.
+    pub fn incr(&mut self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Increments `counter` by `delta`.
+    pub fn add(&mut self, counter: Counter, delta: u64) {
+        self.counters[counter.index()] += delta;
+        if self.sink.is_some() {
+            self.emit(Event::Count {
+                frame: self.frame,
+                counter,
+                delta,
+            });
+        }
+    }
+
+    /// Records a gauge observation.
+    pub fn gauge(&mut self, gauge: Gauge, value: f64) {
+        self.gauges[gauge.index()].observe(value);
+        if self.sink.is_some() {
+            self.emit(Event::Gauge {
+                frame: self.frame,
+                gauge,
+                value,
+            });
+        }
+    }
+
+    /// Emits a structured log line on the sink (aggregates are unaffected).
+    pub fn log(&mut self, level: Level, message: impl Into<String>) {
+        if self.sink.is_some() {
+            self.emit(Event::Log {
+                level,
+                message: message.into(),
+            });
+        }
+    }
+
+    /// Current value of `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Closes the current frame: records whole-frame motion-to-photon time
+    /// and wire bytes, checks the deadline, and returns whether the frame
+    /// met it. Fails if checked spans are still open.
+    ///
+    /// `mtp_ms` is the end-to-end motion-to-photon latency (histogrammed);
+    /// `critical_ms` is the per-frame critical path of the pipelined stage
+    /// that must keep up with the frame rate, and is what the deadline
+    /// budget judges: a 60 FPS pipeline must *finish a frame* every
+    /// 16.66 ms even though each frame's end-to-end latency is longer.
+    /// Callers without that distinction can pass the same value for both.
+    pub fn end_frame(
+        &mut self,
+        mtp_ms: f64,
+        critical_ms: f64,
+        bytes: u64,
+    ) -> Result<bool, TelemetryError> {
+        if self.depth != 0 {
+            return Err(TelemetryError::UnbalancedSpans { open: self.depth });
+        }
+        self.mtp_hist.record(mtp_ms);
+        self.bytes_hist.record(bytes as f64);
+        // Matches the session simulator's real-time test: a frame is on time
+        // when it fits the budget up to float noise.
+        let deadline_met = critical_ms <= self.budget_ms + 1e-9;
+        if !deadline_met {
+            self.deadline_misses += 1;
+            self.counters[Counter::DeadlineMisses.index()] += 1;
+        }
+        self.frames += 1;
+        if self.sink.is_some() {
+            self.emit(Event::FrameEnd {
+                frame: self.frame,
+                mtp_ms,
+                bytes,
+                deadline_met,
+            });
+        }
+        Ok(deadline_met)
+    }
+
+    /// Builds the aggregate summary without consuming the recorder.
+    pub fn summary(&self) -> TelemetrySummary {
+        let mut stages = Vec::new();
+        for stage in Stage::ALL {
+            if let Some(dist) = self.stage_hists[stage.index()].summary() {
+                stages.push(StageSummary { stage, dist });
+            }
+        }
+        let mut counters = Vec::new();
+        for counter in Counter::ALL {
+            let value = self.counters[counter.index()];
+            if value != 0 {
+                counters.push(CounterSummary { counter, value });
+            }
+        }
+        let mut gauges = Vec::new();
+        for gauge in Gauge::ALL {
+            let stats = self.gauges[gauge.index()];
+            if stats.count != 0 {
+                gauges.push(GaugeSummary { gauge, stats });
+            }
+        }
+        TelemetrySummary {
+            label: self.label.clone(),
+            frames: self.frames,
+            budget_ms: self.budget_ms,
+            deadline_misses: self.deadline_misses,
+            stages,
+            mtp_ms: self.mtp_hist.summary(),
+            frame_bytes: self.bytes_hist.summary(),
+            counters,
+            gauges,
+        }
+    }
+
+    /// Announces session end on the sink, flushes it, and returns the
+    /// summary.
+    pub fn finish(&mut self) -> TelemetrySummary {
+        if let Some(sink) = &self.sink {
+            sink.emit(&Event::SessionEnd {
+                label: self.label.clone(),
+                frames: self.frames,
+                deadline_misses: self.deadline_misses,
+            });
+            sink.flush();
+        }
+        self.summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn spans_counters_and_deadlines_aggregate() {
+        let mut rec = Recorder::new("unit", 16.0);
+        for frame in 0..10u64 {
+            rec.begin_frame(frame);
+            rec.record_span(Stage::Render, 0.0, 4.0);
+            rec.record_span(Stage::Encode, 4.0, 2.0);
+            rec.incr(Counter::FramesEncoded);
+            rec.add(Counter::BytesOnWire, 1000);
+            rec.gauge(Gauge::RoiAreaPx, 128.0 * 128.0);
+            let mtp = if frame == 9 { 20.0 } else { 10.0 };
+            let met = rec.end_frame(mtp, mtp, 1000).unwrap();
+            assert_eq!(met, frame != 9);
+        }
+        let s = rec.summary();
+        assert_eq!(s.frames, 10);
+        assert_eq!(s.deadline_misses, 1);
+        assert_eq!(rec.counter(Counter::FramesEncoded), 10);
+        assert_eq!(rec.counter(Counter::BytesOnWire), 10_000);
+        assert_eq!(rec.counter(Counter::DeadlineMisses), 1);
+        let render = s.stage(Stage::Render).expect("render stage recorded");
+        assert_eq!(render.dist.p50, 4.0);
+        assert_eq!(render.dist.p99, 4.0);
+        assert_eq!(s.mtp_ms.unwrap().count, 10);
+        assert_eq!(s.frame_bytes.unwrap().p50, 1000.0);
+    }
+
+    #[test]
+    fn checked_spans_balance() {
+        let mut rec = Recorder::new("unit", 16.0);
+        rec.begin_frame(0);
+        rec.span_open(Stage::Decode, 0.0).unwrap();
+        rec.span_open(Stage::NpuSr, 1.0).unwrap();
+        assert_eq!(rec.open_spans(), 2);
+        rec.span_close(Stage::NpuSr, 4.0).unwrap();
+        rec.span_close(Stage::Decode, 5.0).unwrap();
+        assert_eq!(rec.open_spans(), 0);
+        assert!(rec.end_frame(5.0, 5.0, 0).is_ok());
+        let s = rec.summary();
+        assert_eq!(s.stage(Stage::NpuSr).unwrap().dist.p95, 3.0);
+        assert_eq!(s.stage(Stage::Decode).unwrap().dist.p95, 5.0);
+    }
+
+    #[test]
+    fn mismatched_close_is_reported() {
+        let mut rec = Recorder::new("unit", 16.0);
+        rec.span_open(Stage::Decode, 0.0).unwrap();
+        let err = rec.span_close(Stage::Merge, 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            TelemetryError::SpanMismatch {
+                expected: Stage::Decode,
+                found: Stage::Merge
+            }
+        );
+        // The mismatched close must not pop the stack.
+        assert_eq!(rec.open_spans(), 1);
+    }
+
+    #[test]
+    fn underflow_and_overflow_are_reported() {
+        let mut rec = Recorder::new("unit", 16.0);
+        assert_eq!(
+            rec.span_close(Stage::Render, 1.0).unwrap_err(),
+            TelemetryError::SpanUnderflow {
+                stage: Stage::Render
+            }
+        );
+        for i in 0..MAX_SPAN_DEPTH {
+            rec.span_open(Stage::Render, i as f64).unwrap();
+        }
+        assert_eq!(
+            rec.span_open(Stage::Render, 99.0).unwrap_err(),
+            TelemetryError::SpanOverflow {
+                stage: Stage::Render
+            }
+        );
+    }
+
+    #[test]
+    fn end_frame_rejects_open_spans() {
+        let mut rec = Recorder::new("unit", 16.0);
+        rec.begin_frame(0);
+        rec.span_open(Stage::Render, 0.0).unwrap();
+        assert_eq!(
+            rec.end_frame(5.0, 5.0, 0).unwrap_err(),
+            TelemetryError::UnbalancedSpans { open: 1 }
+        );
+    }
+
+    #[test]
+    fn sink_receives_the_event_stream() {
+        let mem = MemorySink::new();
+        let mut rec = Recorder::new("sinky", 16.0).with_sink(SinkHandle::new(mem.clone()));
+        rec.begin_frame(0);
+        rec.record_span(Stage::Render, 0.0, 4.0);
+        rec.incr(Counter::FramesEncoded);
+        rec.end_frame(10.0, 10.0, 500).unwrap();
+        rec.finish();
+        let events = mem.events();
+        assert!(matches!(events[0], Event::SessionStart { .. }));
+        assert!(matches!(events[1], Event::FrameStart { frame: 0 }));
+        assert!(matches!(
+            events[2],
+            Event::Span {
+                stage: Stage::Render,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[3],
+            Event::Count {
+                counter: Counter::FramesEncoded,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[4],
+            Event::FrameEnd {
+                deadline_met: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(Event::SessionEnd { frames: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn no_sink_means_no_events_but_full_aggregates() {
+        let mut rec = Recorder::new("quiet", 16.0);
+        rec.begin_frame(0);
+        rec.record_span(Stage::Render, 0.0, 4.0);
+        rec.end_frame(4.0, 4.0, 100).unwrap();
+        let s = rec.finish();
+        assert_eq!(s.frames, 1);
+        assert!(s.stage(Stage::Render).is_some());
+    }
+
+    #[test]
+    fn identical_inputs_yield_identical_summaries() {
+        let run = || {
+            let mut rec = Recorder::new("det", 16.67);
+            for frame in 0..50u64 {
+                rec.begin_frame(frame);
+                let wobble = (frame % 7) as f64 * 0.31;
+                rec.record_span(Stage::Render, 0.0, 4.2 + wobble);
+                rec.record_span(Stage::NpuSr, 8.0, 6.1 + wobble);
+                rec.gauge(Gauge::RoiAreaPx, 96.0 * 96.0 + wobble);
+                rec.add(Counter::BytesOnWire, 900 + frame);
+                rec.end_frame(14.0 + wobble, 14.0 + wobble, 900 + frame)
+                    .unwrap();
+            }
+            rec.finish().to_json()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -16,7 +16,10 @@ fn main() {
     let model = Edsr::new(EdsrConfig::default());
     for side in [100usize, 200, 300, 720] {
         let macs = model.macs_for_input(side, side);
-        println!("  {side:>4}x{side:<4} input: {:.1} GMACs", macs as f64 / 1e9);
+        println!(
+            "  {side:>4}x{side:<4} input: {:.1} GMACs",
+            macs as f64 / 1e9
+        );
     }
     println!();
 
@@ -27,7 +30,11 @@ fn main() {
             let ms = device.npu_sr_ms(side * side);
             println!(
                 "    {side:>3}x{side:<3}: {ms:6.1} ms {}",
-                if ms <= REALTIME_BUDGET_MS { "(real-time)" } else { "" }
+                if ms <= REALTIME_BUDGET_MS {
+                    "(real-time)"
+                } else {
+                    ""
+                }
             );
         }
         let plan = plan_roi_window(&device, 2, 1280, 720);

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let decoded = decoder.decode(&packet.encoded)?;
     let plain = InterpUpscaler::new(InterpKernel::Bilinear, 2).upscale(&decoded.frame);
     let plain_q = psnr(&packet.ground_truth_hr, &plain)?;
-    println!("plain bilinear everywhere: {plain_q:.2} dB PSNR ({:+.2} dB from RoI SR)", quality - plain_q);
+    println!(
+        "plain bilinear everywhere: {plain_q:.2} dB PSNR ({:+.2} dB from RoI SR)",
+        quality - plain_q
+    );
 
     // the gain concentrates where the player looks: compare inside the RoI
     use gss::metrics::psnr_planes;

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let workload = GameWorkload::new(game);
     let rendered = workload.render_frame(0, 640, 360);
-    println!("rendered {game} at 640x360 ({} triangles)", workload.scene().triangle_count());
+    println!(
+        "rendered {game} at 640x360 ({} triangles)",
+        workload.scene().triangle_count()
+    );
 
     save_ppm(out.join("1_frame.ppm"), &rendered.frame)?;
     save_depth_pgm(out.join("2_depth.pgm"), &rendered.depth)?;

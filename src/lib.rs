@@ -11,6 +11,7 @@
 //! * [`codec`] — block-based hybrid video codec with GOP structure
 //! * [`platform`] — mobile device timing/energy models
 //! * [`net`] — network link simulator
+//! * [`telemetry`] — frame-scoped spans, histograms, sinks
 //! * [`core`] — the GameStreamSR system itself plus the NEMO baseline
 
 pub use gamestreamsr as core;
@@ -21,3 +22,4 @@ pub use gss_net as net;
 pub use gss_platform as platform;
 pub use gss_render as render;
 pub use gss_sr as sr;
+pub use gss_telemetry as telemetry;

@@ -35,7 +35,10 @@ fn frame_types_alternate_with_gop() {
     let report = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
     let types: Vec<FrameType> = report.frames.iter().map(|f| f.frame_type).collect();
     use FrameType::*;
-    assert_eq!(types, vec![Intra, Inter, Inter, Inter, Intra, Inter, Inter, Inter]);
+    assert_eq!(
+        types,
+        vec![Intra, Inter, Inter, Inter, Intra, Inter, Inter, Inter]
+    );
 }
 
 #[test]

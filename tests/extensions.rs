@@ -88,7 +88,9 @@ fn loss_recovery_composes_with_rate_control_and_tracker() {
     // any drop must eventually be followed by a displayed frame
     if let Some(first_drop) = r.frames.iter().position(|f| f.dropped) {
         assert!(
-            r.frames[first_drop..].iter().any(|f| !f.frozen && !f.dropped),
+            r.frames[first_drop..]
+                .iter()
+                .any(|f| !f.frozen && !f.dropped),
             "never recovered after frame {first_drop}"
         );
     }

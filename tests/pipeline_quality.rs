@@ -22,9 +22,18 @@ fn upscaler_quality_ordering_on_rendered_content() {
     for game in [GameId::G1, GameId::G3, GameId::G5] {
         let (gt, lr) = gt_and_lr(game, 0);
         for (name, up) in [
-            ("nearest", Box::new(InterpUpscaler::new(InterpKernel::Nearest, 2)) as Box<dyn Upscaler>),
-            ("bilinear", Box::new(InterpUpscaler::new(InterpKernel::Bilinear, 2))),
-            ("bicubic", Box::new(InterpUpscaler::new(InterpKernel::Bicubic, 2))),
+            (
+                "nearest",
+                Box::new(InterpUpscaler::new(InterpKernel::Nearest, 2)) as Box<dyn Upscaler>,
+            ),
+            (
+                "bilinear",
+                Box::new(InterpUpscaler::new(InterpKernel::Bilinear, 2)),
+            ),
+            (
+                "bicubic",
+                Box::new(InterpUpscaler::new(InterpKernel::Bicubic, 2)),
+            ),
             ("neural", Box::new(NeuralSr::new(NeuralSrConfig::default()))),
         ] {
             let q = psnr(&gt, &up.upscale(&lr)).unwrap();
@@ -49,7 +58,8 @@ fn metrics_agree_on_gross_quality_differences() {
     // reconstruction above a bad one
     let (gt, lr) = gt_and_lr(GameId::G3, 0);
     let good = InterpUpscaler::new(InterpKernel::Bicubic, 2).upscale(&lr);
-    let bad = InterpUpscaler::new(InterpKernel::Nearest, 2).upscale(&lr.downsample_box(2))
+    let bad = InterpUpscaler::new(InterpKernel::Nearest, 2)
+        .upscale(&lr.downsample_box(2))
         .y()
         .clone();
     let bad = gss::frame::Frame::from_planes(

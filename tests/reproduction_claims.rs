@@ -84,7 +84,11 @@ fn claim_mtp_improvement_about_4x_and_ours_under_fast_genre_bar() {
     for device in DeviceProfile::all() {
         let cmp = run_comparison(&gop_cfg(device.clone())).unwrap();
         let improvement = cmp.ref_mtp_improvement();
-        assert!((3.5..4.8).contains(&improvement), "{}: {improvement:.2}", device.name);
+        assert!(
+            (3.5..4.8).contains(&improvement),
+            "{}: {improvement:.2}",
+            device.name
+        );
         assert!(
             cmp.ours.max_mtp_ms() < 100.0,
             "{}: {:.1}",
@@ -111,7 +115,10 @@ fn claim_energy_savings_26_to_33_percent() {
     let px_savings = px.energy_savings();
     assert!((0.22..0.30).contains(&s8_savings), "S8 {s8_savings:.3}");
     assert!((0.29..0.37).contains(&px_savings), "Pixel {px_savings:.3}");
-    assert!(px_savings > s8_savings, "larger display hurts relative savings");
+    assert!(
+        px_savings > s8_savings,
+        "larger display hurts relative savings"
+    );
 }
 
 #[test]
@@ -124,9 +131,18 @@ fn claim_energy_breakdown_shape() {
     let sota_decode = sota.energy.fraction(Stage::Decode);
     let ours_decode = ours.energy.fraction(Stage::Decode);
     let ours_upscale = ours.energy.fraction(Stage::Upscale);
-    assert!((0.40..0.52).contains(&sota_decode), "SOTA decode {sota_decode:.3}");
-    assert!((0.03..0.09).contains(&ours_decode), "ours decode {ours_decode:.3}");
-    assert!((0.78..0.90).contains(&ours_upscale), "ours upscale {ours_upscale:.3}");
+    assert!(
+        (0.40..0.52).contains(&sota_decode),
+        "SOTA decode {sota_decode:.3}"
+    );
+    assert!(
+        (0.03..0.09).contains(&ours_decode),
+        "ours decode {ours_decode:.3}"
+    );
+    assert!(
+        (0.78..0.90).contains(&ours_upscale),
+        "ours upscale {ours_upscale:.3}"
+    );
 }
 
 #[test]
@@ -143,7 +159,10 @@ fn claim_quality_ours_above_30db_and_above_sota() {
     let ours_psnr = cmp.ours.mean_psnr_db().unwrap();
     let sota_psnr = cmp.sota.mean_psnr_db().unwrap();
     assert!(ours_psnr > 30.0, "ours {ours_psnr:.2}");
-    assert!(ours_psnr > sota_psnr, "ours {ours_psnr:.2} vs sota {sota_psnr:.2}");
+    assert!(
+        ours_psnr > sota_psnr,
+        "ours {ours_psnr:.2} vs sota {sota_psnr:.2}"
+    );
     assert!(
         cmp.perceptual_improvement().unwrap() > 0.0,
         "perceptual {:?}",
@@ -158,5 +177,8 @@ fn claim_quality_ours_above_30db_and_above_sota() {
     let ours_series = cmp.ours.psnr_series();
     let ours_first: f64 = ours_series[..6].iter().sum::<f64>() / 6.0;
     let ours_last: f64 = ours_series[18..].iter().sum::<f64>() / 6.0;
-    assert!(ours_last > ours_first - 1.0, "ours drifted: {ours_first:.2} -> {ours_last:.2}");
+    assert!(
+        ours_last > ours_first - 1.0,
+        "ours drifted: {ours_first:.2} -> {ours_last:.2}"
+    );
 }

@@ -45,8 +45,8 @@ fn detector_is_stable_under_small_temporal_changes() {
         if let Some(p) = prev {
             let (ax, ay) = p.center();
             let (bx, by) = roi.center();
-            let dist = (((ax as f64 - bx as f64).powi(2)) + ((ay as f64 - by as f64).powi(2)))
-                .sqrt();
+            let dist =
+                (((ax as f64 - bx as f64).powi(2)) + ((ay as f64 - by as f64).powi(2))).sqrt();
             assert!(dist < 24.0, "t={t}: RoI jumped {dist:.1}px");
         }
         prev = Some(roi);

@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Covers the API this workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `sample_size`, `Bencher::iter` — with
+//! a straightforward wall-clock runner: each benchmark is warmed up once,
+//! then timed over batches until a time budget is met, and the median
+//! per-iteration time is printed. No statistical analysis, HTML reports or
+//! regression detection; the numbers are honest medians, good enough to
+//! rank hot paths and spot order-of-magnitude regressions offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the hot code.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        while self.samples.len() < self.sample_size && started.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort();
+        Some(self.samples[self.samples.len() / 2])
+    }
+}
+
+fn run_one(group: &str, id: &BenchmarkId, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.name.clone()
+    } else {
+        format!("{group}/{}", id.name)
+    };
+    match bencher.median() {
+        Some(t) => println!(
+            "{label:<48} median {t:>12.3?} ({} samples)",
+            bencher.samples.len()
+        ),
+        None => println!("{label:<48} (no samples — closure never called iter)"),
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op offline).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; the offline runner accepts and
+    /// ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group {name} --");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one("", &id.into(), 20, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran >= 3);
+    }
+}

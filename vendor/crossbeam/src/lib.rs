@@ -1,0 +1,93 @@
+//! Offline stand-in for `crossbeam`, covering `crossbeam::thread::scope`.
+//!
+//! Since Rust 1.63 the standard library's `std::thread::scope` provides the
+//! same structured-concurrency guarantee crossbeam pioneered; this shim
+//! adapts it to crossbeam's API shape (spawn closures receive the scope,
+//! `scope` returns a `Result`) so the client's parallel NPU ∥ GPU code
+//! compiles unchanged. Spawned threads are real OS threads — the
+//! parallelism the paper's client depends on is preserved, not simulated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads (crossbeam-utils API shape over `std::thread::scope`).
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Error type carried by a panicked scope/thread.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle passed to [`scope`]'s closure; spawn threads off it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads are all joined before
+    /// `scope` returns. Child panics propagate when joined (unjoined child
+    /// panics propagate at scope exit), so the `Err` arm is vestigial here —
+    /// kept for crossbeam API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn parallel_spawn_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let left = s.spawn(|_| data[..2].iter().sum::<u64>());
+            let right: u64 = data[2..].iter().sum();
+            left.join().expect("left thread panicked") + right
+        })
+        .expect("scope panicked");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().expect("inner join") * 2
+            });
+            h.join().expect("outer join")
+        })
+        .expect("scope panicked");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,344 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! the tiny slice of `rand`'s API it actually uses: [`rngs::SmallRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], and the [`Rng`] methods
+//! `gen`, `gen_bool` and `gen_range`. The generator is xoshiro256++ (the
+//! same family real `rand` uses for `SmallRng` on 64-bit targets), so the
+//! statistical properties the simulators rely on (uniformity, long period)
+//! hold. The seeding path (splitmix64 expansion) and the distribution
+//! algorithms (multiply-based float construction, widening-multiply
+//! integer ranges, fixed-point Bernoulli) replicate `rand` 0.8.5
+//! bit-for-bit, so every seeded stream in this workspace — and therefore
+//! every simulated scene, link trace and quality figure the reproduction
+//! tests assert on — matches what upstream `rand` produced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generator sources.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly-distributed value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // xoshiro's lowest bits have linear dependencies; upstream takes
+        // the upper half for next_u32, and we must match its stream.
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // upstream's multiply-based method: 53 uniform bits in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 24 bits of the next_u32 draw, i.e. bits 63..40 of the u64
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // upstream compares the most significant bit of next_u32
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+/// Numeric types [`Rng::gen_range`] can sample uniformly.
+///
+/// Mirroring real `rand`, [`SampleRange`] is implemented once, generically,
+/// for `Range<T>` / `RangeInclusive<T>` over this trait. The single generic
+/// impl matters for type inference: it lets unsuffixed literals in calls
+/// like `rng.gen_range(2.0..4.0)` unify with an `f32` usage site instead of
+/// defaulting to `f64`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from the half-open range `[lo, hi)`.
+    fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Draws uniformly from the closed range `[lo, hi]`.
+    fn sample_inclusive<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+// Bit-exact port of rand 0.8.5's `UniformFloat::sample_single`: a value in
+// [1, 2) is built from the type's mantissa bits, shifted to [0, 1), then
+// scaled into the range. The loop only re-draws in the pathological case
+// where rounding lands exactly on `hi`.
+// Bit-exact port of rand 0.8.5's `UniformFloat::sample_single`: a value in
+// [1, 2) is built from the type's mantissa bits, shifted to [0, 1), then
+// scaled into the range. The loop only re-draws in the pathological case
+// where rounding lands exactly on `hi`.
+macro_rules! uniform_float {
+    ($t:ty, $bits:ty, $fraction_bits:expr, $exponent_bias:expr) => {
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let mut scale = hi - lo;
+                loop {
+                    let fraction =
+                        <$bits as Standard>::sample(rng) >> (<$bits>::BITS - $fraction_bits);
+                    let value1_2 =
+                        <$t>::from_bits((($exponent_bias as $bits) << $fraction_bits) | fraction);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + lo;
+                    if res < hi {
+                        return res;
+                    }
+                    // shave one ulp off the scale, as upstream does
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+            fn sample_inclusive<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                // scale against the largest value the mantissa draw can
+                // reach, so `hi` itself is attainable
+                let ones: $bits = (1 << $fraction_bits) - 1;
+                let max_rand =
+                    <$t>::from_bits((($exponent_bias as $bits) << $fraction_bits) | ones) - 1.0;
+                let mut scale = (hi - lo) / max_rand;
+                loop {
+                    let fraction =
+                        <$bits as Standard>::sample(rng) >> (<$bits>::BITS - $fraction_bits);
+                    let value1_2 =
+                        <$t>::from_bits((($exponent_bias as $bits) << $fraction_bits) | fraction);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + lo;
+                    if res <= hi {
+                        return res;
+                    }
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    };
+}
+uniform_float!(f32, u32, 23, 127);
+uniform_float!(f64, u64, 52, 1023);
+
+// Bit-exact port of rand 0.8.5's `UniformInt::sample_single_inclusive`:
+// widening multiply of a fresh draw by the range, accepting when the low
+// half falls inside the unbiased zone. 8/16/32-bit types draw u32 (the
+// upper half of next_u64, matching xoshiro's next_u32); wider types draw
+// the full u64.
+macro_rules! uniform_int {
+    ($t:ty, $unsigned:ty, $u_large:ty, $wide:ty) => {
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                <$t as SampleUniform>::sample_inclusive(lo, hi - 1, rng)
+            }
+            fn sample_inclusive<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let range = hi.wrapping_sub(lo).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // full type range: any draw is uniform
+                    return <$u_large as Standard>::sample(rng) as $t;
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = <$u_large as Standard>::sample(rng);
+                    let wide = (v as $wide) * (range as $wide);
+                    let hi_part = (wide >> <$u_large>::BITS) as $u_large;
+                    let lo_part = wide as $u_large;
+                    if lo_part <= zone {
+                        return lo.wrapping_add(hi_part as $t);
+                    }
+                }
+            }
+        }
+    };
+}
+uniform_int!(i8, u8, u32, u64);
+uniform_int!(i16, u16, u32, u64);
+uniform_int!(i32, u32, u32, u64);
+uniform_int!(i64, u64, u64, u128);
+uniform_int!(u8, u8, u32, u64);
+uniform_int!(u16, u16, u32, u64);
+uniform_int!(u32, u32, u32, u64);
+uniform_int!(u64, u64, u64, u128);
+uniform_int!(usize, usize, u64, u128);
+uniform_int!(isize, usize, u64, u128);
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly-distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Draws a uniformly-distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        <f64 as Standard>::sample(self) < p
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast xoshiro256++ generator (the family real `rand` backs
+    /// `SmallRng` with on 64-bit platforms).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as upstream does for small seeds
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias kept for API compatibility with `rand`'s `std_rng` feature.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5.0..5.0f32);
+            assert!((-5.0..5.0).contains(&v));
+            let i = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&i));
+            let k = rng.gen_range(1u8..=255);
+            assert!((1..=255).contains(&k));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+}

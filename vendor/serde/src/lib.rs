@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde purely as a *marker*: report types derive
+//! `Serialize`/`Deserialize` so downstream tooling can rely on them being
+//! plain data, but nothing in-tree performs actual serialization (the
+//! telemetry JSONL sink hand-writes its JSON). This stub therefore provides
+//! the two traits with blanket implementations — every type is plain data
+//! as far as the in-tree bounds are concerned — and no-op derive macros so
+//! the `#[derive(...)]` attributes compile unchanged. Swapping the real
+//! `serde` back in (when a registry is available) requires only restoring
+//! the crates.io entry in the workspace `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable plain-data types.
+///
+/// Blanket-implemented: in-tree bounds like `T: serde::Serialize` only
+/// assert "this is report data", never drive real encoding.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable plain-data types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned variant of [`Deserialize`], mirroring serde's helper.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

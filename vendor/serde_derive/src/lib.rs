@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The companion `serde` stub blanket-implements both traits, so the
+//! derives have nothing to generate; they exist only so `#[derive(...)]`
+//! attributes (and `#[serde(...)]` helper attributes) compile unchanged.
+
+use proc_macro::TokenStream;
+
+/// Derives the (blanket-implemented) `Serialize` marker; emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the (blanket-implemented) `Deserialize` marker; emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
