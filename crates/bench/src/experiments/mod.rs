@@ -12,5 +12,6 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig9;
 pub mod loss;
+pub mod resilience;
 pub mod server_side;
 pub mod table1;

@@ -10,7 +10,8 @@
 //!
 //! or a single experiment by id (`table1`, `fig2`, `fig3a`, `fig3b`,
 //! `fig7`, `fig9`, `fig10a`, `fig10b`, `fig10c`, `fig11`, `fig12`,
-//! `fig13`, `fig14a`, `fig14b`, `fig15`, `server`, `ablation`):
+//! `fig13`, `fig14a`, `fig14b`, `fig15`, `server`, `ablation`, `loss`,
+//! `resilience`):
 //!
 //! ```text
 //! cargo run --release -p gss-bench --bin figures -- fig10a
@@ -61,9 +62,26 @@ impl RunOptions {
 }
 
 /// All experiment ids in report order.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
-    "table1", "fig2", "fig3a", "fig3b", "fig7", "fig9", "fig10a", "fig10b", "fig10c", "fig11",
-    "fig12", "fig13", "fig14a", "fig14b", "fig15", "server", "ablation", "loss",
+pub const ALL_EXPERIMENTS: [&str; 19] = [
+    "table1",
+    "fig2",
+    "fig3a",
+    "fig3b",
+    "fig7",
+    "fig9",
+    "fig10a",
+    "fig10b",
+    "fig10c",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14a",
+    "fig14b",
+    "fig15",
+    "server",
+    "ablation",
+    "loss",
+    "resilience",
 ];
 
 /// Runs one experiment by id, printing its rows to stdout.
@@ -93,6 +111,7 @@ pub fn run_experiment(id: &str, options: &RunOptions) -> Result<(), String> {
         "server" => e::server_side::run(options),
         "ablation" => e::ablation::run(options),
         "loss" => e::loss::run(options),
+        "resilience" => e::resilience::run(options),
         other => return Err(format!("unknown experiment id: {other}")),
     }
     Ok(())

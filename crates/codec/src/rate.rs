@@ -47,6 +47,7 @@ impl RateControlConfig {
 #[derive(Debug, Clone)]
 pub struct RateController {
     config: RateControlConfig,
+    base_target_bytes: usize,
     quality: f64,
     residual_step: f64,
     debt_bytes: f64,
@@ -69,6 +70,7 @@ impl RateController {
             "residual bounds inverted"
         );
         RateController {
+            base_target_bytes: config.target_bytes_per_frame,
             config,
             quality: start.quality as f64,
             residual_step: start.residual_step as f64,
@@ -79,6 +81,21 @@ impl RateController {
     /// The active configuration.
     pub fn config(&self) -> RateControlConfig {
         self.config
+    }
+
+    /// Rescales the per-frame byte budget to `scale` times the budget the
+    /// controller was constructed with. The degradation controller uses
+    /// this to cut the stream's bitrate while the channel is collapsed and
+    /// to restore it afterwards (`scale = 1.0`); the controller's integral
+    /// state is preserved so the quantizers glide rather than jump.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` is not positive.
+    pub fn set_target_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0, "target scale must be positive");
+        self.config.target_bytes_per_frame =
+            ((self.base_target_bytes as f64 * scale) as usize).max(1);
     }
 
     /// Records the size of the frame just encoded and updates the
@@ -265,6 +282,28 @@ mod tests {
         a.observe(bytes, true); // within the 4x intra allowance
         b.observe(bytes, false); // 3x overshoot for an inter frame
         assert!(a.quantizers().0 > b.quantizers().0);
+    }
+
+    #[test]
+    fn target_scale_cuts_and_restores_the_budget() {
+        let cfg = RateControlConfig::for_bitrate_mbps(25.0);
+        let mut rc = RateController::new(cfg, &EncoderConfig::default());
+        let base = rc.config().target_bytes_per_frame;
+        rc.set_target_scale(0.3);
+        assert_eq!(
+            rc.config().target_bytes_per_frame,
+            (base as f64 * 0.3) as usize
+        );
+        // a scaled-down controller drives quality lower for the same stream
+        let mut full = RateController::new(cfg, &EncoderConfig::default());
+        for _ in 0..30 {
+            rc.observe(base, false);
+            full.observe(base, false);
+        }
+        assert!(rc.quantizers().0 < full.quantizers().0);
+        // restoring the scale restores the original budget exactly
+        rc.set_target_scale(1.0);
+        assert_eq!(rc.config().target_bytes_per_frame, base);
     }
 
     #[test]

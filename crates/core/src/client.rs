@@ -9,7 +9,7 @@
 use crate::GssError;
 use gss_codec::{Decoder, EncodedFrame};
 use gss_frame::{Frame, Rect};
-use gss_sr::{InterpKernel, InterpUpscaler, NeuralSr, NeuralSrConfig, Upscaler};
+use gss_sr::{InterpKernel, InterpUpscaler, ModelTier, NeuralSr, Upscaler};
 use serde::{Deserialize, Serialize};
 
 /// Modeled stage occupancy of one client frame (filled in by the session
@@ -50,14 +50,15 @@ pub struct ClientOutput {
 #[derive(Debug)]
 pub struct GameStreamClient {
     decoder: Decoder,
-    neural: NeuralSr,
+    neural: Option<NeuralSr>,
+    tier: Option<ModelTier>,
     bilinear: InterpUpscaler,
     scale: usize,
 }
 
 impl GameStreamClient {
     /// Creates a client for the given upscale factor (2 in the paper's
-    /// deployment).
+    /// deployment), running the calibrated top-tier SR model.
     ///
     /// # Panics
     ///
@@ -66,10 +67,8 @@ impl GameStreamClient {
         assert!(scale > 0, "scale must be nonzero");
         GameStreamClient {
             decoder: Decoder::new(),
-            neural: NeuralSr::new(NeuralSrConfig {
-                scale,
-                ..NeuralSrConfig::default()
-            }),
+            neural: Some(NeuralSr::new(ModelTier::Edsr64.proxy_config(scale))),
+            tier: Some(ModelTier::Edsr64),
             bilinear: InterpUpscaler::new(InterpKernel::Bilinear, scale),
             scale,
         }
@@ -78,6 +77,25 @@ impl GameStreamClient {
     /// The upscale factor.
     pub fn scale(&self) -> usize {
         self.scale
+    }
+
+    /// The SR model tier currently loaded on the NPU; `None` means the
+    /// bilinear-only degradation floor.
+    pub fn model_tier(&self) -> Option<ModelTier> {
+        self.tier
+    }
+
+    /// Swaps the NPU's SR model for a (usually cheaper) tier, or unloads it
+    /// entirely (`None` — the degradation ladder's bilinear floor, where
+    /// the whole frame takes the GPU path). Only the neural model is
+    /// rebuilt: the decoder's reference chain is untouched, so switching
+    /// tiers mid-stream is safe.
+    pub fn set_model_tier(&mut self, tier: Option<ModelTier>) {
+        if tier == self.tier {
+            return;
+        }
+        self.neural = tier.map(|t| NeuralSr::new(t.proxy_config(self.scale)));
+        self.tier = tier;
     }
 
     /// Decodes a packet (hardware-decoder path: the codec is a black box
@@ -113,17 +131,26 @@ impl GameStreamClient {
 
     /// The RoI-assisted upscale on an already-decoded frame: DNN SR inside
     /// `roi`, bilinear everywhere else, merged. The two paths run on
-    /// separate threads like the paper's NPU ∥ GPU split.
+    /// separate threads like the paper's NPU ∥ GPU split. On the
+    /// bilinear-only floor (no model tier) the NPU path and the merge are
+    /// skipped and the whole frame is GPU-interpolated.
     ///
     /// `roi` is clamped into the frame if it protrudes.
     pub fn upscale(&self, lr: &Frame, roi: Rect) -> ClientOutput {
         let (w, h) = lr.size();
         let roi = roi.clamp_to(w, h);
+        let roi_hr = roi.scaled(self.scale);
+        let Some(neural) = &self.neural else {
+            return ClientOutput {
+                frame: self.bilinear.upscale(lr),
+                roi_hr,
+            };
+        };
         let (neural_patch, mut hr) = crossbeam::thread::scope(|s| {
             // NPU path: DNN SR of the RoI patch
             let npu = s.spawn(|_| {
                 let patch = lr.crop(roi);
-                self.neural.upscale(&patch)
+                neural.upscale(&patch)
             });
             // GPU path: bilinear of the (whole) frame; only the non-RoI
             // part of this output survives the merge
@@ -132,7 +159,6 @@ impl GameStreamClient {
         })
         .expect("upscale scope panicked");
 
-        let roi_hr = roi.scaled(self.scale);
         hr.paste(&neural_patch, roi_hr.x, roi_hr.y);
         ClientOutput { frame: hr, roi_hr }
     }
@@ -225,6 +251,53 @@ mod tests {
             let packet = enc.encode(&lr).unwrap();
             let out = client.process(&packet, Rect::new(16, 12, 24, 24)).unwrap();
             assert_eq!(out.frame.size(), (128, 96), "frame {t}");
+        }
+    }
+
+    #[test]
+    fn tier_fallback_degrades_quality_and_floor_matches_bilinear() {
+        let hr = scene_frame(128, 96);
+        let lr = hr.downsample_box(2);
+        let roi = Rect::new(16, 12, 32, 32);
+        let roi_hr = roi.scaled(2);
+        let gt_patch = hr.y().crop(roi_hr).unwrap();
+        let mut client = GameStreamClient::new(2);
+        assert_eq!(client.model_tier(), Some(ModelTier::Edsr64));
+        let mut patch_psnr = Vec::new();
+        for tier in ModelTier::ALL {
+            client.set_model_tier(Some(tier));
+            let out = client.upscale(&lr, roi);
+            let patch = out.frame.y().crop(roi_hr).unwrap();
+            patch_psnr.push(psnr_planes(&gt_patch, &patch).unwrap());
+        }
+        // the proxy's refinement gains are content-dependent, so adjacent
+        // tiers may tie to within a tenth of a dB — but no step down the
+        // ladder improves the RoI beyond that noise, and the top tier
+        // beats the cheapest
+        assert!(
+            patch_psnr.windows(2).all(|w| w[1] <= w[0] + 0.1),
+            "{patch_psnr:?}"
+        );
+        assert!(patch_psnr[0] >= patch_psnr[2] - 1e-9, "{patch_psnr:?}");
+        // the floor is byte-identical to pure bilinear, with no panic on a
+        // skipped NPU path
+        client.set_model_tier(None);
+        assert_eq!(client.model_tier(), None);
+        let floor = client.upscale(&lr, roi);
+        let plain = InterpUpscaler::new(InterpKernel::Bilinear, 2).upscale(&lr);
+        assert_eq!(floor.frame, plain);
+        // and the decoder survives tier swaps mid-stream
+        let mut enc = Encoder::new(EncoderConfig {
+            gop_size: 100,
+            ..EncoderConfig::default()
+        });
+        let mut streaming = GameStreamClient::new(2);
+        for t in 0..4 {
+            let packet = enc.encode(&scene_frame(64, 48)).unwrap();
+            if t == 2 {
+                streaming.set_model_tier(Some(ModelTier::Fsrcnn));
+            }
+            streaming.process(&packet, roi).unwrap();
         }
     }
 

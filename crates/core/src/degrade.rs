@@ -1,0 +1,496 @@
+//! Adaptive degradation under faults — the client's resilience controller.
+//!
+//! The paper evaluates GameStreamSR on healthy channels and a cool NPU; a
+//! deployment sees neither. This module adds the control loop that keeps
+//! the stream at 60 FPS when the world turns hostile: a rolling window of
+//! deadline misses and link drops drives a **degradation ladder**, and a
+//! NACK manager with exponential backoff bounds how long a lost reference
+//! frame can freeze the display.
+//!
+//! # The ladder
+//!
+//! Each rung pairs an SR model tier with the *fraction of the 16.66 ms
+//! frame budget the NPU pass may occupy at nominal clocks* and a rate-
+//! controller scale. Descending a rung shrinks the RoI window so the NPU
+//! pass fits the reduced occupancy — which is exactly what absorbs a
+//! thermal slowdown: a rung whose pass occupies 35% of the budget still
+//! meets the deadline when the NPU runs 2.5× slower. The bottom rung
+//! unloads the NPU entirely (GPU bilinear of the whole frame — the quality
+//! floor that can never miss). The rate scale rides along so a collapsed
+//! link sees a stream it can actually carry.
+//!
+//! Climbing back is hysteretic: a full streak of clean frames per rung,
+//! with a cooldown between transitions, so a marginal channel does not
+//! make the ladder oscillate.
+
+use gss_platform::{DeviceProfile, REALTIME_BUDGET_MS};
+use gss_sr::ModelTier;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One rung of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LadderRung {
+    /// SR model on the NPU; `None` is the bilinear-only floor.
+    pub tier: Option<ModelTier>,
+    /// Fraction of [`REALTIME_BUDGET_MS`] the NPU pass may occupy at
+    /// nominal clocks (0 on the floor).
+    pub npu_budget_fraction: f64,
+    /// Scale applied to the rate controller's byte budget.
+    pub rate_scale: f64,
+}
+
+impl LadderRung {
+    /// The RoI side (deployment-scale pixels) this rung runs: the largest
+    /// window whose NPU pass fits the rung's budget share under the rung's
+    /// model, never exceeding `base_side` (the session's step-0 plan).
+    pub fn roi_side(&self, device: &DeviceProfile, base_side: usize) -> usize {
+        match self.tier {
+            None => 0,
+            Some(tier) => device
+                .max_realtime_roi_side_for_model(
+                    REALTIME_BUDGET_MS * self.npu_budget_fraction,
+                    tier.cost_ratio(),
+                )
+                .min(base_side),
+        }
+    }
+
+    /// Kebab-case label of the rung's model for reports.
+    pub fn tier_label(&self) -> &'static str {
+        self.tier.map_or("bilinear", ModelTier::label)
+    }
+}
+
+/// The degradation ladder, full quality first. Occupancy fractions chosen
+/// so each descent absorbs roughly an extra 1.8× of NPU slowdown before
+/// the deadline is at risk again (rung r meets the deadline while
+/// `fraction × slowdown ≲ 0.9`).
+pub const LADDER: [LadderRung; 5] = [
+    LadderRung {
+        tier: Some(ModelTier::Edsr64),
+        npu_budget_fraction: 1.0,
+        rate_scale: 1.0,
+    },
+    LadderRung {
+        tier: Some(ModelTier::Edsr64),
+        npu_budget_fraction: 0.55,
+        rate_scale: 0.8,
+    },
+    LadderRung {
+        tier: Some(ModelTier::Edsr16),
+        npu_budget_fraction: 0.35,
+        rate_scale: 0.6,
+    },
+    LadderRung {
+        tier: Some(ModelTier::Fsrcnn),
+        npu_budget_fraction: 0.2,
+        rate_scale: 0.45,
+    },
+    LadderRung {
+        tier: None,
+        npu_budget_fraction: 0.0,
+        rate_scale: 0.3,
+    },
+];
+
+/// Tuning of the [`DegradationController`] and the NACK backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationConfig {
+    /// Rolling window of frames the miss count is judged over.
+    pub window: usize,
+    /// Bad frames within the window that trigger a downgrade.
+    pub degrade_misses: usize,
+    /// Consecutive clean frames required per upgrade step (hysteresis).
+    pub recover_frames: usize,
+    /// Minimum frames between any two ladder transitions.
+    pub cooldown_frames: usize,
+    /// Frames a NACK waits for its keyframe before re-requesting.
+    pub nack_timeout_frames: usize,
+    /// Upper bound of the NACK retry backoff, in frames.
+    pub nack_backoff_max_frames: usize,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            window: 12,
+            degrade_misses: 4,
+            recover_frames: 18,
+            cooldown_frames: 6,
+            nack_timeout_frames: 3,
+            nack_backoff_max_frames: 24,
+        }
+    }
+}
+
+/// A ladder step taken by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LadderStep {
+    /// Stepped one rung down (cheaper).
+    Downgrade,
+    /// Stepped one rung up (toward full quality).
+    Upgrade,
+}
+
+/// Watches per-frame health and walks the degradation ladder.
+#[derive(Debug, Clone)]
+pub struct DegradationController {
+    config: DegradationConfig,
+    rung: usize,
+    window: VecDeque<bool>,
+    misses_in_window: usize,
+    clean_streak: usize,
+    cooldown: usize,
+}
+
+impl DegradationController {
+    /// Creates a controller at the top rung.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty or the degrade threshold does not
+    /// fit it.
+    pub fn new(config: DegradationConfig) -> Self {
+        assert!(config.window > 0, "window must be nonzero");
+        assert!(
+            (1..=config.window).contains(&config.degrade_misses),
+            "degrade threshold must fit the window"
+        );
+        assert!(config.recover_frames > 0, "recovery streak must be nonzero");
+        DegradationController {
+            config,
+            rung: 0,
+            window: VecDeque::with_capacity(config.window),
+            misses_in_window: 0,
+            clean_streak: 0,
+            cooldown: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> DegradationConfig {
+        self.config
+    }
+
+    /// Current rung index (0 = full quality).
+    pub fn rung(&self) -> usize {
+        self.rung
+    }
+
+    /// The current rung's parameters.
+    pub fn rung_params(&self) -> LadderRung {
+        LADDER[self.rung]
+    }
+
+    /// Whether the controller sits below full quality.
+    pub fn is_degraded(&self) -> bool {
+        self.rung > 0
+    }
+
+    /// Folds one frame's health into the rolling window and returns the
+    /// ladder step taken, if any. `bad` means the frame missed its
+    /// real-time deadline or the link dropped it.
+    pub fn observe(&mut self, bad: bool) -> Option<LadderStep> {
+        if self.window.len() == self.config.window && self.window.pop_front() == Some(true) {
+            self.misses_in_window -= 1;
+        }
+        self.window.push_back(bad);
+        if bad {
+            self.misses_in_window += 1;
+            self.clean_streak = 0;
+        } else {
+            self.clean_streak += 1;
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return None;
+        }
+        if self.misses_in_window >= self.config.degrade_misses && self.rung + 1 < LADDER.len() {
+            self.rung += 1;
+            self.cooldown = self.config.cooldown_frames;
+            // stale misses belong to the rung that caused them
+            self.window.clear();
+            self.misses_in_window = 0;
+            self.clean_streak = 0;
+            return Some(LadderStep::Downgrade);
+        }
+        if self.clean_streak >= self.config.recover_frames && self.rung > 0 {
+            self.rung -= 1;
+            self.cooldown = self.config.cooldown_frames;
+            // hysteresis: a fresh streak is required for the next step up
+            self.clean_streak = 0;
+            return Some(LadderStep::Upgrade);
+        }
+        None
+    }
+}
+
+/// What a [`NackManager::begin_frame`] poll asks the session to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackSignal {
+    /// First request for this loss: NACK the server now.
+    Fresh,
+    /// The previous request timed out: NACK again (backoff doubled).
+    Retry,
+}
+
+/// Keyframe-request state machine: one NACK per loss, re-issued with
+/// exponential backoff while the keyframe fails to arrive.
+#[derive(Debug, Clone)]
+pub struct NackManager {
+    timeout_frames: usize,
+    backoff_max_frames: usize,
+    awaiting: bool,
+    pending_request: bool,
+    deadline: Option<usize>,
+    backoff: usize,
+}
+
+impl NackManager {
+    /// Creates the manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the timeout is zero or exceeds the backoff bound.
+    pub fn new(timeout_frames: usize, backoff_max_frames: usize) -> Self {
+        assert!(timeout_frames > 0, "timeout must be nonzero");
+        assert!(
+            timeout_frames <= backoff_max_frames,
+            "backoff bound must cover the timeout"
+        );
+        NackManager {
+            timeout_frames,
+            backoff_max_frames,
+            awaiting: false,
+            pending_request: false,
+            deadline: None,
+            backoff: timeout_frames,
+        }
+    }
+
+    /// Whether a keyframe is still outstanding.
+    pub fn awaiting(&self) -> bool {
+        self.awaiting
+    }
+
+    /// The current retry backoff, in frames.
+    pub fn backoff_frames(&self) -> usize {
+        self.backoff
+    }
+
+    /// Records that the link lost a frame the client needed.
+    pub fn on_loss(&mut self) {
+        if !self.awaiting {
+            self.awaiting = true;
+            self.pending_request = true;
+        }
+    }
+
+    /// Records that a keyframe arrived intact; resets the backoff.
+    pub fn on_keyframe_delivered(&mut self) {
+        self.awaiting = false;
+        self.pending_request = false;
+        self.deadline = None;
+        self.backoff = self.timeout_frames;
+    }
+
+    /// Polled at the start of frame `frame_index`, before the server
+    /// encodes: says whether to send a (re-)request this frame.
+    pub fn begin_frame(&mut self, frame_index: usize) -> Option<NackSignal> {
+        if !self.awaiting {
+            return None;
+        }
+        if self.pending_request {
+            self.pending_request = false;
+            self.deadline = Some(frame_index + self.backoff);
+            return Some(NackSignal::Fresh);
+        }
+        if self.deadline.is_some_and(|d| frame_index >= d) {
+            self.backoff = (self.backoff * 2).min(self.backoff_max_frames);
+            self.deadline = Some(frame_index + self.backoff);
+            return Some(NackSignal::Retry);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_descends_monotonically_in_cost_and_rate() {
+        for pair in LADDER.windows(2) {
+            assert!(pair[1].npu_budget_fraction < pair[0].npu_budget_fraction);
+            assert!(pair[1].rate_scale < pair[0].rate_scale);
+            let cost = |r: &LadderRung| r.tier.map_or(0.0, |t| t.cost_ratio());
+            assert!(cost(&pair[1]) <= cost(&pair[0]));
+        }
+        assert_eq!(LADDER[0].tier, Some(ModelTier::Edsr64));
+        assert_eq!(LADDER[0].npu_budget_fraction, 1.0);
+        assert_eq!(LADDER.last().unwrap().tier, None);
+    }
+
+    #[test]
+    fn rung_windows_fit_their_budget_share_and_never_grow() {
+        // note the side is NOT monotone down the ladder: a cheaper model
+        // can afford the full base window again (it is clamped there), it
+        // just runs it in a fraction of the time
+        let device = DeviceProfile::s8_tab();
+        let base = device.max_realtime_roi_side(REALTIME_BUDGET_MS);
+        for rung in &LADDER {
+            let side = rung.roi_side(&device, base);
+            assert!(side <= base, "side {side} exceeds the base plan");
+            if let Some(tier) = rung.tier {
+                let npu = device.npu_sr_ms_for_model(side * side, tier.cost_ratio());
+                assert!(
+                    npu <= REALTIME_BUDGET_MS * rung.npu_budget_fraction + 1e-9,
+                    "{}: {npu:.2} ms over {:.0}% share",
+                    rung.tier_label(),
+                    rung.npu_budget_fraction * 100.0
+                );
+            }
+        }
+        assert_eq!(LADDER[0].roi_side(&device, base), base);
+        assert_eq!(LADDER[4].roi_side(&device, base), 0);
+    }
+
+    #[test]
+    fn descending_rungs_absorb_increasing_slowdown() {
+        // the whole point of the ladder: at rung r the NPU pass still fits
+        // the frame budget under a slowdown rung 0 cannot survive
+        let device = DeviceProfile::s8_tab();
+        let base = device.max_realtime_roi_side(REALTIME_BUDGET_MS);
+        let fits = |rung: &LadderRung, slowdown: f64| -> bool {
+            let side = rung.roi_side(&device, base);
+            match rung.tier {
+                None => true,
+                Some(tier) => {
+                    device.npu_sr_ms_throttled(side * side, tier.cost_ratio(), slowdown)
+                        <= REALTIME_BUDGET_MS
+                }
+            }
+        };
+        assert!(!fits(&LADDER[0], 1.5));
+        assert!(fits(&LADDER[1], 1.5));
+        assert!(!fits(&LADDER[1], 2.5));
+        assert!(fits(&LADDER[2], 2.5));
+        assert!(fits(&LADDER[3], 4.0));
+        assert!(fits(&LADDER[4], 100.0));
+    }
+
+    #[test]
+    fn controller_degrades_on_misses_and_recovers_with_hysteresis() {
+        let cfg = DegradationConfig::default();
+        let mut ctl = DegradationController::new(cfg);
+        assert_eq!(ctl.rung(), 0);
+        // a burst of bad frames walks one rung down
+        let mut steps = Vec::new();
+        for _ in 0..cfg.degrade_misses {
+            if let Some(s) = ctl.observe(true) {
+                steps.push(s);
+            }
+        }
+        assert_eq!(steps, vec![LadderStep::Downgrade]);
+        assert_eq!(ctl.rung(), 1);
+        // clean frames within the cooldown do nothing
+        for _ in 0..cfg.cooldown_frames {
+            assert_eq!(ctl.observe(false), None);
+        }
+        // a full clean streak climbs back exactly one rung
+        let mut upgrades = 0;
+        for _ in 0..cfg.recover_frames {
+            if ctl.observe(false) == Some(LadderStep::Upgrade) {
+                upgrades += 1;
+            }
+        }
+        assert_eq!(upgrades, 1);
+        assert_eq!(ctl.rung(), 0);
+        assert!(!ctl.is_degraded());
+    }
+
+    #[test]
+    fn sustained_faults_reach_the_floor_and_stop() {
+        let cfg = DegradationConfig::default();
+        let mut ctl = DegradationController::new(cfg);
+        for _ in 0..200 {
+            ctl.observe(true);
+        }
+        assert_eq!(ctl.rung(), LADDER.len() - 1);
+        assert_eq!(ctl.rung_params().tier, None);
+    }
+
+    #[test]
+    fn one_bad_frame_resets_the_recovery_streak() {
+        let cfg = DegradationConfig {
+            window: 6,
+            degrade_misses: 2,
+            recover_frames: 10,
+            cooldown_frames: 0,
+            ..DegradationConfig::default()
+        };
+        let mut ctl = DegradationController::new(cfg);
+        ctl.observe(true);
+        ctl.observe(true);
+        assert_eq!(ctl.rung(), 1);
+        for _ in 0..9 {
+            assert_eq!(ctl.observe(false), None);
+        }
+        ctl.observe(true); // streak dies at 9/10
+        for _ in 0..9 {
+            assert_eq!(ctl.observe(false), None);
+        }
+        assert_eq!(ctl.rung(), 1, "a marginal channel must not oscillate");
+        assert_eq!(ctl.observe(false), Some(LadderStep::Upgrade));
+    }
+
+    #[test]
+    fn nack_retries_with_exponential_backoff() {
+        let mut nack = NackManager::new(3, 24);
+        assert_eq!(nack.begin_frame(0), None);
+        nack.on_loss();
+        assert_eq!(nack.begin_frame(1), Some(NackSignal::Fresh));
+        // waits out the timeout...
+        assert_eq!(nack.begin_frame(2), None);
+        assert_eq!(nack.begin_frame(3), None);
+        // ...then retries with doubled backoff: 3 → 6 → 12 → 24 → 24
+        assert_eq!(nack.begin_frame(4), Some(NackSignal::Retry));
+        assert_eq!(nack.backoff_frames(), 6);
+        assert_eq!(nack.begin_frame(9), None);
+        assert_eq!(nack.begin_frame(10), Some(NackSignal::Retry));
+        assert_eq!(nack.backoff_frames(), 12);
+        assert_eq!(nack.begin_frame(22), Some(NackSignal::Retry));
+        assert_eq!(nack.backoff_frames(), 24);
+        assert_eq!(nack.begin_frame(46), Some(NackSignal::Retry));
+        assert_eq!(nack.backoff_frames(), 24, "backoff is bounded");
+        // delivery resets everything
+        nack.on_keyframe_delivered();
+        assert!(!nack.awaiting());
+        assert_eq!(nack.backoff_frames(), 3);
+        assert_eq!(nack.begin_frame(50), None);
+        // a second loss starts from the base timeout again
+        nack.on_loss();
+        assert_eq!(nack.begin_frame(51), Some(NackSignal::Fresh));
+        assert_eq!(nack.backoff_frames(), 3);
+    }
+
+    #[test]
+    fn duplicate_losses_do_not_stack_requests() {
+        let mut nack = NackManager::new(3, 24);
+        nack.on_loss();
+        nack.on_loss();
+        nack.on_loss();
+        assert_eq!(nack.begin_frame(1), Some(NackSignal::Fresh));
+        assert_eq!(nack.begin_frame(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn empty_window_rejected() {
+        DegradationController::new(DegradationConfig {
+            window: 0,
+            ..DegradationConfig::default()
+        });
+    }
+}

@@ -49,6 +49,7 @@
 
 pub mod client;
 pub mod decoder_ext;
+pub mod degrade;
 mod error;
 pub mod mtp;
 pub mod nemo;
@@ -57,6 +58,10 @@ pub mod server;
 pub mod session;
 
 pub use client::{ClientOutput, ClientTiming, GameStreamClient};
+pub use degrade::{
+    DegradationConfig, DegradationController, LadderRung, LadderStep, NackManager, NackSignal,
+    LADDER,
+};
 pub use error::GssError;
 pub use mtp::MtpBreakdown;
 pub use nemo::{NemoClient, NemoOutput};

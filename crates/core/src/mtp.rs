@@ -144,10 +144,39 @@ impl UpscaleTiming {
 /// GameStreamSR's upscaling timing: NPU (RoI) and GPU (non-RoI) run in
 /// parallel; the merge follows the slower of the two (paper §IV-C).
 pub fn ours_upscale(device: &DeviceProfile, roi_side: usize) -> UpscaleTiming {
+    ours_upscale_degraded(device, roi_side, 1.0, 1.0)
+}
+
+/// [`ours_upscale`] under degradation: the SR model costs `cost_ratio`
+/// times the calibrated EDSR per pixel and the NPU is thermally throttled
+/// by `slowdown` (≥ 1). A zero `roi_side` models the ladder's bilinear-only
+/// floor — the GPU interpolates the whole frame and no NPU pass or merge
+/// runs.
+///
+/// # Panics
+///
+/// Panics when `cost_ratio` is not positive or `slowdown` is below 1
+/// (for a nonzero RoI).
+pub fn ours_upscale_degraded(
+    device: &DeviceProfile,
+    roi_side: usize,
+    cost_ratio: f64,
+    slowdown: f64,
+) -> UpscaleTiming {
+    if roi_side == 0 {
+        let gpu_ms = device.gpu_bilinear_ms(FULL_HR.pixels());
+        return UpscaleTiming {
+            npu_ms: 0.0,
+            gpu_ms,
+            merge_ms: 0.0,
+            cpu_ms: 0.0,
+            critical_ms: gpu_ms,
+        };
+    }
     let roi_px = roi_side * roi_side;
     let roi_hr_px = roi_px * 4;
     let non_roi_hr_px = FULL_HR.pixels().saturating_sub(roi_hr_px);
-    let npu_ms = device.npu_sr_ms(roi_px);
+    let npu_ms = device.npu_sr_ms_throttled(roi_px, cost_ratio, slowdown);
     let gpu_ms = device.gpu_bilinear_ms(non_roi_hr_px);
     let merge_ms = device.gpu_bilinear_ms(roi_hr_px);
     UpscaleTiming {
@@ -162,7 +191,17 @@ pub fn ours_upscale(device: &DeviceProfile, roi_side: usize) -> UpscaleTiming {
 /// NEMO's reference-frame upscaling: the whole 720p frame through the DNN
 /// on the NPU.
 pub fn sota_ref_upscale(device: &DeviceProfile) -> UpscaleTiming {
-    let npu_ms = device.npu_sr_ms(FULL_LR.pixels());
+    sota_ref_upscale_throttled(device, 1.0)
+}
+
+/// [`sota_ref_upscale`] with an NPU thermal `slowdown` (≥ 1), so fault
+/// timelines throttle both pipelines even-handedly.
+///
+/// # Panics
+///
+/// Panics when `slowdown` is below 1.
+pub fn sota_ref_upscale_throttled(device: &DeviceProfile, slowdown: f64) -> UpscaleTiming {
+    let npu_ms = device.npu_sr_ms_throttled(FULL_LR.pixels(), 1.0, slowdown);
     UpscaleTiming {
         npu_ms,
         gpu_ms: 0.0,
@@ -310,6 +349,27 @@ mod tests {
                 nonref
             );
         }
+    }
+
+    #[test]
+    fn degraded_upscale_scales_npu_and_bilinear_floor_skips_it() {
+        let d = DeviceProfile::s8_tab();
+        let side = d.max_realtime_roi_side(REALTIME_BUDGET_MS);
+        let nominal = ours_upscale(&d, side);
+        let throttled = ours_upscale_degraded(&d, side, 1.0, 3.0);
+        assert!((throttled.npu_ms - nominal.npu_ms * 3.0).abs() < 1e-9);
+        assert_eq!(throttled.gpu_ms, nominal.gpu_ms);
+        // a cheap model at nominal clocks undercuts the calibrated EDSR
+        let cheap = ours_upscale_degraded(&d, side, 0.1, 1.0);
+        assert!(cheap.npu_ms < nominal.npu_ms);
+        // bilinear floor: GPU-only, and fast enough regardless of throttle
+        let floor = ours_upscale_degraded(&d, 0, 1.0, 10.0);
+        assert_eq!(floor.npu_ms, 0.0);
+        assert_eq!(floor.merge_ms, 0.0);
+        assert!(floor.critical_ms < 2.0, "{:.2}", floor.critical_ms);
+        // NEMO's reference path throttles the same way
+        let sota = sota_ref_upscale_throttled(&d, 2.0);
+        assert!((sota.critical_ms - sota_ref_upscale(&d).critical_ms * 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -201,16 +201,22 @@ mod tests {
     #[test]
     fn quality_decays_within_a_gop_and_recovers_at_keyframe() {
         // rendered game content (deployment pixel velocity): NEMO drifts
-        // within the GOP and a keyframe resets it
+        // within the GOP and a keyframe resets it. The window starts 12
+        // streamed frames into the flythrough, where content difficulty has
+        // plateaued — on the opening segment the camera dollies into busier
+        // geometry and the difficulty slope swamps the drift/recovery signal
+        // this test isolates.
+        const GOP: usize = 12;
+        const OFFSET: usize = 12;
         let mut enc = Encoder::new(EncoderConfig {
-            gop_size: 10,
+            gop_size: GOP,
             ..EncoderConfig::default()
         });
         let workload = gss_render::GameWorkload::new(gss_render::GameId::G3);
         let mut nemo = NemoClient::new(2);
         let mut series = Vec::new();
-        for t in 0..11 {
-            let hr = workload.render_frame(t * 8, 192, 108).frame;
+        for t in 0..GOP + 1 {
+            let hr = workload.render_frame((t + OFFSET) * 8, 192, 108).frame;
             let lr = hr.downsample_box(2);
             let out = nemo.process(&enc.encode(&lr).unwrap()).unwrap();
             series.push(psnr(&hr, &out.frame).unwrap());
@@ -218,14 +224,14 @@ mod tests {
         // error accumulates: the last quarter of the GOP is worse than the
         // first non-reference frames
         let early = (series[1] + series[2]) / 2.0;
-        let late = (series[8] + series[9]) / 2.0;
+        let late = (series[GOP - 2] + series[GOP - 1]) / 2.0;
         assert!(late < early - 0.4, "early {early:.2} late {late:.2}");
         // the next keyframe restores quality above the late-GOP level
         // (recovery is bounded by the codec's own intra quality)
         assert!(
-            series[10] > late + 0.15,
+            series[GOP] > late + 0.15,
             "key {:.2} late {late:.2}",
-            series[10]
+            series[GOP]
         );
     }
 

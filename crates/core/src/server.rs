@@ -152,6 +152,31 @@ impl GameStreamServer {
         self.encoder.request_keyframe();
     }
 
+    /// Renegotiates the RoI window mid-session — the client's degradation
+    /// controller shrinks it when the NPU budget no longer fits and grows
+    /// it back on recovery. Takes effect from the next frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window does not fit the low-resolution frame.
+    pub fn set_roi_window(&mut self, window: (usize, usize)) {
+        let (w, h) = self.config.lr_size;
+        assert!(
+            window.0 <= w && window.1 <= h,
+            "roi window must fit the lr frame"
+        );
+        self.config.roi_window = window;
+    }
+
+    /// Rescales the rate controller's byte budget (see
+    /// [`gss_codec::RateController::set_target_scale`]); a no-op without
+    /// rate control.
+    pub fn set_rate_target_scale(&mut self, scale: f64) {
+        if let Some(rc) = &mut self.rate_controller {
+            rc.set_target_scale(scale);
+        }
+    }
+
     /// Renders, detects, encodes and returns the next frame of the
     /// session.
     ///
@@ -368,6 +393,46 @@ mod tests {
             governed < free * 3 / 4,
             "governed {governed} vs free {free}"
         );
+    }
+
+    #[test]
+    fn roi_window_renegotiation_applies_next_frame() {
+        let mut server = GameStreamServer::new(ServerConfig::new(GameId::G3, (128, 72), (48, 48)));
+        assert_eq!(server.next_frame().unwrap().roi.width, 48);
+        server.set_roi_window((24, 24));
+        let p = server.next_frame().unwrap();
+        assert_eq!((p.roi.width, p.roi.height), (24, 24));
+        server.set_roi_window((48, 48));
+        assert_eq!(server.next_frame().unwrap().roi.width, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit")]
+    fn oversized_roi_window_renegotiation_rejected() {
+        let mut server = GameStreamServer::new(ServerConfig::new(GameId::G3, (96, 54), (32, 32)));
+        server.set_roi_window((200, 32));
+    }
+
+    #[test]
+    fn rate_target_rescale_tightens_the_stream() {
+        let measure = |scale: f64| {
+            let mut cfg = ServerConfig::new(GameId::G5, (128, 72), (48, 40));
+            cfg.time_stride = 10;
+            cfg.rate_control = Some(RateControlConfig {
+                target_bytes_per_frame: 4000,
+                ..RateControlConfig::for_bitrate_mbps(1.0)
+            });
+            let mut server = GameStreamServer::new(cfg);
+            server.set_rate_target_scale(scale);
+            let mut bytes = 0usize;
+            for _ in 0..12 {
+                bytes += server.next_frame().unwrap().encoded.size_bytes();
+            }
+            bytes
+        };
+        let full = measure(1.0);
+        let cut = measure(0.25);
+        assert!(cut < full, "cut {cut} vs full {full}");
     }
 
     #[test]

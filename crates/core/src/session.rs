@@ -18,6 +18,7 @@
 //! models, so latency/energy figures are canvas-independent.
 
 use crate::client::GameStreamClient;
+use crate::degrade::{DegradationController, LadderStep, NackManager, NackSignal};
 use crate::mtp::{self, MtpBreakdown, FULL_LR};
 use crate::nemo::NemoClient;
 use crate::roi::{plan_roi_window, RoiDetectorConfig};
@@ -26,12 +27,12 @@ use crate::GssError;
 use gss_codec::{EncoderConfig, FrameType};
 use gss_frame::Frame;
 use gss_metrics::{perceptual_distance, psnr, region_weighted_psnr};
-use gss_net::{Link, LinkProfile};
+use gss_net::{DropCause, FaultPlan, Link, LinkProfile};
 use gss_platform::{
     DeviceProfile, EnergyBreakdown, EnergyMeter, Rail, ServerModel, Stage, REALTIME_BUDGET_MS,
 };
 use gss_render::GameId;
-use gss_telemetry::{Counter, Recorder, SinkHandle, TelemetrySummary};
+use gss_telemetry::{Counter, Gauge, Level, Recorder, SinkHandle, TelemetrySummary};
 use serde::{Deserialize, Serialize};
 
 /// Which client pipeline a session runs.
@@ -99,6 +100,20 @@ pub struct SessionConfig {
     /// deadline misses) are collected either way and land on
     /// [`SessionReport::telemetry`]; the sink only adds the raw events.
     pub telemetry: Option<SinkHandle>,
+    /// Scripted fault timeline (extension): bandwidth collapses, outages
+    /// and jitter spikes shape the link; NPU thermal-throttle ramps slow
+    /// the SR pass; decoder stalls add decode latency. All deterministic —
+    /// the same seed and plan replay the same session. The default empty
+    /// plan reproduces the paper's fault-free channel.
+    pub fault_plan: FaultPlan,
+    /// Adaptive resilience controller (extension; shapes the GameStreamSR
+    /// pipeline only): a rolling window of deadline misses and drops walks
+    /// the degradation ladder ([`crate::degrade::LADDER`]) — shrinking the
+    /// RoI window, swapping in cheaper SR tiers, cutting the rate target —
+    /// and climbs back with hysteresis. Its NACK timing also paces
+    /// keyframe re-requests under loss recovery. `None` disables
+    /// adaptation (the paper's fixed configuration).
+    pub degradation: Option<crate::degrade::DegradationConfig>,
 }
 
 impl SessionConfig {
@@ -122,6 +137,8 @@ impl SessionConfig {
             rate_control: None,
             loss_recovery: false,
             telemetry: None,
+            fault_plan: FaultPlan::default(),
+            degradation: None,
         }
     }
 
@@ -141,6 +158,20 @@ impl SessionConfig {
     /// this adds the raw per-frame event stream, e.g. for a JSONL trace).
     pub fn with_telemetry(mut self, sink: SinkHandle) -> Self {
         self.telemetry = Some(sink);
+        self
+    }
+
+    /// Injects a scripted fault timeline into the session.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Enables the adaptive degradation controller — and loss recovery,
+    /// whose NACK pacing the controller's configuration governs.
+    pub fn with_degradation(mut self, degradation: crate::degrade::DegradationConfig) -> Self {
+        self.degradation = Some(degradation);
+        self.loss_recovery = true;
         self
     }
 
@@ -175,6 +206,12 @@ pub struct FrameRecord {
     /// bound; with [`SessionConfig::loss_recovery`] the frame is also not
     /// decoded).
     pub dropped: bool,
+    /// Why the link dropped the frame (`None` when delivered): queue
+    /// overflow under congestion, or a scripted outage window.
+    pub drop_cause: Option<DropCause>,
+    /// Degradation-ladder rung in effect while this frame was processed
+    /// (0 = full quality; always 0 without a controller).
+    pub rung: usize,
     /// Whether the client displayed a stale (frozen) frame because of loss
     /// recovery.
     pub frozen: bool,
@@ -308,6 +345,36 @@ impl SessionReport {
         let bytes_per_frame = self.total_bytes() as f64 / self.frames.len().max(1) as f64;
         bytes_per_frame * 8.0 * 60.0 / 1e6
     }
+
+    /// Longest run of consecutive frozen frames — the worst stall a viewer
+    /// sat through, in frames (÷60 for seconds).
+    pub fn longest_frozen_run(&self) -> usize {
+        let mut best = 0;
+        let mut run = 0;
+        for f in &self.frames {
+            if f.frozen {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        best
+    }
+
+    /// Deepest degradation-ladder rung the session visited (0 = never
+    /// degraded).
+    pub fn max_rung(&self) -> usize {
+        self.frames.iter().map(|f| f.rung).max().unwrap_or(0)
+    }
+
+    /// Frames dropped by the link for a given cause.
+    pub fn drops_with_cause(&self, cause: DropCause) -> usize {
+        self.frames
+            .iter()
+            .filter(|f| f.drop_cause == Some(cause))
+            .count()
+    }
 }
 
 fn mean(values: impl Iterator<Item = f64>) -> f64 {
@@ -363,7 +430,11 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
 
     let mut ours_client = GameStreamClient::new(config.scale);
     let mut nemo_client = NemoClient::new(config.scale);
-    let mut link = Link::new(config.link.clone(), config.link_seed);
+    let mut link = Link::with_faults(
+        config.link.clone(),
+        config.link_seed,
+        config.fault_plan.clone(),
+    );
     let mut meter = EnergyMeter::new(&config.device);
     let byte_scale = config.canvas_to_full();
 
@@ -381,69 +452,110 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
     }
 
     let mut frames = Vec::with_capacity(config.frames);
-    // loss-recovery state (only used when config.loss_recovery)
-    let mut nack_pending = false;
-    let mut awaiting_keyframe = false;
+    // resilience state: the ladder controller adapts the GameStreamSR
+    // pipeline only; the NACK manager paces keyframe requests whenever
+    // loss recovery is on
+    let mut controller = match (pipeline, config.degradation) {
+        (Pipeline::GameStreamSr, Some(cfg)) => Some(DegradationController::new(cfg)),
+        _ => None,
+    };
+    let nack_cfg = config.degradation.unwrap_or_default();
+    let mut nack = NackManager::new(
+        nack_cfg.nack_timeout_frames,
+        nack_cfg.nack_backoff_max_frames,
+    );
+    let mut active_side = plan.chosen_side;
+    let mut active_cost = 1.0_f64;
+    let mut active_faults: Vec<&'static str> = Vec::new();
     let mut last_displayed: Option<Frame> = None;
     for i in 0..config.frames {
         rec.begin_frame(i as u64);
-        if config.loss_recovery && nack_pending {
-            server.request_keyframe();
-            rec.incr(Counter::Nacks);
-            nack_pending = false;
+        let send_time = i as f64 * 1000.0 / 60.0;
+
+        // structured fault telemetry: one log event per active-set change
+        let faults_now = config.fault_plan.active_labels(send_time);
+        if faults_now != active_faults {
+            let msg = if faults_now.is_empty() {
+                "faults cleared".to_owned()
+            } else {
+                format!("faults active: {}", faults_now.join("+"))
+            };
+            rec.log(Level::Warn, msg);
+            active_faults = faults_now;
+        }
+        let slowdown = config.fault_plan.npu_slowdown(send_time);
+        if slowdown > 1.0 {
+            rec.gauge(Gauge::NpuSlowdown, slowdown);
+        }
+        let rung_now = controller.as_ref().map_or(0, |c| c.rung());
+        if controller.is_some() {
+            rec.gauge(Gauge::LadderRung, rung_now as f64);
+        }
+
+        if config.loss_recovery {
+            if let Some(signal) = nack.begin_frame(i) {
+                server.request_keyframe();
+                rec.incr(Counter::Nacks);
+                if signal == NackSignal::Retry {
+                    rec.incr(Counter::NackRetries);
+                }
+            }
         }
         let packet = server.next_frame_traced(&mut rec)?;
         let bytes_full = (packet.encoded.size_bytes() as f64 * byte_scale) as usize;
 
         // ---- network ------------------------------------------------------
         let input_uplink_ms = link.control_latency_ms();
-        let send_time = i as f64 * 1000.0 / 60.0;
         let transfer = link.send_traced(bytes_full, send_time, &mut rec);
-        let (dropped, downlink_ms) = if transfer.delivered {
+        let (dropped, downlink_ms) = if transfer.delivered() {
             (false, transfer.transit_ms)
         } else {
             // bound: the frame would have waited out the full queue
             (true, config.link.queue_limit_ms + config.link.rtt_ms / 2.0)
         };
-        if dropped {
-            nack_pending = true;
-        }
         // a frame is unusable when it was dropped, or when it depends on a
-        // reference the client never received
+        // reference the client never received (judged before this frame's
+        // loss is folded into the NACK state)
         let frozen = config.loss_recovery
-            && (dropped || (awaiting_keyframe && packet.frame_type == FrameType::Inter));
+            && (dropped || (nack.awaiting() && packet.frame_type == FrameType::Inter));
         if frozen {
             rec.incr(Counter::FramesFrozen);
         }
         if config.loss_recovery {
             if dropped {
-                awaiting_keyframe = true;
+                nack.on_loss();
             } else if packet.frame_type == FrameType::Intra {
-                awaiting_keyframe = false;
+                nack.on_keyframe_delivered();
             }
         }
         meter.add_network_bytes(bytes_full);
 
         // ---- decode + upscale (modeled at deployment scale) ----------------
+        let stall_ms = config.fault_plan.decoder_stall_ms(send_time);
         let (decode_ms, upscale) = if frozen {
             // nothing to decode or upscale: the display repeats the last frame
             (0.0, mtp::UpscaleTiming::default())
         } else {
             match pipeline {
                 Pipeline::GameStreamSr => {
-                    let decode = config.device.hw_decode_ms(FULL_LR.pixels());
+                    let decode = config.device.hw_decode_ms(FULL_LR.pixels()) + stall_ms;
                     meter.add_busy(Stage::Decode, Rail::HwDecoder, decode);
-                    let t = mtp::ours_upscale(&config.device, plan.chosen_side);
+                    let t = mtp::ours_upscale_degraded(
+                        &config.device,
+                        active_side,
+                        active_cost,
+                        slowdown,
+                    );
                     meter.add_busy(Stage::Upscale, Rail::Npu, t.npu_ms);
                     meter.add_busy(Stage::Upscale, Rail::Gpu, t.gpu_ms + t.merge_ms);
                     (decode, t)
                 }
                 Pipeline::Nemo => {
-                    let decode = config.device.sw_decode_ms(FULL_LR.pixels());
+                    let decode = config.device.sw_decode_ms(FULL_LR.pixels()) + stall_ms;
                     meter.add_busy(Stage::Decode, Rail::CpuHeavy, decode);
                     let t = match packet.frame_type {
                         FrameType::Intra => {
-                            let t = mtp::sota_ref_upscale(&config.device);
+                            let t = mtp::sota_ref_upscale_throttled(&config.device, slowdown);
                             meter.add_busy(Stage::Upscale, Rail::Npu, t.npu_ms);
                             t
                         }
@@ -560,12 +672,55 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
             mtp: mtp_breakdown,
             bytes: bytes_full,
             dropped,
+            drop_cause: transfer.drop_cause,
+            rung: rung_now,
             frozen,
             deadline_met,
             psnr_db,
             foveated_psnr_db,
             perceptual,
         });
+
+        // ---- adaptation ----------------------------------------------------
+        // the controller sees this frame's health and renegotiates the
+        // pipeline (RoI window, SR tier, rate target) for the next frame
+        if let Some(ctl) = &mut controller {
+            if let Some(step) = ctl.observe(dropped || !deadline_met) {
+                let rung = ctl.rung_params();
+                rec.incr(match step {
+                    LadderStep::Downgrade => Counter::LadderDowngrades,
+                    LadderStep::Upgrade => Counter::LadderUpgrades,
+                });
+                active_side = rung.roi_side(&config.device, plan.chosen_side);
+                active_cost = rung.tier.map_or(1.0, |t| t.cost_ratio());
+                ours_client.set_model_tier(rung.tier);
+                server.set_rate_target_scale(rung.rate_scale);
+                // the server keeps detecting an RoI (coordinates still ship
+                // with every packet), so its window floors at 8 px even on
+                // the bilinear rung
+                let canvas_side = ((active_side * config.lr_size.0) / FULL_LR.width())
+                    .max(8)
+                    .min(config.lr_size.0.min(config.lr_size.1));
+                server.set_roi_window((canvas_side, canvas_side));
+                rec.log(
+                    match step {
+                        LadderStep::Downgrade => Level::Warn,
+                        LadderStep::Upgrade => Level::Info,
+                    },
+                    format!(
+                        "ladder {}: rung {} ({}, roi {} px, rate x{:.2})",
+                        match step {
+                            LadderStep::Downgrade => "down",
+                            LadderStep::Upgrade => "up",
+                        },
+                        ctl.rung(),
+                        rung.tier_label(),
+                        active_side,
+                        rung.rate_scale
+                    ),
+                );
+            }
+        }
     }
 
     Ok(SessionReport {

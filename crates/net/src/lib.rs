@@ -13,12 +13,16 @@
 //!
 //! let mut link = Link::new(LinkProfile::wifi(), 42);
 //! let t = link.send(12_000, 0.0);
-//! assert!(t.delivered);
+//! assert!(t.delivered());
 //! assert!(t.arrival_ms > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod fault;
+
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -75,17 +79,44 @@ impl LinkProfile {
     }
 }
 
+/// Why the link dropped a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropCause {
+    /// The frame would have overflowed the bottleneck queue (tail drop —
+    /// the channel is alive but too slow for the offered load).
+    QueueOverflow,
+    /// An injected outage window: the channel delivered nothing at all.
+    Outage,
+}
+
+impl DropCause {
+    /// Kebab-case label for telemetry and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::QueueOverflow => "queue-overflow",
+            DropCause::Outage => "outage",
+        }
+    }
+}
+
 /// The outcome of one frame transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Transfer {
-    /// `false` when the bottleneck queue dropped the frame.
-    pub delivered: bool,
+    /// `None` when the frame arrived; otherwise why the link dropped it.
+    pub drop_cause: Option<DropCause>,
     /// Arrival timestamp at the client, ms (send time + transit), when
     /// delivered.
     pub arrival_ms: f64,
     /// One-way transit latency (queueing + serialization + propagation),
     /// ms, when delivered.
     pub transit_ms: f64,
+}
+
+impl Transfer {
+    /// `false` when the link dropped the frame.
+    pub fn delivered(&self) -> bool {
+        self.drop_cause.is_none()
+    }
 }
 
 /// A stateful simulated downlink.
@@ -99,11 +130,19 @@ pub struct Link {
     next_reroll_ms: f64,
     sent: u64,
     dropped: u64,
+    fault_plan: FaultPlan,
 }
 
 impl Link {
     /// Creates a link; identical seeds give identical channel traces.
     pub fn new(profile: LinkProfile, seed: u64) -> Self {
+        Link::with_faults(profile, seed, FaultPlan::default())
+    }
+
+    /// Creates a link with a scripted fault timeline. Faults modulate the
+    /// channel *after* the seeded random draws, so the same seed gives the
+    /// same underlying trace with and without the plan.
+    pub fn with_faults(profile: LinkProfile, seed: u64, fault_plan: FaultPlan) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let current_mbps = draw_bandwidth(&profile, &mut rng);
         Link {
@@ -115,12 +154,29 @@ impl Link {
             current_mbps,
             sent: 0,
             dropped: 0,
+            fault_plan,
         }
+    }
+
+    /// Replaces the link's fault timeline.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// The link's fault timeline.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// The link profile.
     pub fn profile(&self) -> &LinkProfile {
         &self.profile
+    }
+
+    /// The channel goodput at the link's current clock, with any active
+    /// bandwidth fault applied.
+    pub fn effective_mbps(&self) -> f64 {
+        self.current_mbps * self.fault_plan.bandwidth_factor(self.clock_ms)
     }
 
     /// One-way latency sample for a tiny (input/control) packet.
@@ -140,7 +196,10 @@ impl Link {
         while t < now_ms {
             let step_end = now_ms.min(self.next_reroll_ms);
             let dt = step_end - t;
-            let drained = self.current_mbps * 1000.0 * dt; // mbps · ms = bits
+            // drain at the faulted rate, sampled at the step midpoint (the
+            // coherence interval bounds the approximation error)
+            let factor = self.fault_plan.bandwidth_factor((t + step_end) / 2.0);
+            let drained = self.current_mbps * factor * 1000.0 * dt; // mbps · ms = bits
             self.queue_bits = (self.queue_bits - drained).max(0.0);
             t = step_end;
             if t >= self.next_reroll_ms {
@@ -156,21 +215,31 @@ impl Link {
     pub fn send(&mut self, bytes: usize, send_time_ms: f64) -> Transfer {
         self.advance_to(send_time_ms);
         self.sent += 1;
+        if self.fault_plan.is_outage(send_time_ms) {
+            self.dropped += 1;
+            return Transfer {
+                drop_cause: Some(DropCause::Outage),
+                arrival_ms: f64::NAN,
+                transit_ms: f64::NAN,
+            };
+        }
         let bits = bytes as f64 * 8.0;
-        let rate_bits_per_ms = self.current_mbps * 1000.0;
+        let rate_bits_per_ms =
+            self.current_mbps * self.fault_plan.bandwidth_factor(send_time_ms) * 1000.0;
         let queue_after_ms = (self.queue_bits + bits) / rate_bits_per_ms;
         if queue_after_ms > self.profile.queue_limit_ms {
             self.dropped += 1;
             return Transfer {
-                delivered: false,
+                drop_cause: Some(DropCause::QueueOverflow),
                 arrival_ms: f64::NAN,
                 transit_ms: f64::NAN,
             };
         }
         self.queue_bits += bits;
-        let transit = queue_after_ms + self.profile.rtt_ms / 2.0 + self.jitter_sample();
+        let jitter = self.jitter_sample() * self.fault_plan.jitter_factor(send_time_ms);
+        let transit = queue_after_ms + self.profile.rtt_ms / 2.0 + jitter;
         Transfer {
-            delivered: true,
+            drop_cause: None,
             arrival_ms: send_time_ms + transit,
             transit_ms: transit,
         }
@@ -178,9 +247,10 @@ impl Link {
 
     /// [`Link::send`] plus telemetry: records the transfer as a
     /// [`Stage::LinkTransfer`] span over `[send_time, arrival]`, counts the
-    /// payload toward `BytesOnWire`, bumps `FramesDropped` on a tail drop,
-    /// and reports the channel's current goodput as a gauge. The channel
-    /// trace is identical to an untraced send.
+    /// payload toward `BytesOnWire`, bumps `FramesDropped` plus a
+    /// cause-specific drop counter on a loss, and reports the channel's
+    /// effective (fault-adjusted) goodput as a gauge. The channel trace is
+    /// identical to an untraced send.
     pub fn send_traced(
         &mut self,
         bytes: usize,
@@ -188,16 +258,24 @@ impl Link {
         rec: &mut gss_telemetry::Recorder,
     ) -> Transfer {
         let transfer = self.send(bytes, send_time_ms);
-        rec.gauge(gss_telemetry::Gauge::LinkBandwidthMbps, self.current_mbps);
+        rec.gauge(
+            gss_telemetry::Gauge::LinkBandwidthMbps,
+            self.effective_mbps(),
+        );
         rec.add(gss_telemetry::Counter::BytesOnWire, bytes as u64);
-        if transfer.delivered {
-            rec.record_span(
+        match transfer.drop_cause {
+            None => rec.record_span(
                 gss_telemetry::Stage::LinkTransfer,
                 send_time_ms,
                 transfer.transit_ms,
-            );
-        } else {
-            rec.incr(gss_telemetry::Counter::FramesDropped);
+            ),
+            Some(cause) => {
+                rec.incr(gss_telemetry::Counter::FramesDropped);
+                rec.incr(match cause {
+                    DropCause::QueueOverflow => gss_telemetry::Counter::DropsQueueOverflow,
+                    DropCause::Outage => gss_telemetry::Counter::DropsOutage,
+                });
+            }
         }
         transfer
     }
@@ -262,7 +340,7 @@ mod tests {
         let mut link = Link::new(LinkProfile::wifi(), 3);
         for i in 0..100 {
             let t = link.send(2_000, i as f64 * 16.66);
-            assert!(t.delivered);
+            assert!(t.delivered());
             assert!(t.transit_ms >= link.profile().rtt_ms / 2.0);
         }
         assert_eq!(link.drop_rate(), 0.0);
@@ -310,7 +388,7 @@ mod tests {
         );
         // 10 KB at 1 Mbps = 80 ms of serialization > 10 ms queue limit
         let t = link.send(10_000, 0.0);
-        assert!(!t.delivered);
+        assert_eq!(t.drop_cause, Some(DropCause::QueueOverflow));
         assert_eq!(link.drop_rate(), 1.0);
         assert_eq!(link.sent_count(), 1);
     }
@@ -345,6 +423,115 @@ mod tests {
         let link = s.stage(Stage::LinkTransfer).expect("link spans recorded");
         assert_eq!(link.dist.count + s.counter(Counter::FramesDropped), 50);
         assert!(s.gauge(Gauge::LinkBandwidthMbps).unwrap().count == 50);
+    }
+
+    #[test]
+    fn outage_window_drops_everything_with_the_outage_cause() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            start_ms: 100.0,
+            end_ms: 300.0,
+            kind: FaultKind::Outage,
+        }]);
+        let mut link = Link::with_faults(LinkProfile::wifi(), 3, plan);
+        for i in 0..30 {
+            let t = i as f64 * 16.66;
+            let transfer = link.send(2_000, t);
+            if (100.0..300.0).contains(&t) {
+                assert_eq!(transfer.drop_cause, Some(DropCause::Outage), "t={t}");
+            } else {
+                assert!(transfer.delivered(), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_collapse_induces_queue_overflow_drops() {
+        // a stream that fits the healthy link comfortably overflows the
+        // queue once the collapse leaves a tenth of the bandwidth
+        let plan = FaultPlan::new(vec![FaultEvent {
+            start_ms: 1000.0,
+            end_ms: 4000.0,
+            kind: FaultKind::BandwidthCollapse { factor: 0.05 },
+        }]);
+        let mut clean = Link::new(LinkProfile::wifi(), 11);
+        let mut faulted = Link::with_faults(LinkProfile::wifi(), 11, plan);
+        let mut overflow_in_window = 0u32;
+        for i in 0..360 {
+            let t = i as f64 * 16.66;
+            assert!(clean.send(50_000, t).delivered(), "clean link drops at {t}");
+            let transfer = faulted.send(50_000, t);
+            if transfer.drop_cause == Some(DropCause::QueueOverflow)
+                && (1000.0..4000.0).contains(&t)
+            {
+                overflow_in_window += 1;
+            }
+        }
+        assert!(
+            overflow_in_window > 60,
+            "only {overflow_in_window} overflow drops during the collapse"
+        );
+        assert!(faulted.drop_rate() > clean.drop_rate());
+    }
+
+    #[test]
+    fn faulted_links_are_deterministic_and_share_the_seed_trace() {
+        let plan = || {
+            FaultPlan::new(vec![
+                FaultEvent {
+                    start_ms: 500.0,
+                    end_ms: 900.0,
+                    kind: FaultKind::BandwidthCollapse { factor: 0.2 },
+                },
+                FaultEvent {
+                    start_ms: 1200.0,
+                    end_ms: 1400.0,
+                    kind: FaultKind::JitterSpike { factor: 3.0 },
+                },
+            ])
+        };
+        // NaN-valued drop fields defeat PartialEq, so compare bitwise
+        let same = |x: &Transfer, y: &Transfer| {
+            x.drop_cause == y.drop_cause
+                && x.arrival_ms.to_bits() == y.arrival_ms.to_bits()
+                && x.transit_ms.to_bits() == y.transit_ms.to_bits()
+        };
+        let mut a = Link::with_faults(LinkProfile::mmwave_5g(), 21, plan());
+        let mut b = Link::with_faults(LinkProfile::mmwave_5g(), 21, plan());
+        let mut unfaulted = Link::new(LinkProfile::mmwave_5g(), 21);
+        for i in 0..120 {
+            let t = i as f64 * 16.66;
+            let ta = a.send(30_000, t);
+            let tb = b.send(30_000, t);
+            assert!(same(&ta, &tb), "t={t}: {ta:?} vs {tb:?}");
+            let tu = unfaulted.send(30_000, t);
+            // outside every fault window, before the first one perturbs the
+            // queue, the faulted link matches the bare-seed trace exactly
+            if t < 500.0 {
+                assert!(same(&ta, &tu), "t={t}: {ta:?} vs {tu:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_send_counts_drop_causes() {
+        use gss_telemetry::{Counter, Recorder};
+        let plan = FaultPlan::new(vec![FaultEvent {
+            start_ms: 0.0,
+            end_ms: 200.0,
+            kind: FaultKind::Outage,
+        }]);
+        let mut link = Link::with_faults(LinkProfile::wifi(), 5, plan);
+        let mut rec = Recorder::new("net-cause-test", 16.67);
+        for i in 0..24 {
+            let _ = link.send_traced(2_000, i as f64 * 16.66, &mut rec);
+        }
+        let s = rec.summary();
+        assert_eq!(s.counter(Counter::DropsOutage), 13); // sends at t < 200
+        assert_eq!(s.counter(Counter::DropsQueueOverflow), 0);
+        assert_eq!(
+            s.counter(Counter::FramesDropped),
+            s.counter(Counter::DropsOutage)
+        );
     }
 
     #[test]

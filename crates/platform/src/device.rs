@@ -162,6 +162,34 @@ impl DeviceProfile {
         self.max_realtime_roi_side(budget_ms / cost_ratio)
     }
 
+    /// NPU latency for a model under a thermal `slowdown` factor (1.0 =
+    /// nominal clocks; a throttled NPU runs every pass `slowdown` times
+    /// longer).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cost_ratio` is not positive or `slowdown` is below 1.
+    pub fn npu_sr_ms_throttled(&self, input_pixels: usize, cost_ratio: f64, slowdown: f64) -> f64 {
+        assert!(slowdown >= 1.0, "slowdown must be at least 1");
+        self.npu_sr_ms_for_model(input_pixels, cost_ratio) * slowdown
+    }
+
+    /// The largest square RoI a model can upscale within `budget_ms` while
+    /// the NPU is throttled by `slowdown`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cost_ratio` is not positive or `slowdown` is below 1.
+    pub fn max_realtime_roi_side_throttled(
+        &self,
+        budget_ms: f64,
+        cost_ratio: f64,
+        slowdown: f64,
+    ) -> usize {
+        assert!(slowdown >= 1.0, "slowdown must be at least 1");
+        self.max_realtime_roi_side_for_model(budget_ms / slowdown, cost_ratio)
+    }
+
     /// Minimum desired RoI side on the low-resolution frame from human
     /// visual physiology: `ppi · foveal diameter / scale_factor`
     /// (paper Fig. 7b).
@@ -298,6 +326,20 @@ mod tests {
         assert!(cheap_side > edsr_side * 2, "{cheap_side} vs {edsr_side}");
         // and the chosen windows actually meet the budget under their model
         assert!(d.npu_sr_ms_for_model(cheap_side * cheap_side, 0.1) <= REALTIME_BUDGET_MS);
+    }
+
+    #[test]
+    fn throttled_npu_shrinks_the_realtime_window() {
+        let d = DeviceProfile::s8_tab();
+        let nominal = d.max_realtime_roi_side_throttled(REALTIME_BUDGET_MS, 1.0, 1.0);
+        assert_eq!(nominal, d.max_realtime_roi_side(REALTIME_BUDGET_MS));
+        let throttled = d.max_realtime_roi_side_throttled(REALTIME_BUDGET_MS, 1.0, 3.0);
+        assert!(throttled < nominal, "{throttled} vs {nominal}");
+        // the shrunken window still fits the budget at throttled clocks
+        assert!(d.npu_sr_ms_throttled(throttled * throttled, 1.0, 3.0) <= REALTIME_BUDGET_MS);
+        // timing scales exactly linearly with the slowdown
+        let base = d.npu_sr_ms_for_model(300 * 300, 1.0);
+        assert!((d.npu_sr_ms_throttled(300 * 300, 1.0, 2.5) - base * 2.5).abs() < 1e-9);
     }
 
     #[test]

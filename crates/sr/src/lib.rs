@@ -42,9 +42,11 @@ pub mod fsrcnn;
 mod interp;
 mod neural;
 pub mod nn;
+mod tier;
 
 pub use interp::{resize_frame, resize_plane, InterpKernel, InterpUpscaler};
 pub use neural::{NeuralSr, NeuralSrConfig};
+pub use tier::ModelTier;
 
 use gss_frame::{Frame, Plane};
 

@@ -1,0 +1,132 @@
+//! The degradation ladder's SR model tiers.
+//!
+//! GameStreamSR's step-0 calibration benchmarks "the SR model of the
+//! user's choice" — the platform timing model is parameterized on a MAC
+//! cost *relative to* the calibrated EDSR (channels 64, blocks 16). The
+//! resilience controller walks these tiers when the NPU thermal-throttles
+//! or the link collapses: each tier trades reconstruction quality for a
+//! proportionally cheaper NPU pass.
+
+use crate::edsr::EdsrConfig;
+use crate::neural::NeuralSrConfig;
+use serde::{Deserialize, Serialize};
+
+/// An SR model tier, ordered from most expensive/highest quality down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelTier {
+    /// The paper's calibrated EDSR: 64 channels, 16 residual blocks.
+    Edsr64,
+    /// A slimmed EDSR with 16 channels (same depth) — ≈16× fewer MACs.
+    Edsr16,
+    /// FSRCNN (56/12/4) — two orders of magnitude cheaper than EDSR-64.
+    Fsrcnn,
+}
+
+impl ModelTier {
+    /// All tiers, most expensive first.
+    pub const ALL: [ModelTier; 3] = [ModelTier::Edsr64, ModelTier::Edsr16, ModelTier::Fsrcnn];
+
+    /// Kebab-case label for telemetry and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelTier::Edsr64 => "edsr-64",
+            ModelTier::Edsr16 => "edsr-16",
+            ModelTier::Fsrcnn => "fsrcnn",
+        }
+    }
+
+    /// Per-pixel MAC cost relative to the calibrated EDSR-64 — the ratio
+    /// the platform timing model scales NPU latency by. The constants are
+    /// the exact analytic MAC ratios of the architectures in this crate (a
+    /// unit test pins them against `macs_for_input` of
+    /// [`crate::edsr::Edsr`] / [`crate::fsrcnn::Fsrcnn`]).
+    pub fn cost_ratio(self) -> f64 {
+        match self {
+            ModelTier::Edsr64 => 1.0,
+            ModelTier::Edsr16 => 87_408.0 / 1_372_608.0,
+            ModelTier::Fsrcnn => 16_776.0 / 1_372_608.0,
+        }
+    }
+
+    /// The architecture config this tier's timing cost corresponds to,
+    /// for MAC accounting.
+    pub fn edsr_config(self) -> Option<EdsrConfig> {
+        match self {
+            ModelTier::Edsr64 => Some(EdsrConfig::default()),
+            ModelTier::Edsr16 => Some(EdsrConfig {
+                channels: 16,
+                ..EdsrConfig::default()
+            }),
+            ModelTier::Fsrcnn => None,
+        }
+    }
+
+    /// The functional proxy configuration for this tier at `scale`.
+    ///
+    /// The pixel pipeline models quality tiers by the depth of the
+    /// iterative back-projection refinement: the calibrated EDSR proxy
+    /// keeps the crate default (so tier [`ModelTier::Edsr64`] is
+    /// byte-identical to [`NeuralSrConfig::default`] output), the slim
+    /// EDSR refines once, and FSRCNN is interpolation-initialized only.
+    pub fn proxy_config(self, scale: usize) -> NeuralSrConfig {
+        let iterations = match self {
+            ModelTier::Edsr64 => NeuralSrConfig::default().iterations,
+            ModelTier::Edsr16 => 1,
+            ModelTier::Fsrcnn => 0,
+        };
+        NeuralSrConfig {
+            scale,
+            iterations,
+            ..NeuralSrConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edsr::Edsr;
+    use crate::fsrcnn::{Fsrcnn, FsrcnnConfig};
+
+    #[test]
+    fn cost_ratios_match_the_architectures_mac_counts() {
+        let edsr64 = Edsr::new(EdsrConfig::default()).macs_for_input(96, 96) as f64;
+        let edsr16 =
+            Edsr::new(ModelTier::Edsr16.edsr_config().unwrap()).macs_for_input(96, 96) as f64;
+        let fsrcnn = Fsrcnn::new(FsrcnnConfig::default()).macs_for_input(96, 96) as f64;
+        let check = |tier: ModelTier, measured: f64| {
+            let err = (tier.cost_ratio() - measured).abs() / measured;
+            assert!(
+                err < 0.01,
+                "{}: declared {:.5} vs measured {:.5}",
+                tier.label(),
+                tier.cost_ratio(),
+                measured
+            );
+        };
+        check(ModelTier::Edsr64, 1.0);
+        check(ModelTier::Edsr16, edsr16 / edsr64);
+        check(ModelTier::Fsrcnn, fsrcnn / edsr64);
+    }
+
+    #[test]
+    fn tiers_are_strictly_cheaper_down_the_ladder() {
+        let ratios: Vec<f64> = ModelTier::ALL.iter().map(|t| t.cost_ratio()).collect();
+        assert!(ratios.windows(2).all(|w| w[1] < w[0]), "{ratios:?}");
+        assert_eq!(ModelTier::Edsr64.cost_ratio(), 1.0);
+    }
+
+    #[test]
+    fn top_tier_proxy_is_the_crate_default() {
+        assert_eq!(ModelTier::Edsr64.proxy_config(2), NeuralSrConfig::default());
+        assert_eq!(ModelTier::Edsr16.proxy_config(2).iterations, 1);
+        assert_eq!(ModelTier::Fsrcnn.proxy_config(2).iterations, 0);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            ModelTier::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), ModelTier::ALL.len());
+    }
+}

@@ -129,11 +129,21 @@ pub enum Counter {
     DeadlineMisses,
     /// Total payload bytes put on the wire.
     BytesOnWire,
+    /// Degradation-ladder steps taken toward a cheaper rung.
+    LadderDowngrades,
+    /// Degradation-ladder steps recovered toward full quality.
+    LadderUpgrades,
+    /// NACKs re-issued after the previous request timed out.
+    NackRetries,
+    /// Link drops caused by bottleneck-queue overflow (tail drop).
+    DropsQueueOverflow,
+    /// Link drops caused by a scripted outage window.
+    DropsOutage,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 14;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -146,6 +156,11 @@ impl Counter {
         Counter::FramesReconstructed,
         Counter::DeadlineMisses,
         Counter::BytesOnWire,
+        Counter::LadderDowngrades,
+        Counter::LadderUpgrades,
+        Counter::NackRetries,
+        Counter::DropsQueueOverflow,
+        Counter::DropsOutage,
     ];
 
     /// Stable array index of this counter.
@@ -165,6 +180,11 @@ impl Counter {
             Counter::FramesReconstructed => "frames-reconstructed",
             Counter::DeadlineMisses => "deadline-misses",
             Counter::BytesOnWire => "bytes-on-wire",
+            Counter::LadderDowngrades => "ladder-downgrades",
+            Counter::LadderUpgrades => "ladder-upgrades",
+            Counter::NackRetries => "nack-retries",
+            Counter::DropsQueueOverflow => "drops-queue-overflow",
+            Counter::DropsOutage => "drops-outage",
         }
     }
 }
@@ -180,11 +200,15 @@ pub enum Gauge {
     EncodeResidualStep,
     /// Link goodput observed by the network model, in Mbit/s.
     LinkBandwidthMbps,
+    /// Current degradation-ladder rung (0 = full quality).
+    LadderRung,
+    /// NPU thermal slowdown factor applied to the SR timing model.
+    NpuSlowdown,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 6;
 
     /// All gauges, in declaration order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -192,6 +216,8 @@ impl Gauge {
         Gauge::EncodeQuality,
         Gauge::EncodeResidualStep,
         Gauge::LinkBandwidthMbps,
+        Gauge::LadderRung,
+        Gauge::NpuSlowdown,
     ];
 
     /// Stable array index of this gauge.
@@ -206,6 +232,8 @@ impl Gauge {
             Gauge::EncodeQuality => "encode-quality",
             Gauge::EncodeResidualStep => "encode-residual-step",
             Gauge::LinkBandwidthMbps => "link-bandwidth-mbps",
+            Gauge::LadderRung => "ladder-rung",
+            Gauge::NpuSlowdown => "npu-slowdown",
         }
     }
 }
@@ -279,6 +307,12 @@ mod tests {
         for (i, g) in Gauge::ALL.iter().enumerate() {
             assert_eq!(g.index(), i);
         }
+        let counter_labels: std::collections::HashSet<&str> =
+            Counter::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(counter_labels.len(), Counter::COUNT);
+        let gauge_labels: std::collections::HashSet<&str> =
+            Gauge::ALL.iter().map(|g| g.label()).collect();
+        assert_eq!(gauge_labels.len(), Gauge::COUNT);
     }
 
     #[test]

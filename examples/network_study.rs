@@ -52,7 +52,7 @@ fn main() {
     let mut transits: Vec<f64> = (0..1800)
         .filter_map(|i| {
             let t = link.send(bytes_per_frame(Resolution::P720), i as f64 * 16.66);
-            t.delivered.then_some(t.transit_ms)
+            t.delivered().then_some(t.transit_ms)
         })
         .collect();
     transits.sort_by(f64::total_cmp);

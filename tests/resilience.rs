@@ -1,0 +1,235 @@
+//! Resilience integration tests: the canonical fault timeline (mid-session
+//! bandwidth collapse overlapping an NPU thermal-throttle ramp, then a full
+//! outage) drives a GameStreamSR session with and without the adaptive
+//! degradation controller. With the controller, effective FPS stays above
+//! 30 and the ladder climbs back to full quality within 2 s of fault
+//! clearance; without it, frozen-frame runs grow measurably longer.
+//!
+//! Everything here is deterministic: the same seed and fault plan replay
+//! byte-identical sessions, which the determinism test pins.
+
+use std::sync::OnceLock;
+
+use gss::codec::RateControlConfig;
+use gss::core::degrade::DegradationConfig;
+use gss::core::session::{run_session, Pipeline, SessionConfig, SessionReport};
+use gss::net::{DropCause, FaultPlan};
+use gss::platform::DeviceProfile;
+use gss::render::GameId;
+use gss::telemetry::Counter;
+
+/// Frames per millisecond of session time at the 60 FPS source rate.
+const FRAME_MS: f64 = 1000.0 / 60.0;
+/// Time compression of the canonical timeline for the deterministic tests.
+const TIME_SCALE: f64 = 0.3;
+
+/// The shared scenario: a 7.5 s session through the canonical fault
+/// timeline compressed 0.3x (bandwidth collapse ≈1.5–4.5 s overlapping the
+/// NPU throttle ramp, outage ≈4.95–5.1 s), rate-controlled at 12 Mbps with
+/// enough quality headroom that the ladder's rate cuts can actually fit
+/// the collapsed link.
+fn faulted_cfg() -> SessionConfig {
+    SessionConfig {
+        frames: 450,
+        gop_size: 60,
+        lr_size: (128, 72),
+        rate_control: Some(RateControlConfig {
+            min_quality: 10,
+            ..RateControlConfig::for_bitrate_mbps(12.0)
+        }),
+        ..SessionConfig::new(GameId::G3, DeviceProfile::s8_tab())
+    }
+    .without_quality()
+    .with_faults(FaultPlan::canonical_scaled(TIME_SCALE))
+}
+
+/// First frame index at which every scripted fault has cleared (the
+/// canonical timeline's last event, the outage, ends at 17 s unscaled).
+fn clearance_frame() -> usize {
+    (17_000.0 * TIME_SCALE / FRAME_MS).ceil() as usize
+}
+
+fn controller_report() -> &'static SessionReport {
+    static R: OnceLock<SessionReport> = OnceLock::new();
+    R.get_or_init(|| {
+        let cfg = faulted_cfg().with_degradation(DegradationConfig::default());
+        run_session(&cfg, Pipeline::GameStreamSr).unwrap()
+    })
+}
+
+fn no_controller_report() -> &'static SessionReport {
+    static R: OnceLock<SessionReport> = OnceLock::new();
+    R.get_or_init(|| {
+        let mut cfg = faulted_cfg();
+        cfg.loss_recovery = true; // same NACK recovery, no ladder
+        run_session(&cfg, Pipeline::GameStreamSr).unwrap()
+    })
+}
+
+#[test]
+fn controller_holds_realtime_through_the_canonical_faults() {
+    let r = controller_report();
+    assert!(
+        r.fps_effective() >= 30.0,
+        "effective fps {:.1} under faults",
+        r.fps_effective()
+    );
+    // the ladder actually descended deep enough to absorb the 3x throttle
+    assert!(r.max_rung() >= 3, "max rung {}", r.max_rung());
+    assert!(r.telemetry.counter(Counter::LadderDowngrades) >= 3);
+    assert!(r.telemetry.counter(Counter::LadderUpgrades) >= 3);
+    // and the NACK machinery both requested and re-requested keyframes
+    assert!(r.telemetry.counter(Counter::Nacks) > 0);
+    assert!(r.telemetry.counter(Counter::NackRetries) > 0);
+}
+
+#[test]
+fn controller_recovers_within_two_seconds_of_clearance() {
+    let r = controller_report();
+    let clear = clearance_frame();
+    let deadline = clear + (2000.0 / FRAME_MS) as usize;
+    let recovered = r.frames[clear..]
+        .iter()
+        .find(|f| f.rung == 0)
+        .map(|f| f.index)
+        .expect("never climbed back to full quality");
+    assert!(
+        recovered <= deadline,
+        "recovered at frame {recovered}, deadline {deadline}"
+    );
+    // and it stays at full quality once the channel is healthy again
+    assert!(r.frames[recovered..].iter().all(|f| f.rung == 0));
+}
+
+#[test]
+fn disabling_the_controller_lengthens_frozen_runs() {
+    let on = controller_report().longest_frozen_run();
+    let off = no_controller_report().longest_frozen_run();
+    assert!(
+        off > on && off >= on + 10,
+        "frozen runs: {off} without controller vs {on} with"
+    );
+}
+
+#[test]
+fn drop_causes_agree_between_frame_records_and_telemetry() {
+    for r in [controller_report(), no_controller_report()] {
+        for f in &r.frames {
+            assert_eq!(f.dropped, f.drop_cause.is_some(), "frame {}", f.index);
+        }
+        assert!(
+            r.drops_with_cause(DropCause::Outage) > 0,
+            "outage never hit"
+        );
+        assert_eq!(
+            r.drops_with_cause(DropCause::Outage) as u64,
+            r.telemetry.counter(Counter::DropsOutage)
+        );
+        assert_eq!(
+            r.drops_with_cause(DropCause::QueueOverflow) as u64,
+            r.telemetry.counter(Counter::DropsQueueOverflow)
+        );
+        assert_eq!(
+            r.frames.iter().filter(|f| f.dropped).count() as u64,
+            r.telemetry.counter(Counter::FramesDropped)
+        );
+    }
+}
+
+#[test]
+fn nack_keyframe_attempts_respect_the_backoff_bound() {
+    use gss::codec::FrameType;
+    let r = no_controller_report();
+    let cfg = DegradationConfig::default();
+    let first_drop = r
+        .frames
+        .iter()
+        .find(|f| f.dropped)
+        .map(|f| f.index)
+        .expect("faulted link never dropped");
+    // a fresh NACK forces the very next frame intra
+    assert_eq!(r.frames[first_drop + 1].frame_type, FrameType::Intra);
+    // while the client stays frozen, keyframe attempts arrive at least
+    // every backoff-bound frames (GOP keyframes may come sooner)
+    let mut since_intra = 0usize;
+    for f in &r.frames {
+        if f.frame_type == FrameType::Intra {
+            since_intra = 0;
+        } else if f.frozen {
+            since_intra += 1;
+            assert!(
+                since_intra <= cfg.nack_backoff_max_frames + 1,
+                "frame {}: {} frames frozen without a keyframe attempt",
+                f.index,
+                since_intra
+            );
+        }
+    }
+}
+
+#[test]
+fn resilient_sessions_replay_byte_identically() {
+    // a compressed copy of the scenario keeps this double-run cheap
+    let cfg = SessionConfig {
+        frames: 150,
+        ..faulted_cfg()
+    }
+    .with_faults(FaultPlan::canonical_scaled(0.1))
+    .with_degradation(DegradationConfig::default());
+    let a = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+    let b = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+    assert_eq!(
+        format!("{:?}", a.telemetry),
+        format!("{:?}", b.telemetry),
+        "telemetry summaries diverged across identical runs"
+    );
+    for (x, y) in a.frames.iter().zip(&b.frames) {
+        assert_eq!(
+            (x.dropped, x.drop_cause, x.frozen, x.rung),
+            (y.dropped, y.drop_cause, y.frozen, y.rung),
+            "frame {}",
+            x.index
+        );
+        assert_eq!(x.upscale_ms.to_bits(), y.upscale_ms.to_bits());
+        assert_eq!(x.bytes, y.bytes);
+    }
+}
+
+#[test]
+fn summary_table_shows_the_resilience_counters() {
+    let table = controller_report().telemetry.table();
+    for label in [
+        "ladder-downgrades",
+        "ladder-upgrades",
+        "nack-retries",
+        "drops-queue-overflow",
+        "drops-outage",
+        "ladder-rung",
+        "npu-slowdown",
+    ] {
+        assert!(table.contains(label), "table lacks {label}:\n{table}");
+    }
+}
+
+/// Full-length canonical soak (20 s, 1200 frames) — run by the CI
+/// resilience job with `--ignored`: the session must survive the whole
+/// timeline without panicking, hold 30 FPS, bound its worst frozen run,
+/// and end back at full quality.
+#[test]
+#[ignore = "soak: full canonical timeline, run in CI via --ignored"]
+fn canonical_soak_survives_and_bounds_frozen_runs() {
+    let cfg = SessionConfig {
+        frames: 1200,
+        ..faulted_cfg()
+    }
+    .with_faults(FaultPlan::canonical())
+    .with_degradation(DegradationConfig::default());
+    let r = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+    assert!(r.fps_effective() >= 30.0, "fps {:.1}", r.fps_effective());
+    assert!(
+        r.longest_frozen_run() <= 180,
+        "frozen run {} frames (> 3 s)",
+        r.longest_frozen_run()
+    );
+    assert_eq!(r.frames.last().unwrap().rung, 0, "ended degraded");
+}
