@@ -1,13 +1,16 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [--telemetry out.jsonl] [experiment-id ...]
+//! figures [--quick] [--threads N] [--telemetry out.jsonl] [experiment-id ...]
 //! ```
 //!
 //! With no ids, every experiment runs in report order. `--telemetry`
 //! streams every session's frame-scoped event trace (stage spans,
 //! counters, deadline verdicts) to a JSONL file; harness diagnostics go
-//! through the same sink as structured log events.
+//! through the same sink as structured log events. `--threads` pins the
+//! parallel executor's worker count (default: `GSS_THREADS` or the
+//! machine's core count capped at 8); any value produces bit-identical
+//! results — see `gss_platform::pool`.
 
 use gss_bench::{run_experiment, RunOptions, ALL_EXPERIMENTS};
 use gss_telemetry::{JsonlSink, Level, SinkHandle};
@@ -21,6 +24,13 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--threads" => match args.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(n)) if n >= 1 => gss_platform::pool::set_workers(n),
+                _ => {
+                    eprintln!("error: --threads needs a worker count >= 1 (e.g. --threads 4)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--telemetry" => match args.next() {
                 Some(path) => telemetry_path = Some(path),
                 None => {
@@ -29,7 +39,9 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: figures [--quick] [--telemetry out.jsonl] [experiment-id ...]");
+                println!(
+                    "usage: figures [--quick] [--threads N] [--telemetry out.jsonl] [experiment-id ...]"
+                );
                 println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 return ExitCode::SUCCESS;
             }

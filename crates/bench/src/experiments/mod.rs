@@ -13,5 +13,6 @@ pub mod fig7;
 pub mod fig9;
 pub mod loss;
 pub mod resilience;
+pub mod scaling;
 pub mod server_side;
 pub mod table1;

@@ -11,7 +11,7 @@
 //! or a single experiment by id (`table1`, `fig2`, `fig3a`, `fig3b`,
 //! `fig7`, `fig9`, `fig10a`, `fig10b`, `fig10c`, `fig11`, `fig12`,
 //! `fig13`, `fig14a`, `fig14b`, `fig15`, `server`, `ablation`, `loss`,
-//! `resilience`):
+//! `resilience`, `scaling`):
 //!
 //! ```text
 //! cargo run --release -p gss-bench --bin figures -- fig10a
@@ -62,7 +62,7 @@ impl RunOptions {
 }
 
 /// All experiment ids in report order.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "table1",
     "fig2",
     "fig3a",
@@ -82,6 +82,7 @@ pub const ALL_EXPERIMENTS: [&str; 19] = [
     "ablation",
     "loss",
     "resilience",
+    "scaling",
 ];
 
 /// Runs one experiment by id, printing its rows to stdout.
@@ -112,6 +113,7 @@ pub fn run_experiment(id: &str, options: &RunOptions) -> Result<(), String> {
         "ablation" => e::ablation::run(options),
         "loss" => e::loss::run(options),
         "resilience" => e::resilience::run(options),
+        "scaling" => e::scaling::run(options),
         other => return Err(format!("unknown experiment id: {other}")),
     }
     Ok(())

@@ -11,6 +11,7 @@ use crate::CodecError;
 use gss_frame::Frame;
 #[cfg(test)]
 use gss_frame::Plane;
+use gss_platform::plane_ops;
 
 /// Codec internals exposed per decoded frame.
 ///
@@ -123,11 +124,10 @@ pub(crate) fn decode_intra_payload(packet: &EncodedFrame) -> Result<Frame, Codec
     let (w, h) = (packet.width, packet.height);
     let q = QuantMatrix::from_quality(packet.quant.quality);
     let mut r = BitReader::new(&packet.payload);
-    let y = decode_plane_intra(w, h, &q, &mut r)?.map(|v| (v + 128.0).clamp(0.0, 255.0));
-    let cb_half =
-        decode_plane_intra(w / 2, h / 2, &q, &mut r)?.map(|v| (v + 128.0).clamp(0.0, 255.0));
-    let cr_half =
-        decode_plane_intra(w / 2, h / 2, &q, &mut r)?.map(|v| (v + 128.0).clamp(0.0, 255.0));
+    let unshift = |v: f32| (v + 128.0).clamp(0.0, 255.0);
+    let y = plane_ops::map(&decode_plane_intra(w, h, &q, &mut r)?, unshift);
+    let cb_half = plane_ops::map(&decode_plane_intra(w / 2, h / 2, &q, &mut r)?, unshift);
+    let cr_half = plane_ops::map(&decode_plane_intra(w / 2, h / 2, &q, &mut r)?, unshift);
     Frame::from_planes(
         y,
         upsample2_bilinear(&cb_half),
@@ -152,14 +152,17 @@ pub(crate) fn decode_inter_payload(
     for _ in 0..mb_cols * mb_rows {
         let dx = r.get_se()?;
         let dy = r.get_se()?;
-        if !(-128..=127).contains(&dx) || !(-128..=127).contains(&dy) {
+        // the encoder's search range is u8, so coded vectors fit i16 with
+        // a wide margin; anything outside is stream corruption
+        let range = i16::MIN as i32..=i16::MAX as i32;
+        if !range.contains(&dx) || !range.contains(&dy) {
             return Err(CodecError::CorruptStream {
                 context: "motion vector out of range",
             });
         }
         vectors.push(MotionVector {
-            dx: dx as i8,
-            dy: dy as i8,
+            dx: dx as i16,
+            dy: dy as i16,
         });
     }
     let motion = MotionField::from_vectors(mb_cols, mb_rows, vectors);
@@ -172,26 +175,20 @@ pub(crate) fn decode_inter_payload(
     let pred_y = compensate(reference.y(), &motion, MB_SIZE);
     let chroma_motion = halved(&motion);
     let pred_cb = compensate(
-        &reference.cb().downsample_box(2),
+        &plane_ops::downsample_box(reference.cb(), 2),
         &chroma_motion,
         MB_SIZE / 2,
     );
     let pred_cr = compensate(
-        &reference.cr().downsample_box(2),
+        &plane_ops::downsample_box(reference.cr(), 2),
         &chroma_motion,
         MB_SIZE / 2,
     );
 
-    let clamp = |v: f32| v.clamp(0.0, 255.0);
-    let y = pred_y
-        .zip_map(&res_y, |p, d| clamp(p + d))
-        .expect("same size");
-    let cb_half = pred_cb
-        .zip_map(&res_cb, |p, d| clamp(p + d))
-        .expect("same size");
-    let cr_half = pred_cr
-        .zip_map(&res_cr, |p, d| clamp(p + d))
-        .expect("same size");
+    let add = |p: f32, d: f32| (p + d).clamp(0.0, 255.0);
+    let y = plane_ops::zip_map(&pred_y, &res_y, add);
+    let cb_half = plane_ops::zip_map(&pred_cb, &res_cb, add);
+    let cr_half = plane_ops::zip_map(&pred_cr, &res_cr, add);
 
     let frame = Frame::from_planes(
         y,

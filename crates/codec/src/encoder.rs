@@ -10,6 +10,7 @@ use crate::quant::QuantMatrix;
 use crate::{decoder, CodecError};
 use bytes::Bytes;
 use gss_frame::{Frame, Plane};
+use gss_platform::plane_ops;
 use serde::{Deserialize, Serialize};
 
 /// Whether a frame is a reference (key/intra) frame or depends on one.
@@ -222,14 +223,14 @@ impl Encoder {
         let (w, h) = frame.size();
         let q = QuantMatrix::from_quality(self.config.quality);
         let mut writer = BitWriter::new();
-        encode_plane_intra(&frame.y().map(|v| v - 128.0), &q, &mut writer);
+        encode_plane_intra(&plane_ops::map(frame.y(), |v| v - 128.0), &q, &mut writer);
         encode_plane_intra(
-            &frame.cb().downsample_box(2).map(|v| v - 128.0),
+            &plane_ops::map(&plane_ops::downsample_box(frame.cb(), 2), |v| v - 128.0),
             &q,
             &mut writer,
         );
         encode_plane_intra(
-            &frame.cr().downsample_box(2).map(|v| v - 128.0),
+            &plane_ops::map(&plane_ops::downsample_box(frame.cr(), 2), |v| v - 128.0),
             &q,
             &mut writer,
         );
@@ -257,23 +258,23 @@ impl Encoder {
 
         // predictions: luma at full size, chroma on the subsampled grid
         let pred_y = compensate(reference.y(), &motion, MB_SIZE);
-        let ref_cb = reference.cb().downsample_box(2);
-        let ref_cr = reference.cr().downsample_box(2);
+        let ref_cb = plane_ops::downsample_box(reference.cb(), 2);
+        let ref_cr = plane_ops::downsample_box(reference.cr(), 2);
         let chroma_motion = halved(&motion);
         let pred_cb = compensate(&ref_cb, &chroma_motion, MB_SIZE / 2);
         let pred_cr = compensate(&ref_cr, &chroma_motion, MB_SIZE / 2);
 
-        let res_y = frame.y().zip_map(&pred_y, |c, p| c - p).expect("same size");
-        let res_cb = frame
-            .cb()
-            .downsample_box(2)
-            .zip_map(&pred_cb, |c, p| c - p)
-            .expect("same size");
-        let res_cr = frame
-            .cr()
-            .downsample_box(2)
-            .zip_map(&pred_cr, |c, p| c - p)
-            .expect("same size");
+        let res_y = plane_ops::zip_map(frame.y(), &pred_y, |c, p| c - p);
+        let res_cb = plane_ops::zip_map(
+            &plane_ops::downsample_box(frame.cb(), 2),
+            &pred_cb,
+            |c, p| c - p,
+        );
+        let res_cr = plane_ops::zip_map(
+            &plane_ops::downsample_box(frame.cr(), 2),
+            &pred_cr,
+            |c, p| c - p,
+        );
 
         let rq = QuantMatrix::flat(self.config.residual_step);
         let mut writer = BitWriter::new();
@@ -317,22 +318,32 @@ pub(crate) fn halved(motion: &MotionField) -> MotionField {
 }
 
 /// Bilinear 2x upsampling used to restore 4:2:0 chroma to full resolution.
+/// Row-parallel; every output pixel is an independent 4-tap blend, so the
+/// result is bit-identical at any worker count.
 pub(crate) fn upsample2_bilinear(p: &Plane<f32>) -> Plane<f32> {
     let (w, h) = p.size();
-    Plane::from_fn(w * 2, h * 2, |x, y| {
-        let sx = (x as f32 + 0.5) * 0.5 - 0.5;
+    let (ow, oh) = (w * 2, h * 2);
+    let data = gss_platform::pool::build_rows(ow, oh, 0.0f32, |y, row| {
         let sy = (y as f32 + 0.5) * 0.5 - 0.5;
-        let x0 = sx.floor();
         let y0 = sy.floor();
-        let fx = sx - x0;
         let fy = sy - y0;
-        let (xi, yi) = (x0 as isize, y0 as isize);
-        let a = p.get_clamped(xi, yi);
-        let b = p.get_clamped(xi + 1, yi);
-        let c = p.get_clamped(xi, yi + 1);
-        let d = p.get_clamped(xi + 1, yi + 1);
-        a * (1.0 - fx) * (1.0 - fy) + b * fx * (1.0 - fy) + c * (1.0 - fx) * fy + d * fx * fy
-    })
+        let yi = y0 as isize;
+        for (x, v) in row.iter_mut().enumerate() {
+            let sx = (x as f32 + 0.5) * 0.5 - 0.5;
+            let x0 = sx.floor();
+            let fx = sx - x0;
+            let xi = x0 as isize;
+            let a = p.get_clamped(xi, yi);
+            let b = p.get_clamped(xi + 1, yi);
+            let c = p.get_clamped(xi, yi + 1);
+            let d = p.get_clamped(xi + 1, yi + 1);
+            *v = a * (1.0 - fx) * (1.0 - fy)
+                + b * fx * (1.0 - fy)
+                + c * (1.0 - fx) * fy
+                + d * fx * fy;
+        }
+    });
+    Plane::from_vec(ow, oh, data).expect("rows cover the output plane")
 }
 
 #[cfg(test)]

@@ -25,11 +25,19 @@ const EOB: u32 = 64;
 /// Transform-codes one plane into the bit stream. Samples are taken as-is
 /// (the caller centers intra samples; residuals are naturally centered).
 /// The plane is padded to a multiple of 8 by edge replication.
+///
+/// The 8×8 blocks are independent and exp-Golomb codes are
+/// self-delimiting, so each [`gss_platform::pool`] task gathers,
+/// transforms, quantizes, and entropy-codes one block row into a private
+/// [`BitWriter`]; the row streams are then stitched in raster order with
+/// [`BitWriter::append`], which is bit-identical to one cursor writing
+/// straight through at any worker count.
 pub fn encode_plane(plane: &Plane<f32>, q: &QuantMatrix, w: &mut BitWriter) {
     let (width, height) = plane.size();
     let bw = width.div_ceil(8);
     let bh = height.div_ceil(8);
-    for by in 0..bh {
+    let row_streams = gss_platform::pool::map_indexed(bh, |by| {
+        let mut row_w = BitWriter::new();
         for bx in 0..bw {
             let mut block = [0.0f32; 64];
             for y in 0..8 {
@@ -38,9 +46,12 @@ pub fn encode_plane(plane: &Plane<f32>, q: &QuantMatrix, w: &mut BitWriter) {
                         plane.get_clamped((bx * 8 + x) as isize, (by * 8 + y) as isize);
                 }
             }
-            let levels = quantize(&dct8_forward(&block), q);
-            encode_block(&levels, w);
+            encode_block(&quantize(&dct8_forward(&block), q), &mut row_w);
         }
+        row_w
+    });
+    for row_w in &row_streams {
+        w.append(row_w);
     }
 }
 
@@ -61,6 +72,12 @@ pub(crate) fn encode_block(levels: &[i16; 64], w: &mut BitWriter) {
 
 /// Decodes a plane previously written by [`encode_plane`].
 ///
+/// The mirror of [`encode_plane`]'s stage split: the bitstream parse is
+/// serial (one bit cursor), then dequantization + inverse DCT + pixel
+/// writes fan out one 8-row band per [`gss_platform::pool`] task — each
+/// band is a disjoint slab of the output plane, so the result is
+/// bit-identical to a scalar decode at any worker count.
+///
 /// # Errors
 ///
 /// Returns [`CodecError::CorruptStream`] on truncated or invalid data and
@@ -76,27 +93,27 @@ pub fn decode_plane(
     }
     let bw = width.div_ceil(8);
     let bh = height.div_ceil(8);
-    let mut plane = Plane::filled(width, height, 0.0f32);
-    for by in 0..bh {
+    let mut all_levels = Vec::with_capacity(bw * bh);
+    for _ in 0..bw * bh {
+        all_levels.push(decode_block(r)?);
+    }
+    let mut data = vec![0.0f32; width * height];
+    gss_platform::pool::for_each_band_mut(&mut data, width * 8, |by, band| {
+        let band_rows = band.len() / width;
         for bx in 0..bw {
-            let levels = decode_block(r)?;
-            let block = dct8_inverse(&dequantize(&levels, q));
-            for y in 0..8 {
-                let py = by * 8 + y;
-                if py >= height {
-                    break;
-                }
+            let block = dct8_inverse(&dequantize(&all_levels[by * bw + bx], q));
+            for y in 0..8.min(band_rows) {
                 for x in 0..8 {
                     let px = bx * 8 + x;
                     if px >= width {
                         break;
                     }
-                    plane.set(px, py, block[y * 8 + x]);
+                    band[y * width + px] = block[y * 8 + x];
                 }
             }
         }
-    }
-    Ok(plane)
+    });
+    Ok(Plane::from_vec(width, height, data).expect("buffer matches plane size"))
 }
 
 pub(crate) fn decode_block(r: &mut BitReader<'_>) -> Result<[i16; 64], CodecError> {

@@ -7,12 +7,17 @@ use serde::{Deserialize, Serialize};
 pub const MB_SIZE: usize = 16;
 
 /// A per-macroblock displacement into the reference frame, in pixels.
+///
+/// Components are `i16`: raw search results fit `i8`, but NEMO's
+/// "upscale the motion vectors" step multiplies them by the SR factor,
+/// which must not saturate (a ±127 clamp used to silently truncate large
+/// motions and corrupt the reconstruction-path prediction).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MotionVector {
     /// Horizontal displacement (reference x = block x + dx).
-    pub dx: i8,
+    pub dx: i16,
     /// Vertical displacement.
-    pub dy: i8,
+    pub dy: i16,
 }
 
 /// The motion vectors of one frame, in macroblock raster order.
@@ -77,8 +82,11 @@ impl MotionField {
             / self.vectors.len() as f64
     }
 
-    /// Scales every vector by an integer factor, saturating at i8 range —
-    /// this is NEMO's "upscale the motion vectors" step.
+    /// Scales every vector by an integer factor — this is NEMO's "upscale
+    /// the motion vectors" step. The wide `i16` representation keeps every
+    /// realistic product exact (search range ±127 × scale ≤ 4 fits with
+    /// room to spare); pathological factors saturate at the `i16` limits
+    /// instead of wrapping.
     pub fn scaled(&self, factor: usize) -> MotionField {
         MotionField {
             mb_cols: self.mb_cols,
@@ -87,8 +95,10 @@ impl MotionField {
                 .vectors
                 .iter()
                 .map(|v| MotionVector {
-                    dx: (v.dx as i32 * factor as i32).clamp(-128, 127) as i8,
-                    dy: (v.dy as i32 * factor as i32).clamp(-128, 127) as i8,
+                    dx: (v.dx as i32 * factor as i32).clamp(i16::MIN as i32, i16::MAX as i32)
+                        as i16,
+                    dy: (v.dy as i32 * factor as i32).clamp(i16::MIN as i32, i16::MAX as i32)
+                        as i16,
                 })
                 .collect(),
         }
@@ -127,6 +137,11 @@ fn sad(
 /// Estimates the motion field of `current` against `reference` using
 /// three-step search over a `±search_range` window on the luma plane.
 ///
+/// Macroblocks are independent, so rows of the macroblock grid are
+/// searched in parallel through [`gss_platform::pool`]; the per-row
+/// results are merged in raster order, keeping the field bit-identical
+/// to a scalar search at any worker count.
+///
 /// # Panics
 ///
 /// Panics when the planes differ in size or `search_range` is zero.
@@ -140,47 +155,60 @@ pub fn estimate_motion(
     let (width, height) = current.size();
     let mb_cols = width.div_ceil(MB_SIZE);
     let mb_rows = height.div_ceil(MB_SIZE);
-    let mut vectors = Vec::with_capacity(mb_cols * mb_rows);
-    for by in 0..mb_rows {
+    let rows = gss_platform::pool::map_indexed(mb_rows, |by| {
+        let mut row = Vec::with_capacity(mb_cols);
         for bx in 0..mb_cols {
-            let x = bx * MB_SIZE;
-            let y = by * MB_SIZE;
-            let mut best = (0i32, 0i32);
-            let mut best_cost = sad(current, reference, x, y, 0, 0, MB_SIZE);
-            let mut step = ((search_range as i32 + 1) / 2).max(1);
-            while step >= 1 {
-                let center = best;
-                for (sx, sy) in [
-                    (-step, -step),
-                    (0, -step),
-                    (step, -step),
-                    (-step, 0),
-                    (step, 0),
-                    (-step, step),
-                    (0, step),
-                    (step, step),
-                ] {
-                    let cand = (center.0 + sx, center.1 + sy);
-                    if cand.0.unsigned_abs() > search_range as u32
-                        || cand.1.unsigned_abs() > search_range as u32
-                    {
-                        continue;
-                    }
-                    let cost = sad(current, reference, x, y, cand.0, cand.1, MB_SIZE);
-                    if cost < best_cost {
-                        best_cost = cost;
-                        best = cand;
-                    }
-                }
-                step /= 2;
-            }
-            vectors.push(MotionVector {
-                dx: best.0 as i8,
-                dy: best.1 as i8,
-            });
+            row.push(search_block(current, reference, bx, by, search_range));
         }
-    }
+        row
+    });
+    let vectors = rows.into_iter().flatten().collect();
     MotionField::from_vectors(mb_cols, mb_rows, vectors)
+}
+
+/// Three-step search for one macroblock.
+fn search_block(
+    current: &Plane<f32>,
+    reference: &Plane<f32>,
+    bx: usize,
+    by: usize,
+    search_range: u8,
+) -> MotionVector {
+    let x = bx * MB_SIZE;
+    let y = by * MB_SIZE;
+    let mut best = (0i32, 0i32);
+    let mut best_cost = sad(current, reference, x, y, 0, 0, MB_SIZE);
+    let mut step = ((search_range as i32 + 1) / 2).max(1);
+    while step >= 1 {
+        let center = best;
+        for (sx, sy) in [
+            (-step, -step),
+            (0, -step),
+            (step, -step),
+            (-step, 0),
+            (step, 0),
+            (-step, step),
+            (0, step),
+            (step, step),
+        ] {
+            let cand = (center.0 + sx, center.1 + sy);
+            if cand.0.unsigned_abs() > search_range as u32
+                || cand.1.unsigned_abs() > search_range as u32
+            {
+                continue;
+            }
+            let cost = sad(current, reference, x, y, cand.0, cand.1, MB_SIZE);
+            if cost < best_cost {
+                best_cost = cost;
+                best = cand;
+            }
+        }
+        step /= 2;
+    }
+    MotionVector {
+        dx: best.0 as i16,
+        dy: best.1 as i16,
+    }
 }
 
 /// Builds the motion-compensated prediction of a frame plane from
@@ -198,10 +226,14 @@ pub fn compensate(reference: &Plane<f32>, motion: &MotionField, block: usize) ->
         mb_cols * block >= width && mb_rows * block >= height,
         "motion grid {mb_cols}x{mb_rows} with block {block} cannot cover {width}x{height}"
     );
-    Plane::from_fn(width, height, |x, y| {
-        let v = motion.get(x / block, y / block);
-        reference.get_clamped(x as isize + v.dx as isize, y as isize + v.dy as isize)
-    })
+    let data = gss_platform::pool::build_rows(width, height, 0.0f32, |y, row| {
+        let brow = y / block;
+        for (x, out) in row.iter_mut().enumerate() {
+            let v = motion.get(x / block, brow);
+            *out = reference.get_clamped(x as isize + v.dx as isize, y as isize + v.dy as isize);
+        }
+    });
+    Plane::from_vec(width, height, data).expect("row count matches plane size")
 }
 
 #[cfg(test)]
@@ -267,8 +299,45 @@ mod tests {
         );
         let s = mf.scaled(2);
         assert_eq!(s.get(0, 0), MotionVector { dx: 6, dy: -4 });
-        // saturation
-        assert_eq!(s.get(1, 0), MotionVector { dx: -120, dy: 127 });
+        // large vectors scale exactly — no ±127 saturation
+        assert_eq!(s.get(1, 0), MotionVector { dx: -120, dy: 200 });
+    }
+
+    #[test]
+    fn near_range_vectors_scale_without_truncation() {
+        // regression: (±127, ∓127) × 2 used to clamp to ±127 and corrupt
+        // the NEMO reconstruction prediction
+        let mf = MotionField::from_vectors(
+            2,
+            1,
+            vec![
+                MotionVector { dx: 127, dy: -127 },
+                MotionVector { dx: -128, dy: 64 },
+            ],
+        );
+        let s2 = mf.scaled(2);
+        assert_eq!(s2.get(0, 0), MotionVector { dx: 254, dy: -254 });
+        assert_eq!(s2.get(1, 0), MotionVector { dx: -256, dy: 128 });
+        let s4 = mf.scaled(4);
+        assert_eq!(s4.get(0, 0), MotionVector { dx: 508, dy: -508 });
+    }
+
+    #[test]
+    fn parallel_search_matches_scalar_field() {
+        let reference = textured(96, 64);
+        let current = shifted(&reference, -5, 3);
+        let scalar = {
+            let mb_cols = 96usize.div_ceil(MB_SIZE);
+            let mb_rows = 64usize.div_ceil(MB_SIZE);
+            let mut vectors = Vec::new();
+            for by in 0..mb_rows {
+                for bx in 0..mb_cols {
+                    vectors.push(search_block(&current, &reference, bx, by, 7));
+                }
+            }
+            MotionField::from_vectors(mb_cols, mb_rows, vectors)
+        };
+        assert_eq!(estimate_motion(&current, &reference, 7), scalar);
     }
 
     #[test]

@@ -58,32 +58,41 @@ pub fn preprocess(depth: &DepthMap, config: &PreprocessConfig) -> PreprocessStag
     // -- step 1: foreground extraction ------------------------------------
     let hist = depth.histogram(config.histogram_bins.max(2));
     let threshold = foreground_threshold(&hist, config.min_side_mass);
-    let foreground = Plane::from_fn(w, h, |x, y| {
-        let d = depth.get(x, y);
-        if d < threshold {
-            1.0 - d
-        } else {
-            0.0
-        }
-    });
+    let foreground = {
+        let data = gss_platform::pool::build_rows(w, h, 0.0f32, |y, row| {
+            for (x, v) in row.iter_mut().enumerate() {
+                let d = depth.get(x, y);
+                if d < threshold {
+                    *v = 1.0 - d;
+                }
+            }
+        });
+        Plane::from_vec(w, h, data).expect("rows cover the map")
+    };
 
     // -- step 2: spatial weighting -----------------------------------------
     let cx = (w as f32 - 1.0) * 0.5;
     let cy = (h as f32 - 1.0) * 0.5;
     let sigma = (w.min(h) as f32 * config.gaussian_sigma_frac).max(1.0);
     let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
-    let weighted = Plane::from_fn(w, h, |x, y| {
-        // the bias augments the (already extracted) foreground: background
-        // pixels stay at zero, per the stage order of Fig. 8
-        let f = foreground.get(x, y);
-        if f <= 0.0 {
-            return 0.0;
-        }
-        let dx = x as f32 - cx;
-        let dy = y as f32 - cy;
-        let g = config.gaussian_weight * (-(dx * dx + dy * dy) * inv_two_sigma_sq).exp();
-        f + g
-    });
+    let weighted = {
+        let data = gss_platform::pool::build_rows(w, h, 0.0f32, |y, row| {
+            let dy = y as f32 - cy;
+            for (x, v) in row.iter_mut().enumerate() {
+                // the bias augments the (already extracted) foreground:
+                // background pixels stay at zero, per the stage order of
+                // Fig. 8
+                let f = foreground.get(x, y);
+                if f <= 0.0 {
+                    continue;
+                }
+                let dx = x as f32 - cx;
+                let g = config.gaussian_weight * (-(dx * dx + dy * dy) * inv_two_sigma_sq).exp();
+                *v = f + g;
+            }
+        });
+        Plane::from_vec(w, h, data).expect("rows cover the map")
+    };
 
     // -- step 3: depth-map layering ----------------------------------------
     // layering separates depth strata of the foreground; when the
@@ -108,34 +117,37 @@ pub fn preprocess(depth: &DepthMap, config: &PreprocessConfig) -> PreprocessStag
     let (lo, hi) = weighted.min_max();
     let span = hi - lo;
     let layer_count = config.layers.max(1);
+    // the layers are independent, so they build (and sum, for step 4) on
+    // one pool worker each; each layer's arithmetic stays a serial
+    // computation, keeping the planes and sums bit-identical at any
+    // worker count
     let layers: Vec<Plane<f32>> = if span <= f32::EPSILON || fg_span <= 1e-4 {
         vec![weighted.clone()]
     } else {
-        (0..layer_count)
-            .map(|i| {
-                let a = lo + span * i as f32 / layer_count as f32;
-                let b = lo + span * (i + 1) as f32 / layer_count as f32;
-                weighted.map(|v| {
-                    let inside = if i + 1 == layer_count {
-                        v >= a && v <= b
-                    } else {
-                        v >= a && v < b
-                    };
-                    if inside {
-                        v
-                    } else {
-                        0.0
-                    }
-                })
+        gss_platform::pool::map_indexed(layer_count, |i| {
+            let a = lo + span * i as f32 / layer_count as f32;
+            let b = lo + span * (i + 1) as f32 / layer_count as f32;
+            weighted.map(|v| {
+                let inside = if i + 1 == layer_count {
+                    v >= a && v <= b
+                } else {
+                    v >= a && v < b
+                };
+                if inside {
+                    v
+                } else {
+                    0.0
+                }
             })
-            .collect()
+        })
     };
 
     // -- step 4: layer selection --------------------------------------------
-    let selected_layer = layers
+    let layer_sums = gss_platform::pool::map_indexed(layers.len(), |i| layers[i].sum());
+    let selected_layer = layer_sums
         .iter()
         .enumerate()
-        .max_by(|(_, a), (_, b)| a.sum().total_cmp(&b.sum()))
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
         .map(|(i, _)| i)
         .unwrap_or(0);
     let processed = layers[selected_layer].clone();

@@ -12,6 +12,7 @@ use gss_codec::{
     EncodedFrame, Encoder, EncoderConfig, FrameType, RateControlConfig, RateController,
 };
 use gss_frame::{DepthMap, Frame, Rect};
+use gss_platform::plane_ops;
 use gss_render::{GameId, GameWorkload};
 
 /// Server-side configuration.
@@ -61,6 +62,28 @@ impl ServerConfig {
             rate_control: None,
         }
     }
+}
+
+/// Rounds a requested RoI window up to even extents. The codec halves RoI
+/// coordinates on the 4:2:0 chroma grid, so an odd window side would shear
+/// chroma against luma at the patch edge. The low-resolution frame is
+/// asserted even-sized, so for any window that fits, rounding up still
+/// fits.
+const fn even_window(window: (usize, usize)) -> (usize, usize) {
+    (window.0.next_multiple_of(2), window.1.next_multiple_of(2))
+}
+
+/// Row-parallel [`gss_platform::plane_ops::downsample_box`] over a frame's
+/// three planes — bit-identical to the serial `Frame::downsample_box` at
+/// any worker count.
+fn downsample_frame(frame: &Frame, factor: usize) -> Frame {
+    let [y, cb, cr] = frame.planes();
+    Frame::from_planes(
+        plane_ops::downsample_box(y, factor),
+        plane_ops::downsample_box(cb, factor),
+        plane_ops::downsample_box(cr, factor),
+    )
+    .expect("downsampled planes share one size")
 }
 
 /// One streamed frame: the coded payload, the RoI coordinates, and the
@@ -123,6 +146,10 @@ impl GameStreamServer {
             config.roi_window.0 <= w && config.roi_window.1 <= h,
             "roi window must fit the lr frame"
         );
+        let config = ServerConfig {
+            roi_window: even_window(config.roi_window),
+            ..config
+        };
         GameStreamServer {
             workload: GameWorkload::new(config.game),
             encoder: Encoder::new(config.encoder),
@@ -165,7 +192,7 @@ impl GameStreamServer {
             window.0 <= w && window.1 <= h,
             "roi window must fit the lr frame"
         );
-        self.config.roi_window = window;
+        self.config.roi_window = even_window(window);
     }
 
     /// Rescales the rate controller's byte budget (see
@@ -218,14 +245,21 @@ impl GameStreamServer {
             lh * scale,
         );
         // the streamed low-resolution frame and its depth
-        let lr = native.frame.downsample_box(scale);
-        let depth_lr = native.depth.downsample_box(scale);
+        let lr = downsample_frame(&native.frame, scale);
+        let depth_lr = DepthMap::from_plane(plane_ops::downsample_box(native.depth.plane(), scale));
 
         let detected = self.detector.detect(&depth_lr, self.config.roi_window).roi;
         let roi = match &mut self.tracker {
             Some(tracker) => tracker.track(detected, (lw, lh)),
             None => detected,
         };
+        // The negotiated window extent is even (see `even_window`), but the
+        // detector/tracker can still centre it on an odd origin. The codec
+        // halves RoI coordinates on the 4:2:0 chroma grid, so an odd origin
+        // would shear chroma against luma when the patch is cropped and
+        // merged — snap the origin down to even luma coordinates, which
+        // keeps the rect inside the frame and preserves its extent.
+        let roi = Rect::new(roi.x & !1, roi.y & !1, roi.width, roi.height);
         if let Some(rec) = rec.as_deref_mut() {
             rec.gauge(
                 gss_telemetry::Gauge::RoiAreaPx,
@@ -404,6 +438,36 @@ mod tests {
         assert_eq!((p.roi.width, p.roi.height), (24, 24));
         server.set_roi_window((48, 48));
         assert_eq!(server.next_frame().unwrap().roi.width, 48);
+    }
+
+    #[test]
+    fn odd_ladder_windows_ship_even_roi_coordinates() {
+        // DegradationController rung scaling truncates `(side * lr) /
+        // full_lr`, so every rung can request an odd window side. The
+        // shipped RoI must still sit on even luma coordinates (and even
+        // extents) or the 4:2:0 chroma crop shears against luma.
+        use crate::degrade::LADDER;
+        use gss_platform::DeviceProfile;
+        let device = DeviceProfile::s8_tab();
+        let mut server = GameStreamServer::new(ServerConfig::new(GameId::G2, (128, 72), (48, 48)));
+        for (i, rung) in LADDER.iter().enumerate() {
+            // an odd base side makes the rung scaling land on odd values
+            let side = rung.roi_side(&device, 47).clamp(9, 71) | 1;
+            assert_eq!(
+                side % 2,
+                1,
+                "rung {i} side {side} must be odd for this test"
+            );
+            server.set_roi_window((side, side));
+            let p = server.next_frame().unwrap();
+            assert_eq!(p.roi.x % 2, 0, "rung {i}: odd x {}", p.roi);
+            assert_eq!(p.roi.y % 2, 0, "rung {i}: odd y {}", p.roi);
+            assert_eq!(p.roi.width % 2, 0, "rung {i}: odd width {}", p.roi);
+            assert_eq!(p.roi.height % 2, 0, "rung {i}: odd height {}", p.roi);
+            // the even window covers the requested one and still fits
+            assert!(p.roi.width >= side && p.roi.height >= side, "{}", p.roi);
+            assert!(p.roi.right() <= 128 && p.roi.bottom() <= 72, "{}", p.roi);
+        }
     }
 
     #[test]

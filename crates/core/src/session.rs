@@ -194,8 +194,17 @@ pub struct FrameRecord {
     pub index: usize,
     /// Reference (intra) or non-reference (inter).
     pub frame_type: FrameType,
-    /// Upscaling-stage critical path, ms (deployment scale).
+    /// Upscaling-stage critical path, ms (deployment scale). For the
+    /// GameStreamSR pipeline the NPU and GPU legs overlap, so this is
+    /// `max(upscale_npu_ms, upscale_gpu_ms) + upscale_merge_ms`.
     pub upscale_ms: f64,
+    /// NPU leg of the upscale stage (patch SR), ms. Runs concurrently
+    /// with the GPU leg; zero on CPU-only paths and frozen frames.
+    pub upscale_npu_ms: f64,
+    /// GPU leg of the upscale stage (full-frame interpolation), ms.
+    pub upscale_gpu_ms: f64,
+    /// Patch-merge cost paid after the slower leg completes, ms.
+    pub upscale_merge_ms: f64,
     /// Decode latency, ms (deployment scale).
     pub decode_ms: f64,
     /// Full MTP breakdown.
@@ -634,7 +643,15 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
             match displayed {
                 Some(out) => {
                     let (hw, hh) = packet.ground_truth_hr.size();
-                    let roi_hr = packet.roi.scaled(config.scale).clamp_to(hw, hh);
+                    // the shipped RoI is even-aligned at lr scale; keep the
+                    // HR evaluation window on even luma coordinates too so
+                    // the weighted-PSNR region matches what a 4:2:0 merge
+                    // actually touched
+                    let roi_hr = packet
+                        .roi
+                        .scaled(config.scale)
+                        .aligned_even()
+                        .clamp_to(hw, hh);
                     (
                         Some(psnr(&packet.ground_truth_hr, &out)?),
                         Some(region_weighted_psnr(
@@ -668,6 +685,9 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
             index: i,
             frame_type: packet.frame_type,
             upscale_ms: upscale.critical_ms,
+            upscale_npu_ms: upscale.npu_ms,
+            upscale_gpu_ms: upscale.gpu_ms,
+            upscale_merge_ms: upscale.merge_ms,
             decode_ms,
             mtp: mtp_breakdown,
             bytes: bytes_full,
@@ -828,6 +848,28 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn frame_records_carry_the_npu_gpu_overlap_breakdown() {
+        let cfg = tiny_config().without_quality();
+        let r = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+        for f in &r.frames {
+            if f.frozen {
+                assert_eq!(f.upscale_ms, 0.0);
+                continue;
+            }
+            // NPU and GPU legs overlap: the critical path is the slower
+            // leg plus the merge, never the sum of the legs
+            assert_eq!(
+                f.upscale_ms,
+                f.upscale_npu_ms.max(f.upscale_gpu_ms) + f.upscale_merge_ms,
+                "frame {}",
+                f.index
+            );
+            assert!(f.upscale_npu_ms > 0.0 && f.upscale_gpu_ms > 0.0);
+            assert!(f.upscale_ms < f.upscale_npu_ms + f.upscale_gpu_ms + f.upscale_merge_ms);
+        }
     }
 
     #[test]

@@ -16,6 +16,14 @@ impl Rgb8 {
     pub const fn new(r: u8, g: u8, b: u8) -> Self {
         Rgb8 { r, g, b }
     }
+
+    /// BT.601 full-range RGB → YCbCr components of this pixel — the same
+    /// conversion [`Frame::from_rgb_fn`] applies, exposed so renderers can
+    /// convert pixels in their own (parallel) loops and assemble a frame
+    /// via [`Frame::from_planes`].
+    pub fn to_ycbcr(self) -> (f32, f32, f32) {
+        rgb_to_ycbcr(self)
+    }
 }
 
 impl From<[u8; 3]> for Rgb8 {

@@ -123,6 +123,20 @@ impl Rect {
         )
     }
 
+    /// Rounds the region outward to even luma coordinates: the origin
+    /// rounds down to even, the right/bottom edges round up to even. A
+    /// 4:2:0 codec halves RoI coordinates for the chroma grid, so an odd
+    /// origin or extent would shear the chroma window against luma when a
+    /// patch is encoded or merged; the even cover always contains the
+    /// original region. Callers clamp to the (even) frame afterwards.
+    pub const fn aligned_even(&self) -> Rect {
+        let x = self.x & !1;
+        let y = self.y & !1;
+        let right = self.right().next_multiple_of(2);
+        let bottom = self.bottom().next_multiple_of(2);
+        Rect::new(x, y, right - x, bottom - y)
+    }
+
     /// Center of the region in pixel coordinates (rounded down).
     pub const fn center(&self) -> (usize, usize) {
         (self.x + self.width / 2, self.y + self.height / 2)
@@ -207,5 +221,32 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(Rect::new(1, 2, 3, 4).to_string(), "3x4+1+2");
+    }
+
+    #[test]
+    fn aligned_even_covers_and_is_even() {
+        for (x, y, w, h) in [
+            (1usize, 1usize, 3usize, 5usize),
+            (0, 0, 7, 7),
+            (2, 4, 6, 8),
+            (5, 3, 1, 1),
+            (0, 1, 2, 3),
+        ] {
+            let r = Rect::new(x, y, w, h);
+            let a = r.aligned_even();
+            assert_eq!(a.x % 2, 0, "{r} -> {a}");
+            assert_eq!(a.y % 2, 0, "{r} -> {a}");
+            assert_eq!(a.width % 2, 0, "{r} -> {a}");
+            assert_eq!(a.height % 2, 0, "{r} -> {a}");
+            assert!(a.contains_rect(&r), "{a} must cover {r}");
+            // growth is at most one pixel per edge
+            assert!(a.width <= w + 2 && a.height <= h + 2);
+        }
+    }
+
+    #[test]
+    fn aligned_even_is_identity_on_even_rects() {
+        let r = Rect::new(4, 6, 10, 12);
+        assert_eq!(r.aligned_even(), r);
     }
 }

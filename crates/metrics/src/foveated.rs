@@ -55,9 +55,12 @@ pub fn region_weighted_psnr(
     }
     let a = reference.y();
     let b = distorted.y();
-    let mut weighted_err = 0.0f64;
-    let mut weight_total = 0.0f64;
-    for y in 0..h {
+    // Row-partial accumulation under the pool determinism contract: the
+    // fold association depends only on the frame height, so the rows can
+    // run on workers with a bit-identical result at any worker count.
+    let row_partials = gss_platform::pool::map_indexed(h, |y| {
+        let mut weighted_err = 0.0f64;
+        let mut weight_total = 0.0f64;
         for x in 0..w {
             let weight = if region.contains(x, y) {
                 region_weight
@@ -68,7 +71,11 @@ pub fn region_weighted_psnr(
             weighted_err += weight * d * d;
             weight_total += weight;
         }
-    }
+        (weighted_err, weight_total)
+    });
+    let (weighted_err, weight_total) = row_partials
+        .iter()
+        .fold((0.0f64, 0.0f64), |(e, t), &(re, rt)| (e + re, t + rt));
     let mse = weighted_err / weight_total;
     Ok(if mse <= 0.0 {
         f64::INFINITY

@@ -96,12 +96,17 @@ pub fn perceptual_distance_planes(
 }
 
 /// Distance at one scale: 1 − mean(gradient-similarity ⊗ contrast-similarity).
+///
+/// The mean is accumulated per row and the row partials are folded in
+/// row order — a fixed association depending only on the plane size, so
+/// the rows parallelize under the [`gss_platform::pool`] determinism
+/// contract with bit-identical results at any worker count.
 fn scale_distance(a: &Plane<f32>, b: &Plane<f32>, config: &PerceptualConfig) -> f64 {
     let ga = sobel_magnitude(a);
     let gb = sobel_magnitude(b);
     let (w, h) = a.size();
-    let mut acc = 0.0f64;
-    for y in 0..h {
+    let row_partials = gss_platform::pool::map_indexed(h, |y| {
+        let mut acc = 0.0f64;
         for x in 0..w {
             let ma = ga.get(x, y) as f64;
             let mb = gb.get(x, y) as f64;
@@ -112,32 +117,39 @@ fn scale_distance(a: &Plane<f32>, b: &Plane<f32>, config: &PerceptualConfig) -> 
             let sim = gms * (1.0 - config.contrast_weight) + lum * config.contrast_weight;
             acc += 1.0 - sim;
         }
-    }
-    acc / (w * h) as f64
+        acc
+    });
+    row_partials.iter().sum::<f64>() / (w * h) as f64
 }
 
 fn sobel_magnitude(p: &Plane<f32>) -> Plane<f32> {
     let (w, h) = p.size();
-    Plane::from_fn(w, h, |x, y| {
-        let xi = x as isize;
+    let data = gss_platform::pool::build_rows(w, h, 0.0f32, |y, row| {
         let yi = y as isize;
-        let s = |dx: isize, dy: isize| p.get_clamped(xi + dx, yi + dy);
-        let gx = (s(1, -1) + 2.0 * s(1, 0) + s(1, 1)) - (s(-1, -1) + 2.0 * s(-1, 0) + s(-1, 1));
-        let gy = (s(-1, 1) + 2.0 * s(0, 1) + s(1, 1)) - (s(-1, -1) + 2.0 * s(0, -1) + s(1, -1));
-        (gx * gx + gy * gy).sqrt()
-    })
+        for (x, v) in row.iter_mut().enumerate() {
+            let xi = x as isize;
+            let s = |dx: isize, dy: isize| p.get_clamped(xi + dx, yi + dy);
+            let gx = (s(1, -1) + 2.0 * s(1, 0) + s(1, 1)) - (s(-1, -1) + 2.0 * s(-1, 0) + s(-1, 1));
+            let gy = (s(-1, 1) + 2.0 * s(0, 1) + s(1, 1)) - (s(-1, -1) + 2.0 * s(0, -1) + s(1, -1));
+            *v = (gx * gx + gy * gy).sqrt();
+        }
+    });
+    Plane::from_vec(w, h, data).expect("rows cover the plane")
 }
 
 fn half(p: &Plane<f32>) -> Plane<f32> {
     let w = (p.width() / 2).max(1);
     let h = (p.height() / 2).max(1);
-    Plane::from_fn(w, h, |x, y| {
-        let x2 = (x * 2).min(p.width() - 1);
+    let data = gss_platform::pool::build_rows(w, h, 0.0f32, |y, row| {
         let y2 = (y * 2).min(p.height() - 1);
-        let x3 = (x2 + 1).min(p.width() - 1);
         let y3 = (y2 + 1).min(p.height() - 1);
-        (p.get(x2, y2) + p.get(x3, y2) + p.get(x2, y3) + p.get(x3, y3)) * 0.25
-    })
+        for (x, v) in row.iter_mut().enumerate() {
+            let x2 = (x * 2).min(p.width() - 1);
+            let x3 = (x2 + 1).min(p.width() - 1);
+            *v = (p.get(x2, y2) + p.get(x3, y2) + p.get(x2, y3) + p.get(x3, y3)) * 0.25;
+        }
+    });
+    Plane::from_vec(w, h, data).expect("rows cover the plane")
 }
 
 #[cfg(test)]

@@ -3,6 +3,11 @@ use gss_frame::{Frame, Plane};
 
 /// Mean squared error between two same-sized planes.
 ///
+/// The squared error is accumulated per row and the row partials are
+/// folded in row order — a fixed association that depends only on the
+/// plane size, so the rows can be computed by [`gss_platform::pool`]
+/// workers while the result stays bit-identical at any worker count.
+///
 /// # Errors
 ///
 /// Returns [`MetricError::SizeMismatch`] when the planes differ in size.
@@ -13,12 +18,19 @@ pub fn mse(reference: &Plane<f32>, distorted: &Plane<f32>) -> Result<f64, Metric
             distorted: distorted.size(),
         });
     }
-    let mut acc = 0.0f64;
-    for (&a, &b) in reference.iter().zip(distorted.iter()) {
-        let d = (a - b) as f64;
-        acc += d * d;
+    let (w, h) = reference.size();
+    if w == 0 || h == 0 {
+        return Ok(0.0);
     }
-    Ok(acc / (reference.width() * reference.height()) as f64)
+    let row_partials = gss_platform::pool::map_indexed(h, |y| {
+        let mut acc = 0.0f64;
+        for (&a, &b) in reference.row(y).iter().zip(distorted.row(y)) {
+            let d = (a - b) as f64;
+            acc += d * d;
+        }
+        acc
+    });
+    Ok(row_partials.iter().sum::<f64>() / (w * h) as f64)
 }
 
 /// PSNR in decibels between two planes (8-bit peak, 255).

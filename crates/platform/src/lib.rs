@@ -36,6 +36,8 @@
 
 mod device;
 mod energy;
+pub mod plane_ops;
+pub mod pool;
 mod server;
 
 pub use device::{DeviceProfile, FOVEAL_DIAMETER_INCHES, REALTIME_BUDGET_MS};

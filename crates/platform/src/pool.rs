@@ -1,0 +1,393 @@
+//! Deterministic work splitting across scoped worker threads.
+//!
+//! Every hot loop in the pipeline (motion search, DCT/quant, convolution,
+//! resampling, rasterization) parallelizes through this module, under one
+//! **determinism contract**: work is divided into chunks whose boundaries
+//! depend only on the *data* (a macroblock row, an output channel, a pixel
+//! row) — never on the worker count — each chunk is computed by exactly one
+//! worker, and results are merged in chunk-index order. A run with `N`
+//! workers therefore produces output bit-identical to the scalar path for
+//! every `N`, including float accumulations (each chunk's arithmetic is a
+//! self-contained serial computation).
+//!
+//! Chunks are *assigned* to workers cyclically (worker `w` owns chunks
+//! `w, w+N, w+2N, …`). Assignment affects only which thread runs a chunk,
+//! never the chunk's arithmetic or the merge order, so it is free to
+//! change with `N` — and the cyclic schedule balances loops whose cost
+//! drifts along the index (e.g. raster rows near the horizon) far better
+//! than contiguous blocks.
+//!
+//! The worker count is a process-wide knob: [`set_workers`] (the bench
+//! binary's `--threads` flag), the `GSS_THREADS` environment variable, or
+//! the default of `available_parallelism` capped at 8. The `*_with`
+//! variants take an explicit count for paired scalar-vs-parallel identity
+//! tests that must not touch global state.
+//!
+//! Threads come from the vendored `crossbeam::thread::scope` shim (real OS
+//! threads, structured join), so borrowed inputs flow into workers without
+//! `'static` gymnastics and every worker has exited before a call returns.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Process-wide worker count; `0` means "not yet resolved".
+static WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// When set, parallel regions run their chunks serially while measuring
+/// each chunk's cost (see [`start_accounting`]).
+static ACCOUNTING: AtomicBool = AtomicBool::new(false);
+/// Sum of every chunk's serial cost across accounted regions, ns.
+static ACCOUNTED_WORK_NS: AtomicU64 = AtomicU64::new(0);
+/// Sum over accounted regions of the most-loaded worker's cost, ns.
+static ACCOUNTED_SPAN_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Critical-path accounting of the parallel regions executed since
+/// [`start_accounting`]: total chunk work and the modeled span.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolAccounting {
+    /// Serial cost of all chunks in all accounted regions, ns.
+    pub work_ns: u64,
+    /// Modeled parallel cost: per region, the most-loaded worker's chunk
+    /// cost; summed over regions, ns.
+    pub span_ns: u64,
+}
+
+/// Switches parallel regions into accounting mode: chunks execute
+/// serially (in chunk-index order, so output is bit-identical by
+/// construction) while each worker's assigned cost is measured. A region
+/// contributes the sum of its chunk costs to `work_ns` and the
+/// most-loaded worker's cost to `span_ns` — the wall-clock the region
+/// would take on an unloaded machine with one core per worker. This is
+/// how the scaling experiment models multi-core speedup on machines with
+/// fewer cores than workers, in the same spirit as the device timing
+/// models elsewhere in the pipeline.
+pub fn start_accounting() {
+    ACCOUNTED_WORK_NS.store(0, Ordering::Relaxed);
+    ACCOUNTED_SPAN_NS.store(0, Ordering::Relaxed);
+    ACCOUNTING.store(true, Ordering::Relaxed);
+}
+
+/// Leaves accounting mode and returns the accumulated totals.
+pub fn stop_accounting() -> PoolAccounting {
+    ACCOUNTING.store(false, Ordering::Relaxed);
+    PoolAccounting {
+        work_ns: ACCOUNTED_WORK_NS.load(Ordering::Relaxed),
+        span_ns: ACCOUNTED_SPAN_NS.load(Ordering::Relaxed),
+    }
+}
+
+fn record_region(work_ns: u64, span_ns: u64) {
+    ACCOUNTED_WORK_NS.fetch_add(work_ns, Ordering::Relaxed);
+    ACCOUNTED_SPAN_NS.fetch_add(span_ns, Ordering::Relaxed);
+}
+
+/// Cap on the auto-detected default so wide desktop CPUs do not
+/// oversubscribe the nested NPU ∥ GPU client scopes.
+const MAX_DEFAULT_WORKERS: usize = 8;
+
+/// Below this many elements a banded loop runs inline: thread spawn costs
+/// more than the work it would move.
+const MIN_PARALLEL_ELEMS: usize = 4096;
+
+fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("GSS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(MAX_DEFAULT_WORKERS))
+}
+
+/// The active worker count (≥ 1). Resolved on first use from
+/// `GSS_THREADS`, falling back to `available_parallelism` capped at 8.
+pub fn workers() -> usize {
+    match WORKERS.load(Ordering::Relaxed) {
+        0 => {
+            let n = default_workers();
+            WORKERS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Sets the process-wide worker count (clamped to ≥ 1). `1` disables
+/// thread spawning entirely — the scalar reference path.
+pub fn set_workers(n: usize) {
+    WORKERS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Cyclic chunk→worker assignment: worker `i` owns chunks
+/// `i, i + parts, i + 2·parts, …`. Per the determinism contract the
+/// assignment only picks *which worker* runs a chunk; chunk boundaries and
+/// the merge order are fixed by the data alone.
+fn assignment(n: usize, parts: usize) -> Vec<std::iter::StepBy<Range<usize>>> {
+    let parts = parts.clamp(1, n.max(1));
+    (0..parts).map(|i| (i..n).step_by(parts)).collect()
+}
+
+/// Computes `f(0), f(1), …, f(n-1)` across the global worker count and
+/// returns the results in index order. See [`map_indexed_with`].
+pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_indexed_with(n, workers(), f)
+}
+
+/// [`map_indexed`] with an explicit worker count. Output is identical for
+/// every `workers` value: indices are split into contiguous ranges, each
+/// range is evaluated serially by one worker, and the per-range result
+/// vectors are concatenated in range order.
+pub fn map_indexed_with<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if workers <= 1 || n == 1 {
+        return (0..n).map(f).collect();
+    }
+    if ACCOUNTING.load(Ordering::Relaxed) {
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let (mut work, mut span) = (0u64, 0u64);
+        for chunks in assignment(n, workers) {
+            let t = Instant::now();
+            for i in chunks {
+                out[i] = Some(f(i));
+            }
+            let ns = t.elapsed().as_nanos() as u64;
+            work += ns;
+            span = span.max(ns);
+        }
+        record_region(work, span);
+        return out
+            .into_iter()
+            .map(|v| v.expect("every index computed"))
+            .collect();
+    }
+    let f = &f;
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = assignment(n, workers)
+            .into_iter()
+            .map(|chunks| s.spawn(move |_| chunks.map(|i| (i, f(i))).collect::<Vec<(usize, T)>>()))
+            .collect();
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for h in handles {
+            for (i, v) in h.join().expect("pool worker panicked") {
+                out[i] = Some(v);
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("every index computed"))
+            .collect()
+    })
+    .expect("pool scope panicked")
+}
+
+/// Splits `data` into consecutive bands of `band_len` elements (the last
+/// may be shorter) and calls `f(band_index, band)` for each, across the
+/// global worker count. See [`for_each_band_mut_with`].
+pub fn for_each_band_mut<T, F>(data: &mut [T], band_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    for_each_band_mut_with(data, band_len, workers(), f);
+}
+
+/// [`for_each_band_mut`] with an explicit worker count. Each band is a
+/// disjoint `&mut` sub-slice, visited exactly once; band boundaries depend
+/// only on `(data.len(), band_len)`, so the writes are identical for every
+/// `workers` value. Small inputs (< ~4 Ki elements) run inline.
+///
+/// # Panics
+///
+/// Panics when `band_len` is zero.
+pub fn for_each_band_mut_with<T, F>(data: &mut [T], band_len: usize, workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(band_len > 0, "band length must be nonzero");
+    let n = data.len().div_ceil(band_len);
+    if workers <= 1 || n <= 1 || data.len() < MIN_PARALLEL_ELEMS {
+        for (i, band) in data.chunks_mut(band_len).enumerate() {
+            f(i, band);
+        }
+        return;
+    }
+    // cyclic partition: band i goes to worker i % parts; the bands are
+    // disjoint `&mut` sub-slices, so ownership moves into the groups
+    let parts = workers.min(n);
+    let mut groups: Vec<Vec<(usize, &mut [T])>> = (0..parts).map(|_| Vec::new()).collect();
+    for (i, band) in data.chunks_mut(band_len).enumerate() {
+        groups[i % parts].push((i, band));
+    }
+    if ACCOUNTING.load(Ordering::Relaxed) {
+        let (mut work, mut span) = (0u64, 0u64);
+        for group in groups {
+            let t = Instant::now();
+            for (i, band) in group {
+                f(i, band);
+            }
+            let ns = t.elapsed().as_nanos() as u64;
+            work += ns;
+            span = span.max(ns);
+        }
+        record_region(work, span);
+        return;
+    }
+    let f = &f;
+    crossbeam::thread::scope(|s| {
+        for group in groups {
+            s.spawn(move |_| {
+                for (i, band) in group {
+                    f(i, band);
+                }
+            });
+        }
+    })
+    .expect("pool scope panicked");
+}
+
+/// Builds a `width × height` row-major buffer by filling each row in
+/// parallel: `f(y, row)` receives row `y` as a mutable slice pre-filled
+/// with `fill`. The row partitioning follows the determinism contract.
+pub fn build_rows<T, F>(width: usize, height: usize, fill: T, f: F) -> Vec<T>
+where
+    T: Send + Clone,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let mut data = vec![fill; width * height];
+    if width > 0 {
+        for_each_band_mut(&mut data, width, f);
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_covers_every_chunk_exactly_once_and_balances() {
+        for n in [0usize, 1, 2, 7, 8, 9, 64, 1000] {
+            for parts in [1usize, 2, 3, 4, 8, 16] {
+                let groups = assignment(n, parts);
+                let mut all: Vec<usize> = groups.iter().cloned().flatten().collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
+                // cyclic assignment: group sizes differ by at most one
+                let sizes: Vec<usize> = groups.iter().cloned().map(Iterator::count).collect();
+                let (lo, hi) = (sizes.iter().min(), sizes.iter().max());
+                assert!(
+                    hi.unwrap_or(&0) - lo.unwrap_or(&0) <= 1,
+                    "n={n} parts={parts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_matches_scalar_for_every_worker_count() {
+        let scalar: Vec<u64> = (0..137).map(|i| (i as u64) * 3 + 1).collect();
+        for w in [1usize, 2, 3, 4, 8, 16] {
+            let par = map_indexed_with(137, w, |i| (i as u64) * 3 + 1);
+            assert_eq!(par, scalar, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn float_chunks_are_bit_identical_across_worker_counts() {
+        // each chunk folds serially; merging in index order keeps the
+        // result bit-identical no matter how many workers ran
+        let f = |i: usize| (0..50).fold(0.0f32, |acc, k| acc + (i * 50 + k) as f32 * 0.731);
+        let scalar: Vec<f32> = (0..33).map(f).collect();
+        for w in [2usize, 5, 8] {
+            let par = map_indexed_with(33, w, f);
+            assert_eq!(
+                par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn bands_visit_every_element_once() {
+        for w in [1usize, 2, 4, 8] {
+            let mut data = vec![0u32; 10_000];
+            for_each_band_mut_with(&mut data, 300, w, |band, slice| {
+                for (j, v) in slice.iter_mut().enumerate() {
+                    *v += (band * 300 + j) as u32 + 1;
+                }
+            });
+            let expect: Vec<u32> = (1..=10_000).collect();
+            assert_eq!(data, expect, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn short_final_band_is_handled() {
+        let mut data = vec![0u8; 4097]; // above the inline threshold
+        for_each_band_mut_with(&mut data, 1024, 4, |band, slice| {
+            for v in slice.iter_mut() {
+                *v = band as u8 + 1;
+            }
+        });
+        assert_eq!(data[0], 1);
+        assert_eq!(data[4095], 4);
+        assert_eq!(data[4096], 5); // lone element of the fifth band
+    }
+
+    #[test]
+    fn build_rows_fills_by_row_index() {
+        let data = build_rows(64, 80, 0u16, |y, row| {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = (y * 64 + x) as u16;
+            }
+        });
+        assert_eq!(data.len(), 64 * 80);
+        assert!(data.iter().enumerate().all(|(i, &v)| v as usize == i));
+    }
+
+    #[test]
+    fn worker_count_floor_is_one() {
+        set_workers(0);
+        assert_eq!(workers(), 1);
+        set_workers(4);
+        assert_eq!(workers(), 4);
+    }
+
+    #[test]
+    fn accounting_measures_work_and_span_without_changing_results() {
+        let f = |i: usize| (0..400).fold(0.0f64, |acc, k| acc + ((i + k) as f64).sqrt());
+        let scalar: Vec<f64> = (0..64).map(f).collect();
+        start_accounting();
+        let accounted = map_indexed_with(64, 4, f);
+        let mut banded = vec![0u64; 8192];
+        for_each_band_mut_with(&mut banded, 1024, 4, |b, band| {
+            for (j, v) in band.iter_mut().enumerate() {
+                *v = (b * 1024 + j) as u64;
+            }
+        });
+        let acct = stop_accounting();
+        assert_eq!(accounted, scalar);
+        assert!(banded.iter().enumerate().all(|(i, &v)| v == i as u64));
+        // the span is the most-loaded worker per region: never more than
+        // the total work, and nonzero once any region ran
+        assert!(acct.span_ns > 0);
+        assert!(acct.span_ns <= acct.work_ns);
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        assert!(map_indexed_with(0, 4, |i| i).is_empty());
+        let mut empty: Vec<u8> = Vec::new();
+        for_each_band_mut_with(&mut empty, 16, 4, |_, _| panic!("no bands"));
+    }
+}

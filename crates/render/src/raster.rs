@@ -12,7 +12,8 @@ use crate::camera::Camera;
 use crate::math::{Mat4, Vec3};
 use crate::scene::{Attachment, Scene};
 use crate::texture::{mix, shade, Color, ProceduralTexture};
-use gss_frame::{DepthMap, Frame, Rgb8};
+use gss_frame::{DepthMap, Frame, Plane, Rgb8};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The rasterizer's output: the rendered picture and its Z-buffer.
 #[derive(Debug, Clone)]
@@ -68,23 +69,40 @@ struct ScreenVertex {
     v_over_w: f32,
 }
 
+/// A projected triangle with its screen bounding box, ready for shading.
+struct PreparedTri<'a> {
+    sv: [ScreenVertex; 3],
+    inv_area: f32,
+    min_x: usize,
+    max_x: usize,
+    min_y: usize,
+    max_y: usize,
+    texture: &'a ProceduralTexture,
+    brightness: f32,
+}
+
+/// One color + depth sample of the in-flight framebuffer.
+#[derive(Clone, Copy)]
+struct PixelSample {
+    color: Color,
+    depth: f32,
+}
+
 /// Renders `scene` from `camera` into a `width x height` frame + depth map.
+///
+/// The pipeline runs in two stages. Vertex processing, primitive assembly,
+/// culling, clipping and projection are serial per-triangle work that
+/// fixes the triangle submission order. Pixel shading then fans out one
+/// scanline per [`gss_platform::pool`] task: every row walks the prepared
+/// triangles in submission order, so each pixel sees the exact depth-test
+/// sequence of the serial rasterizer and the image is bit-identical at
+/// any worker count.
 ///
 /// # Panics
 ///
 /// Panics when either dimension is zero.
 pub fn render(scene: &Scene, camera: &Camera, width: usize, height: usize) -> RenderOutput {
     assert!(width > 0 && height > 0, "render target must be nonzero");
-    let mut color = vec![scene.sky_color; width * height];
-    // subtle vertical sky gradient so the background is not perfectly flat
-    for y in 0..height {
-        let t = y as f32 / height as f32;
-        let row = shade(scene.sky_color, 1.08 - 0.16 * t);
-        for x in 0..width {
-            color[y * width + x] = row;
-        }
-    }
-    let mut depth = DepthMap::far(width, height);
     let mut stats = RenderStats::default();
 
     let view = camera.view_matrix();
@@ -93,6 +111,7 @@ pub fn render(scene: &Scene, camera: &Camera, width: usize, height: usize) -> Re
     // light direction expressed in view space for camera-attached meshes
     let light_view = view.transform_dir(scene.light_dir).normalized();
 
+    let mut tris: Vec<PreparedTri<'_>> = Vec::new();
     for object in &scene.objects {
         let (to_view, light): (Option<&Mat4>, Vec3) = match object.attachment {
             Attachment::World => (Some(&view), scene.light_dir),
@@ -130,30 +149,79 @@ pub fn render(scene: &Scene, camera: &Camera, width: usize, height: usize) -> Re
 
             for clipped in clip_near(&cv, camera.near) {
                 stats.triangles_rasterized += 1;
-                stats.pixels_shaded += raster_triangle(
-                    &clipped,
-                    &proj,
-                    width,
-                    height,
-                    camera,
-                    scene,
-                    &object.texture,
-                    brightness,
-                    &mut color,
-                    &mut depth,
-                );
+                if let Some(prepared) =
+                    setup_triangle(&clipped, &proj, width, height, &object.texture, brightness)
+                {
+                    tris.push(prepared);
+                }
             }
         }
     }
 
-    let frame = Frame::from_rgb_fn(width, height, |x, y| {
-        let c = color[y * width + x];
-        Rgb8::new(
-            c[0].round().clamp(0.0, 255.0) as u8,
-            c[1].round().clamp(0.0, 255.0) as u8,
-            c[2].round().clamp(0.0, 255.0) as u8,
-        )
+    let shaded = AtomicUsize::new(0);
+    let depth_span = camera.far - camera.near;
+    let sky = scene.sky_color;
+    let pixels = gss_platform::pool::build_rows(
+        width,
+        height,
+        PixelSample {
+            color: sky,
+            depth: 1.0,
+        },
+        |y, row| {
+            // subtle vertical sky gradient so the background is not
+            // perfectly flat
+            let t = y as f32 / height as f32;
+            let sky_row = shade(sky, 1.08 - 0.16 * t);
+            for p in row.iter_mut() {
+                p.color = sky_row;
+            }
+            let mut count = 0usize;
+            for tri in &tris {
+                if y >= tri.min_y && y <= tri.max_y {
+                    count += shade_row(tri, y, row, scene, camera.near, depth_span);
+                }
+            }
+            shaded.fetch_add(count, Ordering::Relaxed);
+        },
+    );
+    stats.pixels_shaded = shaded.load(Ordering::Relaxed);
+
+    // color conversion is a pure per-pixel map: convert row-parallel and
+    // assemble the frame from planes (same conversion as `from_rgb_fn`)
+    let rows = gss_platform::pool::map_indexed(height, |y| {
+        let mut yr = Vec::with_capacity(width);
+        let mut cbr = Vec::with_capacity(width);
+        let mut crr = Vec::with_capacity(width);
+        for p in &pixels[y * width..(y + 1) * width] {
+            let c = p.color;
+            let (yy, cb, cr) = Rgb8::new(
+                c[0].round().clamp(0.0, 255.0) as u8,
+                c[1].round().clamp(0.0, 255.0) as u8,
+                c[2].round().clamp(0.0, 255.0) as u8,
+            )
+            .to_ycbcr();
+            yr.push(yy);
+            cbr.push(cb);
+            crr.push(cr);
+        }
+        (yr, cbr, crr)
     });
+    let mut yp = Vec::with_capacity(width * height);
+    let mut cbp = Vec::with_capacity(width * height);
+    let mut crp = Vec::with_capacity(width * height);
+    for (yr, cbr, crr) in rows {
+        yp.extend(yr);
+        cbp.extend(cbr);
+        crp.extend(crr);
+    }
+    let plane = |data: Vec<f32>| Plane::from_vec(width, height, data).expect("rows cover frame");
+    let frame =
+        Frame::from_planes(plane(yp), plane(cbp), plane(crp)).expect("planes share one size");
+    let depth_data: Vec<f32> = pixels.iter().map(|p| p.depth).collect();
+    let depth = DepthMap::from_plane(
+        Plane::from_vec(width, height, depth_data).expect("buffer matches plane size"),
+    );
     RenderOutput {
         frame,
         depth,
@@ -222,20 +290,16 @@ fn edge(ax: f32, ay: f32, bx: f32, by: f32, px: f32, py: f32) -> f32 {
     (bx - ax) * (py - ay) - (by - ay) * (px - ax)
 }
 
-#[allow(clippy::too_many_arguments)]
-/// Rasterizes one clipped triangle; returns the number of pixels shaded.
-fn raster_triangle(
+/// Projects one clipped triangle to screen space and computes its pixel
+/// bounding box. `None` for degenerate or off-screen triangles.
+fn setup_triangle<'a>(
     tri: &[ClipVertex; 3],
     proj: &Mat4,
     width: usize,
     height: usize,
-    camera: &Camera,
-    scene: &Scene,
-    texture: &ProceduralTexture,
+    texture: &'a ProceduralTexture,
     brightness: f32,
-    color: &mut [Color],
-    depth: &mut DepthMap,
-) -> usize {
+) -> Option<PreparedTri<'a>> {
     let mut sv = [ScreenVertex {
         x: 0.0,
         y: 0.0,
@@ -246,7 +310,7 @@ fn raster_triangle(
     for (i, v) in tri.iter().enumerate() {
         let clip = proj.mul_vec4(crate::math::Vec4::from_point(v.view));
         if clip.w <= f32::EPSILON {
-            return 0; // behind the eye; clipping should prevent this
+            return None; // behind the eye; clipping should prevent this
         }
         let inv_w = 1.0 / clip.w;
         sv[i] = ScreenVertex {
@@ -260,7 +324,7 @@ fn raster_triangle(
 
     let area = edge(sv[0].x, sv[0].y, sv[1].x, sv[1].y, sv[2].x, sv[2].y);
     if area.abs() < 1e-6 {
-        return 0;
+        return None;
     }
     let inv_area = 1.0 / area;
 
@@ -289,39 +353,65 @@ fn raster_triangle(
         .ceil() as usize)
         .min(height.saturating_sub(1));
     if min_x > max_x || min_y > max_y {
-        return 0;
+        return None;
     }
+    Some(PreparedTri {
+        sv,
+        inv_area,
+        min_x,
+        max_x,
+        min_y,
+        max_y,
+        texture,
+        brightness,
+    })
+}
 
+/// Shades one scanline of a prepared triangle into `row` (a full image
+/// row), returning the number of pixels that passed the depth test. The
+/// inline depth test mirrors [`DepthMap::test_and_set`].
+fn shade_row(
+    tri: &PreparedTri<'_>,
+    py: usize,
+    row: &mut [PixelSample],
+    scene: &Scene,
+    near: f32,
+    depth_span: f32,
+) -> usize {
+    let sv = &tri.sv;
+    let sy = py as f32 + 0.5;
     let mut shaded = 0usize;
-    let depth_span = camera.far - camera.near;
-    for py in min_y..=max_y {
-        let sy = py as f32 + 0.5;
-        for px in min_x..=max_x {
-            let sx = px as f32 + 0.5;
-            let w0 = edge(sv[1].x, sv[1].y, sv[2].x, sv[2].y, sx, sy) * inv_area;
-            let w1 = edge(sv[2].x, sv[2].y, sv[0].x, sv[0].y, sx, sy) * inv_area;
-            let w2 = 1.0 - w0 - w1;
-            if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
-                continue;
-            }
-            let inv_w = w0 * sv[0].inv_w + w1 * sv[1].inv_w + w2 * sv[2].inv_w;
-            if inv_w <= 0.0 {
-                continue;
-            }
-            let dist = 1.0 / inv_w;
-            let d01 = ((dist - camera.near) / depth_span).clamp(0.0, 1.0);
-            if !depth.test_and_set(px, py, d01) {
-                continue;
-            }
-            let u = (w0 * sv[0].u_over_w + w1 * sv[1].u_over_w + w2 * sv[2].u_over_w) * dist;
-            let v = (w0 * sv[0].v_over_w + w1 * sv[1].v_over_w + w2 * sv[2].v_over_w) * dist;
-            let lod = (dist / scene.lod_reference_distance).max(1.0).log2();
-            let tex = texture.sample(u, v, lod);
-            let lit = shade(tex, brightness);
-            let fog = 1.0 - (-scene.fog_density * dist).exp();
-            color[py * width + px] = mix(lit, scene.sky_color, fog);
-            shaded += 1;
+    for (px, sample) in row
+        .iter_mut()
+        .enumerate()
+        .take(tri.max_x + 1)
+        .skip(tri.min_x)
+    {
+        let sx = px as f32 + 0.5;
+        let w0 = edge(sv[1].x, sv[1].y, sv[2].x, sv[2].y, sx, sy) * tri.inv_area;
+        let w1 = edge(sv[2].x, sv[2].y, sv[0].x, sv[0].y, sx, sy) * tri.inv_area;
+        let w2 = 1.0 - w0 - w1;
+        if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+            continue;
         }
+        let inv_w = w0 * sv[0].inv_w + w1 * sv[1].inv_w + w2 * sv[2].inv_w;
+        if inv_w <= 0.0 {
+            continue;
+        }
+        let dist = 1.0 / inv_w;
+        let d01 = ((dist - near) / depth_span).clamp(0.0, 1.0);
+        if d01 >= sample.depth {
+            continue;
+        }
+        let u = (w0 * sv[0].u_over_w + w1 * sv[1].u_over_w + w2 * sv[2].u_over_w) * dist;
+        let v = (w0 * sv[0].v_over_w + w1 * sv[1].v_over_w + w2 * sv[2].v_over_w) * dist;
+        let lod = (dist / scene.lod_reference_distance).max(1.0).log2();
+        let tex = tri.texture.sample(u, v, lod);
+        let lit = shade(tex, tri.brightness);
+        let fog = 1.0 - (-scene.fog_density * dist).exp();
+        sample.color = mix(lit, scene.sky_color, fog);
+        sample.depth = d01;
+        shaded += 1;
     }
     shaded
 }

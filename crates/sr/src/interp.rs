@@ -148,23 +148,36 @@ fn resample_axis(src: &Plane<f32>, out_len: usize, kernel: InterpKernel, axis: A
         }
     }
 
+    // output rows are independent, so they fill in parallel through the
+    // deterministic pool (identical taps ⇒ bit-identical output at any
+    // worker count)
     match axis {
-        Axis::X => Plane::from_fn(out_len, other_len, |ox, y| {
-            let (start, ws) = &taps[ox];
-            let mut acc = 0.0f32;
-            for (k, &w) in ws.iter().enumerate() {
-                acc += w * src.get_clamped(start + k as isize, y as isize);
-            }
-            acc
-        }),
-        Axis::Y => Plane::from_fn(other_len, out_len, |x, oy| {
-            let (start, ws) = &taps[oy];
-            let mut acc = 0.0f32;
-            for (k, &w) in ws.iter().enumerate() {
-                acc += w * src.get_clamped(x as isize, start + k as isize);
-            }
-            acc
-        }),
+        Axis::X => {
+            let data = gss_platform::pool::build_rows(out_len, other_len, 0.0f32, |y, row| {
+                for (ox, out) in row.iter_mut().enumerate() {
+                    let (start, ws) = &taps[ox];
+                    let mut acc = 0.0f32;
+                    for (k, &w) in ws.iter().enumerate() {
+                        acc += w * src.get_clamped(start + k as isize, y as isize);
+                    }
+                    *out = acc;
+                }
+            });
+            Plane::from_vec(out_len, other_len, data).expect("row buffer matches plane size")
+        }
+        Axis::Y => {
+            let data = gss_platform::pool::build_rows(other_len, out_len, 0.0f32, |oy, row| {
+                let (start, ws) = &taps[oy];
+                for (x, out) in row.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (k, &w) in ws.iter().enumerate() {
+                        acc += w * src.get_clamped(x as isize, start + k as isize);
+                    }
+                    *out = acc;
+                }
+            });
+            Plane::from_vec(other_len, out_len, data).expect("row buffer matches plane size")
+        }
     }
 }
 

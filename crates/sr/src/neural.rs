@@ -117,15 +117,19 @@ impl Upscaler for NeuralSr {
 }
 
 fn box3(p: &Plane<f32>) -> Plane<f32> {
-    Plane::from_fn(p.width(), p.height(), |x, y| {
-        let mut acc = 0.0f32;
-        for dy in -1isize..=1 {
-            for dx in -1isize..=1 {
-                acc += p.get_clamped(x as isize + dx, y as isize + dy);
+    let (w, h) = p.size();
+    let data = gss_platform::pool::build_rows(w, h, 0.0f32, |y, row| {
+        for (x, out) in row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    acc += p.get_clamped(x as isize + dx, y as isize + dy);
+                }
             }
+            *out = acc / 9.0;
         }
-        acc / 9.0
-    })
+    });
+    Plane::from_vec(w, h, data).expect("row buffer matches plane size")
 }
 
 #[cfg(test)]

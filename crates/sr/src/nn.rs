@@ -62,17 +62,18 @@ impl Tensor {
     }
 
     /// Builds a 3-channel tensor from a frame, normalizing to roughly
-    /// zero-mean range (`x/127.5 − 1`).
+    /// zero-mean range (`x/127.5 − 1`). Each channel owns a disjoint
+    /// `h × w` slab of the CHW buffer, so the three fills run as
+    /// [`gss_platform::pool`] bands with unchanged per-sample arithmetic.
     pub fn from_frame(frame: &Frame) -> Tensor {
         let (w, h) = frame.size();
         let mut t = Tensor::zeros(3, h, w);
-        for (c, plane) in frame.planes().into_iter().enumerate() {
-            for y in 0..h {
-                for x in 0..w {
-                    t.set(c, y, x, plane.get(x, y) / 127.5 - 1.0);
-                }
+        let planes = frame.planes();
+        gss_platform::pool::for_each_band_mut(&mut t.data, h * w, |c, slab| {
+            for (v, &s) in slab.iter_mut().zip(planes[c].as_slice()) {
+                *v = s / 127.5 - 1.0;
             }
-        }
+        });
         t
     }
 
@@ -85,9 +86,12 @@ impl Tensor {
         assert_eq!(self.channels, 3, "need 3 channels to build a frame");
         let mut planes = Vec::with_capacity(3);
         for c in 0..3 {
-            planes.push(Plane::from_fn(self.width, self.height, |x, y| {
-                ((self.get(c, y, x) + 1.0) * 127.5).clamp(0.0, 255.0)
-            }));
+            let data = gss_platform::pool::build_rows(self.width, self.height, 0.0f32, |y, row| {
+                for (x, v) in row.iter_mut().enumerate() {
+                    *v = ((self.get(c, y, x) + 1.0) * 127.5).clamp(0.0, 255.0);
+                }
+            });
+            planes.push(Plane::from_vec(self.width, self.height, data).expect("rows cover plane"));
         }
         let cr = planes.pop().expect("three planes");
         let cb = planes.pop().expect("three planes");
@@ -164,6 +168,12 @@ impl Conv2d {
 
     /// Applies the convolution with zero padding.
     ///
+    /// Output channels are independent and each owns a disjoint `h × w`
+    /// slab of the CHW buffer, so they are computed in parallel through
+    /// [`gss_platform::pool`]; the per-channel arithmetic is unchanged,
+    /// keeping the activations bit-identical to a scalar pass at any
+    /// worker count.
+    ///
     /// # Panics
     ///
     /// Panics when the input channel count differs from the layer's.
@@ -172,7 +182,7 @@ impl Conv2d {
         let (h, w) = (input.height, input.width);
         let half = (self.kernel / 2) as isize;
         let mut out = Tensor::zeros(self.out_channels, h, w);
-        for o in 0..self.out_channels {
+        gss_platform::pool::for_each_band_mut(&mut out.data, h * w, |o, slab| {
             for y in 0..h {
                 for x in 0..w {
                     let mut acc = self.bias[o];
@@ -192,10 +202,10 @@ impl Conv2d {
                             }
                         }
                     }
-                    out.set(o, y, x, acc);
+                    slab[y * w + x] = acc;
                 }
             }
-        }
+        });
         out
     }
 

@@ -27,6 +27,9 @@ pub struct Histogram {
     sum: f64,
     min: f64,
     max: f64,
+    below_range: u64,
+    above_range: u64,
+    rejected: u64,
 }
 
 /// Compact summary of a recorded distribution.
@@ -48,6 +51,15 @@ pub struct DistSummary {
     pub p95: f64,
     /// 99th percentile estimate.
     pub p99: f64,
+    /// Samples that fell below the histogram range and were clamped into
+    /// the first bucket (their exact values still feed min/mean).
+    pub below_range: u64,
+    /// Samples that fell above the histogram range and were clamped into
+    /// the last bucket — a nonzero value flags a compressed p99.
+    pub above_range: u64,
+    /// Non-finite or negative samples that were rejected outright (not
+    /// part of `count`); silent drops would bias every statistic.
+    pub rejected: u64,
 }
 
 impl Histogram {
@@ -69,6 +81,9 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            below_range: 0,
+            above_range: 0,
+            rejected: 0,
         }
     }
 
@@ -93,11 +108,20 @@ impl Histogram {
         idx.min(BUCKETS - 1)
     }
 
-    /// Records one sample. Non-finite and negative samples are ignored so a
-    /// modelling bug upstream cannot poison the running sums.
+    /// Records one sample. Non-finite and negative samples are rejected so
+    /// a modelling bug upstream cannot poison the running sums — but the
+    /// rejection is counted (see [`Histogram::rejected`]), never silent.
+    /// Out-of-range samples clamp into the edge buckets and bump the
+    /// under/overflow counters so a biased p99 is visible in summaries.
     pub fn record(&mut self, value: f64) {
         if !value.is_finite() || value < 0.0 {
+            self.rejected += 1;
             return;
+        }
+        if value < self.lo {
+            self.below_range += 1;
+        } else if value > self.hi {
+            self.above_range += 1;
         }
         let idx = self.bucket_index(value);
         self.counts[idx] += 1;
@@ -111,6 +135,22 @@ impl Histogram {
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Samples recorded below the configured range (clamped to bucket 0).
+    pub fn below_range(&self) -> u64 {
+        self.below_range
+    }
+
+    /// Samples recorded above the configured range (clamped to the last
+    /// bucket).
+    pub fn above_range(&self) -> u64 {
+        self.above_range
+    }
+
+    /// Non-finite or negative samples rejected by [`Histogram::record`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Mean of the recorded samples, or `None` when empty.
@@ -160,6 +200,9 @@ impl Histogram {
             p90: self.quantile(0.90).unwrap_or(self.max),
             p95: self.quantile(0.95).unwrap_or(self.max),
             p99: self.quantile(0.99).unwrap_or(self.max),
+            below_range: self.below_range,
+            above_range: self.above_range,
+            rejected: self.rejected,
         })
     }
 }
@@ -224,6 +267,10 @@ mod tests {
         assert_eq!(s.count, 2);
         assert_eq!(s.min, 0.001);
         assert_eq!(s.max, 5000.0);
+        // the clamps are not silent: the summary carries the overflow tallies
+        assert_eq!(s.below_range, 1);
+        assert_eq!(s.above_range, 1);
+        assert_eq!(s.rejected, 0);
     }
 
     #[test]
@@ -233,6 +280,21 @@ mod tests {
         h.record(f64::INFINITY);
         h.record(-1.0);
         assert_eq!(h.count(), 0);
+        // rejected samples never vanish silently
+        assert_eq!(h.rejected(), 3);
+        assert_eq!(h.summary(), None);
+    }
+
+    #[test]
+    fn in_range_samples_do_not_touch_overflow_counters() {
+        let mut h = Histogram::with_range(1.0, 100.0);
+        h.record(1.0); // exactly lo
+        h.record(42.0);
+        h.record(100.0); // exactly hi
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.below_range(), 0);
+        assert_eq!(h.above_range(), 0);
+        assert_eq!(h.rejected(), 0);
     }
 
     #[test]

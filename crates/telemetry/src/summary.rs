@@ -85,7 +85,7 @@ impl Default for TelemetrySummary {
 
 fn dist_json(d: &DistSummary) -> String {
     format!(
-        "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
+        "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"below_range\":{},\"above_range\":{},\"rejected\":{}}}",
         d.count,
         json_f64(d.min),
         json_f64(d.max),
@@ -93,7 +93,10 @@ fn dist_json(d: &DistSummary) -> String {
         json_f64(d.p50),
         json_f64(d.p90),
         json_f64(d.p95),
-        json_f64(d.p99)
+        json_f64(d.p99),
+        d.below_range,
+        d.above_range,
+        d.rejected
     )
 }
 
@@ -206,14 +209,21 @@ impl TelemetrySummary {
         );
         let _ = writeln!(
             out,
-            "  {:<14} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            "stage", "count", "p50", "p90", "p95", "p99", "max"
+            "  {:<14} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
+            "stage", "count", "p50", "p90", "p95", "p99", "max", "under/over"
         );
         let mut row = |name: &str, d: &DistSummary| {
+            let overflow = if d.below_range == 0 && d.above_range == 0 && d.rejected == 0 {
+                "-".to_owned()
+            } else if d.rejected == 0 {
+                format!("{}/{}", d.below_range, d.above_range)
+            } else {
+                format!("{}/{} !{}", d.below_range, d.above_range, d.rejected)
+            };
             let _ = writeln!(
                 out,
-                "  {:<14} {:>7} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
-                name, d.count, d.p50, d.p90, d.p95, d.p99, d.max
+                "  {:<14} {:>7} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>11}",
+                name, d.count, d.p50, d.p90, d.p95, d.p99, d.max, overflow
             );
         };
         for s in &self.stages {
@@ -266,6 +276,9 @@ mod tests {
             p90: 4.0,
             p95: 4.0,
             p99: 4.0,
+            below_range: 0,
+            above_range: 1,
+            rejected: 0,
         };
         TelemetrySummary {
             label: "ours @ test".to_owned(),
@@ -335,6 +348,17 @@ mod tests {
         assert!(table.contains("mtp (ms)"));
         assert!(table.contains("frames-encoded 4"));
         assert!(table.contains("misses 1 (25.0%)"));
+        // overflow column: header plus the sample's one above-range clamp
+        assert!(table.contains("under/over"));
+        assert!(table.contains("0/1"));
+    }
+
+    #[test]
+    fn json_carries_overflow_and_rejection_counts() {
+        let json = sample_summary().to_json();
+        assert!(json.contains("\"below_range\":0"));
+        assert!(json.contains("\"above_range\":1"));
+        assert!(json.contains("\"rejected\":0"));
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Scalar ↔ parallel identity: the determinism contract of
+//! `gss_platform::pool` holds end-to-end. One seeded session runs at 1, 2
+//! and 8 workers and must produce byte-identical per-frame records and
+//! telemetry at every count — frames, packets, PSNR floats, counters, all
+//! of it.
+//!
+//! Everything lives in a single `#[test]` because the worker count is a
+//! process-wide knob: concurrent tests flipping it would race each other.
+
+use gamestreamsr::session::{run_session, Pipeline, SessionConfig};
+use gss_codec::{Encoder, EncoderConfig};
+use gss_frame::{Frame, Plane};
+use gss_platform::{pool, DeviceProfile};
+use gss_render::GameId;
+
+fn session_fingerprint() -> (String, String) {
+    let cfg = SessionConfig {
+        frames: 8,
+        gop_size: 4,
+        lr_size: (128, 72),
+        ..SessionConfig::new(GameId::G3, DeviceProfile::s8_tab())
+    };
+    let report = run_session(&cfg, Pipeline::GameStreamSr).expect("identity session");
+    (format!("{:?}", report.frames), report.telemetry.to_json())
+}
+
+fn stream_fingerprint() -> Vec<Vec<u8>> {
+    let mut enc = Encoder::new(EncoderConfig {
+        gop_size: 3,
+        ..EncoderConfig::default()
+    });
+    (0..5)
+        .map(|t| {
+            let frame = Frame::from_planes(
+                Plane::from_fn(96, 64, |x, y| {
+                    (128.0
+                        + 80.0
+                            * (((x + t * 3) as f32 * 0.21).sin() * ((y + t) as f32 * 0.17).cos()))
+                    .clamp(0.0, 255.0)
+                }),
+                Plane::from_fn(96, 64, |x, _| 100.0 + (x % 24) as f32),
+                Plane::filled(96, 64, 140.0),
+            )
+            .unwrap();
+            enc.encode(&frame).unwrap().payload.to_vec()
+        })
+        .collect()
+}
+
+#[test]
+fn sessions_and_bitstreams_are_bit_identical_across_worker_counts() {
+    let prev = pool::workers();
+
+    pool::set_workers(1);
+    let (frames_1, telemetry_1) = session_fingerprint();
+    let packets_1 = stream_fingerprint();
+
+    for workers in [2usize, 8] {
+        pool::set_workers(workers);
+        let (frames_n, telemetry_n) = session_fingerprint();
+        assert_eq!(
+            frames_1, frames_n,
+            "frame records diverged at {workers} workers"
+        );
+        assert_eq!(
+            telemetry_1, telemetry_n,
+            "telemetry diverged at {workers} workers"
+        );
+        let packets_n = stream_fingerprint();
+        assert_eq!(
+            packets_1, packets_n,
+            "encoded bitstream diverged at {workers} workers"
+        );
+    }
+
+    pool::set_workers(prev);
+}
