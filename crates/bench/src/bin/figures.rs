@@ -1,30 +1,46 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures, and gates benchmarks.
 //!
 //! ```text
-//! figures [--quick] [--threads N] [--telemetry out.jsonl] [experiment-id ...]
+//! figures [--quick] [--threads N] [--telemetry out.jsonl] [--trace out.json] [experiment-id ...]
+//! figures bench [--quick] [--threads N] [--host TAG] (--emit-baseline PATH | --check PATH)
 //! ```
 //!
-//! With no ids, every experiment runs in report order. `--telemetry`
-//! streams every session's frame-scoped event trace (stage spans,
-//! counters, deadline verdicts) to a JSONL file; harness diagnostics go
-//! through the same sink as structured log events. `--threads` pins the
-//! parallel executor's worker count (default: `GSS_THREADS` or the
-//! machine's core count capped at 8); any value produces bit-identical
-//! results — see `gss_platform::pool`.
+//! `--telemetry` streams every session's frame-scoped event trace (stage
+//! spans, counters, deadline verdicts) to a JSONL file; `--trace` builds a
+//! causal per-frame trace of the same sessions and writes it as a Chrome
+//! trace-event JSON file, loadable in [Perfetto](https://ui.perfetto.dev)
+//! or `chrome://tracing`. Both flags share one sink pipeline, so they
+//! compose. `--threads` pins the parallel executor's worker count
+//! (default: `GSS_THREADS` or the machine's core count capped at 8); any
+//! value produces bit-identical results — see `gss_platform::pool`.
+//!
+//! The `bench` subcommand records or checks a benchmark baseline: see
+//! `gss_bench::bench` for the metric set and tolerance-band policy.
+//! `--check` exits non-zero when any gated metric drifts out of band,
+//! after printing the per-metric drift table.
 
-use gss_bench::{run_experiment, RunOptions, ALL_EXPERIMENTS};
-use gss_telemetry::{JsonlSink, Level, SinkHandle};
+use gss_bench::{bench, run_experiment, RunOptions, ALL_EXPERIMENTS};
+use gss_telemetry::{JsonlSink, Level, MultiSink, SinkHandle, TraceSink};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        return run_bench(&args[1..]);
+    }
+    run_figures(&args)
+}
+
+fn run_figures(args: &[String]) -> ExitCode {
     let mut quick = false;
     let mut telemetry_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--threads" => match args.next().as_deref().map(str::parse::<usize>) {
+            "--threads" => match args.next().map(|s| s.parse::<usize>()) {
                 Some(Ok(n)) if n >= 1 => gss_platform::pool::set_workers(n),
                 _ => {
                     eprintln!("error: --threads needs a worker count >= 1 (e.g. --threads 4)");
@@ -32,15 +48,25 @@ fn main() -> ExitCode {
                 }
             },
             "--telemetry" => match args.next() {
-                Some(path) => telemetry_path = Some(path),
+                Some(path) => telemetry_path = Some(path.clone()),
                 None => {
                     eprintln!("error: --telemetry needs a file path (e.g. --telemetry out.jsonl)");
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path.clone()),
+                None => {
+                    eprintln!("error: --trace needs a file path (e.g. --trace out.json)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--quick] [--threads N] [--telemetry out.jsonl] [experiment-id ...]"
+                    "usage: figures [--quick] [--threads N] [--telemetry out.jsonl] [--trace out.json] [experiment-id ...]"
+                );
+                println!(
+                    "       figures bench [--quick] [--threads N] [--host TAG] (--emit-baseline PATH | --check PATH)"
                 );
                 println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 return ExitCode::SUCCESS;
@@ -52,9 +78,11 @@ fn main() -> ExitCode {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
 
-    // one shared sink: every experiment's sessions append to the same trace
-    let telemetry = match telemetry_path.as_deref().map(JsonlSink::create) {
-        Some(Ok(sink)) => Some(SinkHandle::new(sink)),
+    // one shared sink pipeline: every experiment's sessions append to the
+    // same JSONL stream and/or causal trace
+    let mut sinks: Vec<SinkHandle> = Vec::new();
+    match telemetry_path.as_deref().map(JsonlSink::create) {
+        Some(Ok(sink)) => sinks.push(SinkHandle::new(sink)),
         Some(Err(e)) => {
             eprintln!(
                 "error: cannot open telemetry file {}: {e}",
@@ -62,7 +90,16 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        None => None,
+        None => {}
+    }
+    let trace_sink = trace_path.as_ref().map(|_| TraceSink::new());
+    if let Some(trace) = &trace_sink {
+        sinks.push(SinkHandle::new(trace.clone()));
+    }
+    let telemetry = match sinks.len() {
+        0 => None,
+        1 => Some(sinks.remove(0)),
+        _ => Some(SinkHandle::new(MultiSink::new(sinks))),
     };
     let options = RunOptions { quick, telemetry };
 
@@ -80,10 +117,133 @@ fn main() -> ExitCode {
     }
     if let Some(sink) = &options.telemetry {
         sink.flush();
+    }
+    if let Some(path) = &telemetry_path {
+        println!("\ntelemetry trace written to {path}");
+    }
+    if let (Some(path), Some(trace)) = (&trace_path, &trace_sink) {
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            eprintln!("error: cannot write trace file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
         println!(
-            "\ntelemetry trace written to {}",
-            telemetry_path.as_deref().unwrap_or_default()
+            "chrome trace written to {path} ({} frames; open in https://ui.perfetto.dev)",
+            trace.frame_count()
         );
     }
     ExitCode::SUCCESS
+}
+
+fn run_bench(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut host = "local".to_owned();
+    let mut emit: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--threads" => match args.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => gss_platform::pool::set_workers(n),
+                _ => {
+                    eprintln!("error: --threads needs a worker count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--host" => match args.next() {
+                Some(tag) => host = tag.clone(),
+                None => {
+                    eprintln!("error: --host needs a tag (e.g. --host ci)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--emit-baseline" => emit = args.next().cloned(),
+            "--check" => check = args.next().cloned(),
+            other => {
+                eprintln!("error: unknown bench argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match (emit, check) {
+        (Some(path), None) => {
+            let mut baseline = bench::collect(&RunOptions {
+                quick,
+                telemetry: None,
+            });
+            baseline.host = host;
+            if let Err(e) = std::fs::write(&path, baseline.to_json()) {
+                eprintln!("error: cannot write baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "baseline with {} metrics written to {path}",
+                baseline.metrics.len()
+            );
+            ExitCode::SUCCESS
+        }
+        (None, Some(path)) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let baseline = match bench::Baseline::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: malformed baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if baseline.quick != quick {
+                eprintln!(
+                    "error: baseline {path} was recorded with quick={}, this run has quick={} — re-run with {}",
+                    baseline.quick,
+                    quick,
+                    if baseline.quick { "--quick" } else { "no --quick" }
+                );
+                return ExitCode::FAILURE;
+            }
+            let mut current = bench::collect(&RunOptions {
+                quick,
+                telemetry: None,
+            });
+            current.host = host;
+            let drifts = baseline.check(&current);
+            println!("{}", bench::drift_table(&drifts));
+            let failures: Vec<&bench::Drift> = drifts.iter().filter(|d| d.is_failure()).collect();
+            if failures.is_empty() {
+                println!(
+                    "benchmark check passed: {} metrics within tolerance of {path}",
+                    drifts.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "benchmark check FAILED: {} of {} metrics out of tolerance vs {path}:",
+                    failures.len(),
+                    drifts.len()
+                );
+                for d in &failures {
+                    eprintln!(
+                        "  {}: baseline {} -> current {} (|d| {}, rel {:.2}%)",
+                        d.name,
+                        d.baseline,
+                        d.current,
+                        d.abs_delta,
+                        d.rel_delta * 100.0
+                    );
+                }
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: figures bench [--quick] [--threads N] [--host TAG] (--emit-baseline PATH | --check PATH)"
+            );
+            ExitCode::FAILURE
+        }
+    }
 }

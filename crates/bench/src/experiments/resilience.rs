@@ -53,9 +53,25 @@ fn recovery_label(r: &SessionReport, clearance_frame: usize) -> String {
     }
 }
 
-/// Streams the canonical fault timeline through three configurations and
-/// prints the recovery-time / quality-floor comparison.
-pub fn run(options: &RunOptions) {
+/// The three resilience sessions driven through the canonical storm, plus
+/// the timeline parameters they shared. Produced by [`measure`]; consumed
+/// by [`run`] (the printed table) and by the benchmark-regression harness.
+#[derive(Debug)]
+pub struct ResilienceRuns {
+    /// Timeline compression factor (1.0 = the paper's full storm).
+    pub time_scale: f64,
+    /// First frame index after every fault has cleared.
+    pub clearance_frame: usize,
+    /// GameStreamSR with the adaptive degradation controller.
+    pub controller: SessionReport,
+    /// GameStreamSR with NACK recovery but no ladder.
+    pub no_controller: SessionReport,
+    /// The NEMO baseline on the same channel.
+    pub nemo: SessionReport,
+}
+
+/// Streams the canonical fault timeline through the three configurations.
+pub fn measure(options: &RunOptions) -> ResilienceRuns {
     // quick mode compresses the timeline 5x; the full run replays it 1:1
     let time_scale = if options.quick { 0.2 } else { 1.0 };
     let clearance_frame = (17_000.0 * time_scale / FRAME_MS).ceil() as usize;
@@ -64,19 +80,24 @@ pub fn run(options: &RunOptions) {
     let mut off_cfg = faulted_cfg(time_scale, options);
     off_cfg.loss_recovery = true; // same NACK recovery, no ladder
 
+    ResilienceRuns {
+        time_scale,
+        clearance_frame,
+        controller: run_session(&on_cfg, Pipeline::GameStreamSr).expect("session"),
+        no_controller: run_session(&off_cfg, Pipeline::GameStreamSr).expect("session"),
+        nemo: run_session(&off_cfg, Pipeline::Nemo).expect("session"),
+    }
+}
+
+/// Streams the canonical fault timeline through three configurations and
+/// prints the recovery-time / quality-floor comparison.
+pub fn run(options: &RunOptions) {
+    let m = measure(options);
+    let (time_scale, clearance_frame) = (m.time_scale, m.clearance_frame);
     let runs = [
-        (
-            "GameStreamSR + controller",
-            run_session(&on_cfg, Pipeline::GameStreamSr).expect("session"),
-        ),
-        (
-            "GameStreamSR, no controller",
-            run_session(&off_cfg, Pipeline::GameStreamSr).expect("session"),
-        ),
-        (
-            "NEMO (SOTA)",
-            run_session(&off_cfg, Pipeline::Nemo).expect("session"),
-        ),
+        ("GameStreamSR + controller", &m.controller),
+        ("GameStreamSR, no controller", &m.no_controller),
+        ("NEMO (SOTA)", &m.nemo),
     ];
 
     let mut t = Table::new(

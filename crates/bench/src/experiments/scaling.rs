@@ -40,6 +40,9 @@ pub struct ScalingPoint {
     pub modeled_ms: f64,
     /// Modeled speedup versus the 1-worker run.
     pub speedup: f64,
+    /// Load imbalance across workers (most-loaded / mean, 1.0 = perfect),
+    /// from the pool's per-worker accounting.
+    pub imbalance: f64,
     /// Whether the frame records and telemetry matched the 1-worker run.
     pub identical: bool,
 }
@@ -90,6 +93,7 @@ pub fn measure(options: &RunOptions) -> Vec<ScalingPoint> {
             measured_ms,
             modeled_ms,
             speedup: base_ms / modeled_ms,
+            imbalance: acct.imbalance(),
             identical: d == base_digest,
         });
     }
@@ -107,6 +111,7 @@ pub fn run(options: &RunOptions) {
             "measured ms",
             "modeled ms",
             "speedup",
+            "imbalance",
             "identical",
         ],
     );
@@ -116,6 +121,7 @@ pub fn run(options: &RunOptions) {
             format!("{:.1}", p.measured_ms),
             format!("{:.1}", p.modeled_ms),
             format!("{:.2}x", p.speedup),
+            format!("{:.2}", p.imbalance),
             if p.identical { "yes" } else { "NO" }.to_string(),
         ]);
     }

@@ -32,7 +32,7 @@ use gss_platform::{
     DeviceProfile, EnergyBreakdown, EnergyMeter, Rail, ServerModel, Stage, REALTIME_BUDGET_MS,
 };
 use gss_render::GameId;
-use gss_telemetry::{Counter, Gauge, Level, Recorder, SinkHandle, TelemetrySummary};
+use gss_telemetry::{Counter, Gauge, InstantKind, Level, Recorder, SinkHandle, TelemetrySummary};
 use serde::{Deserialize, Serialize};
 
 /// Which client pipeline a session runs.
@@ -489,7 +489,8 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
             } else {
                 format!("faults active: {}", faults_now.join("+"))
             };
-            rec.log(Level::Warn, msg);
+            rec.log(Level::Warn, msg.clone());
+            rec.instant(InstantKind::Fault, send_time, msg);
             active_faults = faults_now;
         }
         let slowdown = config.fault_plan.npu_slowdown(send_time);
@@ -505,6 +506,15 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
             if let Some(signal) = nack.begin_frame(i) {
                 server.request_keyframe();
                 rec.incr(Counter::Nacks);
+                rec.instant(
+                    InstantKind::Nack,
+                    send_time,
+                    if signal == NackSignal::Retry {
+                        "keyframe re-request (retry)"
+                    } else {
+                        "keyframe request"
+                    },
+                );
                 if signal == NackSignal::Retry {
                     rec.incr(Counter::NackRetries);
                 }
@@ -672,7 +682,19 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
 
         // the recorder judges the same per-frame critical path the report
         // exposes, so its miss count is consistent with the FrameRecords by
-        // construction
+        // construction (end_frame closes the frame for the trace sink, so
+        // the miss marker must be emitted first, with the same predicate)
+        if upscale.critical_ms > rec.budget_ms() + 1e-9 {
+            rec.instant(
+                InstantKind::DeadlineMiss,
+                upscale_start + upscale.critical_ms,
+                format!(
+                    "critical path {:.2} ms > budget {:.2} ms",
+                    upscale.critical_ms,
+                    rec.budget_ms()
+                ),
+            );
+        }
         let deadline_met = rec
             .end_frame(
                 mtp_breakdown.total_ms(),
@@ -722,22 +744,32 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
                     .max(8)
                     .min(config.lr_size.0.min(config.lr_size.1));
                 server.set_roi_window((canvas_side, canvas_side));
+                let shift_msg = format!(
+                    "ladder {}: rung {} -> {} ({}, roi {} px, rate x{:.2})",
+                    match step {
+                        LadderStep::Downgrade => "down",
+                        LadderStep::Upgrade => "up",
+                    },
+                    rung_now,
+                    ctl.rung(),
+                    rung.tier_label(),
+                    active_side,
+                    rung.rate_scale
+                );
                 rec.log(
                     match step {
                         LadderStep::Downgrade => Level::Warn,
                         LadderStep::Upgrade => Level::Info,
                     },
-                    format!(
-                        "ladder {}: rung {} ({}, roi {} px, rate x{:.2})",
-                        match step {
-                            LadderStep::Downgrade => "down",
-                            LadderStep::Upgrade => "up",
-                        },
-                        ctl.rung(),
-                        rung.tier_label(),
-                        active_side,
-                        rung.rate_scale
-                    ),
+                    shift_msg.clone(),
+                );
+                // the controller decides after the frame completes; the
+                // trace sink attaches this post-frame instant to the frame
+                // that was just closed
+                rec.instant(
+                    InstantKind::LadderShift,
+                    send_time - server_side_ms + mtp_breakdown.total_ms(),
+                    shift_msg,
                 );
             }
         }

@@ -248,9 +248,9 @@ impl Link {
     /// [`Link::send`] plus telemetry: records the transfer as a
     /// [`Stage::LinkTransfer`] span over `[send_time, arrival]`, counts the
     /// payload toward `BytesOnWire`, bumps `FramesDropped` plus a
-    /// cause-specific drop counter on a loss, and reports the channel's
-    /// effective (fault-adjusted) goodput as a gauge. The channel trace is
-    /// identical to an untraced send.
+    /// cause-specific drop counter and emits a causal drop instant on a
+    /// loss, and reports the channel's effective (fault-adjusted) goodput
+    /// as a gauge. The channel trace is identical to an untraced send.
     pub fn send_traced(
         &mut self,
         bytes: usize,
@@ -275,6 +275,11 @@ impl Link {
                     DropCause::QueueOverflow => gss_telemetry::Counter::DropsQueueOverflow,
                     DropCause::Outage => gss_telemetry::Counter::DropsOutage,
                 });
+                rec.instant(
+                    gss_telemetry::InstantKind::Drop,
+                    send_time_ms,
+                    format!("frame dropped: {}", cause.label()),
+                );
             }
         }
         transfer

@@ -41,16 +41,51 @@ static ACCOUNTING: AtomicBool = AtomicBool::new(false);
 static ACCOUNTED_WORK_NS: AtomicU64 = AtomicU64::new(0);
 /// Sum over accounted regions of the most-loaded worker's cost, ns.
 static ACCOUNTED_SPAN_NS: AtomicU64 = AtomicU64::new(0);
+/// Per-worker cost accumulators; worker indices beyond the slot count
+/// fold into the last slot.
+static ACCOUNTED_WORKER_NS: [AtomicU64; MAX_TRACKED_WORKERS] =
+    [const { AtomicU64::new(0) }; MAX_TRACKED_WORKERS];
+
+/// Number of per-worker accounting slots kept by the pool. The default
+/// worker cap is 8 and the scaling ladder tops out there too, so 32 slots
+/// are comfortably beyond anything configured in practice.
+pub const MAX_TRACKED_WORKERS: usize = 32;
 
 /// Critical-path accounting of the parallel regions executed since
-/// [`start_accounting`]: total chunk work and the modeled span.
-#[derive(Debug, Clone, Copy, Default)]
+/// [`start_accounting`]: total chunk work, the modeled span, and how the
+/// work split across workers.
+#[derive(Debug, Clone, Default)]
 pub struct PoolAccounting {
     /// Serial cost of all chunks in all accounted regions, ns.
     pub work_ns: u64,
     /// Modeled parallel cost: per region, the most-loaded worker's chunk
     /// cost; summed over regions, ns.
     pub span_ns: u64,
+    /// Cost charged to each worker index, summed over accounted regions,
+    /// ns. Trailing never-used slots are trimmed; slot `i` covers worker
+    /// `i` (the last kept slot also absorbs any workers beyond
+    /// [`MAX_TRACKED_WORKERS`]). These are wall-clock measurements, so —
+    /// unlike the modeled times in the telemetry traces — they vary run to
+    /// run and only feed the scaling table and benchmark harness.
+    pub per_worker_ns: Vec<u64>,
+}
+
+impl PoolAccounting {
+    /// Load-imbalance factor across workers: the most-loaded worker's cost
+    /// over the mean cost (`1.0` = perfectly balanced). Returns `1.0` when
+    /// nothing was accounted.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.per_worker_ns.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let total: u64 = self.per_worker_ns.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = *self.per_worker_ns.iter().max().expect("nonempty") as f64;
+        max / (total as f64 / n as f64)
+    }
 }
 
 /// Switches parallel regions into accounting mode: chunks execute
@@ -65,21 +100,35 @@ pub struct PoolAccounting {
 pub fn start_accounting() {
     ACCOUNTED_WORK_NS.store(0, Ordering::Relaxed);
     ACCOUNTED_SPAN_NS.store(0, Ordering::Relaxed);
+    for slot in &ACCOUNTED_WORKER_NS {
+        slot.store(0, Ordering::Relaxed);
+    }
     ACCOUNTING.store(true, Ordering::Relaxed);
 }
 
 /// Leaves accounting mode and returns the accumulated totals.
 pub fn stop_accounting() -> PoolAccounting {
     ACCOUNTING.store(false, Ordering::Relaxed);
+    let mut per_worker_ns: Vec<u64> = ACCOUNTED_WORKER_NS
+        .iter()
+        .map(|slot| slot.load(Ordering::Relaxed))
+        .collect();
+    while per_worker_ns.last() == Some(&0) {
+        per_worker_ns.pop();
+    }
     PoolAccounting {
         work_ns: ACCOUNTED_WORK_NS.load(Ordering::Relaxed),
         span_ns: ACCOUNTED_SPAN_NS.load(Ordering::Relaxed),
+        per_worker_ns,
     }
 }
 
-fn record_region(work_ns: u64, span_ns: u64) {
+fn record_region(work_ns: u64, span_ns: u64, per_worker_ns: &[u64]) {
     ACCOUNTED_WORK_NS.fetch_add(work_ns, Ordering::Relaxed);
     ACCOUNTED_SPAN_NS.fetch_add(span_ns, Ordering::Relaxed);
+    for (w, &ns) in per_worker_ns.iter().enumerate() {
+        ACCOUNTED_WORKER_NS[w.min(MAX_TRACKED_WORKERS - 1)].fetch_add(ns, Ordering::Relaxed);
+    }
 }
 
 /// Cap on the auto-detected default so wide desktop CPUs do not
@@ -155,6 +204,7 @@ where
     if ACCOUNTING.load(Ordering::Relaxed) {
         let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let (mut work, mut span) = (0u64, 0u64);
+        let mut per_worker = Vec::with_capacity(workers);
         for chunks in assignment(n, workers) {
             let t = Instant::now();
             for i in chunks {
@@ -163,8 +213,9 @@ where
             let ns = t.elapsed().as_nanos() as u64;
             work += ns;
             span = span.max(ns);
+            per_worker.push(ns);
         }
-        record_region(work, span);
+        record_region(work, span, &per_worker);
         return out
             .into_iter()
             .map(|v| v.expect("every index computed"))
@@ -230,6 +281,7 @@ where
     }
     if ACCOUNTING.load(Ordering::Relaxed) {
         let (mut work, mut span) = (0u64, 0u64);
+        let mut per_worker = Vec::with_capacity(parts);
         for group in groups {
             let t = Instant::now();
             for (i, band) in group {
@@ -238,8 +290,9 @@ where
             let ns = t.elapsed().as_nanos() as u64;
             work += ns;
             span = span.max(ns);
+            per_worker.push(ns);
         }
-        record_region(work, span);
+        record_region(work, span, &per_worker);
         return;
     }
     let f = &f;
@@ -382,6 +435,25 @@ mod tests {
         // the total work, and nonzero once any region ran
         assert!(acct.span_ns > 0);
         assert!(acct.span_ns <= acct.work_ns);
+        // per-worker costs partition the work: they sum to it exactly, no
+        // worker exceeds the span (max-of-sums <= sum-of-maxes), and both
+        // 4-worker regions above populate all four slots
+        assert_eq!(acct.per_worker_ns.iter().sum::<u64>(), acct.work_ns);
+        assert!(acct.per_worker_ns.iter().all(|&ns| ns <= acct.span_ns));
+        assert_eq!(acct.per_worker_ns.len(), 4);
+        assert!(acct.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn imbalance_of_empty_accounting_is_one() {
+        let acct = PoolAccounting::default();
+        assert_eq!(acct.imbalance(), 1.0);
+        let skewed = PoolAccounting {
+            work_ns: 40,
+            span_ns: 30,
+            per_worker_ns: vec![30, 10],
+        };
+        assert_eq!(skewed.imbalance(), 1.5);
     }
 
     #[test]

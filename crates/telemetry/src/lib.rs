@@ -28,14 +28,19 @@
 #![warn(missing_docs)]
 
 mod hist;
+pub mod json;
 mod recorder;
 mod sink;
 mod summary;
+pub mod trace;
 
 pub use hist::{DistSummary, Histogram, BUCKETS};
 pub use recorder::{Recorder, TelemetryError, MAX_SPAN_DEPTH};
-pub use sink::{Event, JsonlSink, Level, MemorySink, NullSink, Sink, SinkHandle};
+pub use sink::{
+    Event, InstantKind, JsonlSink, Level, MemorySink, MultiSink, NullSink, Sink, SinkHandle,
+};
 pub use summary::{CounterSummary, GaugeSummary, StageSummary, TelemetrySummary};
+pub use trace::{TraceFrame, TraceInstant, TraceSession, TraceSink, TraceSpan};
 
 /// The pipeline stages a frame passes through, server to display.
 ///
@@ -275,12 +280,14 @@ impl GaugeStat {
         self.count += 1;
     }
 
-    /// Mean of the observations (0 when none were made).
-    pub fn mean(&self) -> f64 {
+    /// Mean of the observations, or `None` when none were made. An empty
+    /// gauge must not masquerade as a measured 0.0 — that degenerate value
+    /// would poison drift comparisons in the benchmark-regression gate.
+    pub fn mean(&self) -> Option<f64> {
         if self.count == 0 {
-            0.0
+            None
         } else {
-            self.sum / self.count as f64
+            Some(self.sum / self.count as f64)
         }
     }
 }
@@ -318,14 +325,14 @@ mod tests {
     #[test]
     fn gauge_stat_tracks_extremes_and_mean() {
         let mut g = GaugeStat::default();
-        assert_eq!(g.mean(), 0.0);
+        assert_eq!(g.mean(), None, "empty gauge must not report a mean");
         g.observe(4.0);
         g.observe(2.0);
         g.observe(6.0);
         assert_eq!(g.last, 6.0);
         assert_eq!(g.min, 2.0);
         assert_eq!(g.max, 6.0);
-        assert_eq!(g.mean(), 4.0);
+        assert_eq!(g.mean(), Some(4.0));
         assert_eq!(g.count, 3);
     }
 }

@@ -20,7 +20,7 @@
 //!   [`Recorder::end_frame`] refuses to close a frame with spans still open.
 
 use crate::hist::Histogram;
-use crate::sink::{Event, Level, SinkHandle};
+use crate::sink::{Event, InstantKind, Level, SinkHandle};
 use crate::summary::{CounterSummary, GaugeSummary, StageSummary, TelemetrySummary};
 use crate::{Counter, Gauge, GaugeStat, Stage};
 
@@ -238,6 +238,20 @@ impl Recorder {
             self.emit(Event::Log {
                 level,
                 message: message.into(),
+            });
+        }
+    }
+
+    /// Emits a causal instant event at modeled time `ts_ms` on the sink,
+    /// attributed to the current frame (aggregates are unaffected). The
+    /// trace exporter renders these as Perfetto instant markers.
+    pub fn instant(&mut self, kind: InstantKind, ts_ms: f64, detail: impl Into<String>) {
+        if self.sink.is_some() {
+            self.emit(Event::Instant {
+                frame: self.frame,
+                kind,
+                ts_ms,
+                detail: detail.into(),
             });
         }
     }
@@ -469,6 +483,24 @@ mod tests {
             events.last(),
             Some(Event::SessionEnd { frames: 1, .. })
         ));
+    }
+
+    #[test]
+    fn instants_carry_the_current_frame() {
+        let mem = MemorySink::new();
+        let mut rec = Recorder::new("inst", 16.0).with_sink(SinkHandle::new(mem.clone()));
+        rec.begin_frame(7);
+        rec.instant(InstantKind::Nack, 120.25, "block 3");
+        rec.end_frame(1.0, 1.0, 0).unwrap();
+        let events = mem.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Instant {
+                frame: 7,
+                kind: InstantKind::Nack,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -38,6 +38,41 @@ impl Level {
     }
 }
 
+/// What a point-in-time [`Event::Instant`] marks on the frame timeline.
+///
+/// Instants are the causal annotations of a trace: they pin *why* a frame
+/// went wrong (or changed configuration) to the exact simulated instant it
+/// happened, so a timeline viewer can correlate them with the stage spans
+/// around them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum InstantKind {
+    /// The frame's critical path exceeded the real-time budget.
+    DeadlineMiss,
+    /// The link dropped the frame (detail carries the [`DropCause`] label).
+    ///
+    /// [`DropCause`]: https://docs.rs/gss-net
+    Drop,
+    /// The degradation ladder moved to a different rung.
+    LadderShift,
+    /// The client requested a keyframe (NACK), fresh or re-issued.
+    Nack,
+    /// The set of active scripted faults changed.
+    Fault,
+}
+
+impl InstantKind {
+    /// Kebab-case label used in serialized events and trace exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            InstantKind::DeadlineMiss => "deadline-miss",
+            InstantKind::Drop => "drop",
+            InstantKind::LadderShift => "ladder-shift",
+            InstantKind::Nack => "nack",
+            InstantKind::Fault => "fault",
+        }
+    }
+}
+
 /// One telemetry event, in session order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -81,6 +116,18 @@ pub enum Event {
         gauge: Gauge,
         /// Observed value.
         value: f64,
+    },
+    /// A point event on the frame timeline: a deadline miss, a drop with
+    /// its cause, a ladder-rung shift, a NACK, or a fault-set change.
+    Instant {
+        /// Frame the instant belongs to.
+        frame: u64,
+        /// What the instant marks.
+        kind: InstantKind,
+        /// When it happened on the session clock, in milliseconds.
+        ts_ms: f64,
+        /// Human-readable detail (e.g. the drop cause or the new rung).
+        detail: String,
     },
     /// A frame completed.
     FrameEnd {
@@ -171,6 +218,13 @@ impl Event {
                 gauge.label(),
                 json_f64(*value)
             ),
+            Event::Instant { frame, kind, ts_ms, detail } => format!(
+                "{{\"event\":\"instant\",\"frame\":{},\"kind\":\"{}\",\"ts_ms\":{},\"detail\":\"{}\"}}",
+                frame,
+                kind.label(),
+                json_f64(*ts_ms),
+                json_escape(detail)
+            ),
             Event::FrameEnd { frame, mtp_ms, bytes, deadline_met } => format!(
                 "{{\"event\":\"frame_end\",\"frame\":{},\"mtp_ms\":{},\"bytes\":{},\"deadline_met\":{}}}",
                 frame,
@@ -252,6 +306,12 @@ impl Sink for MemorySink {
 }
 
 /// A sink that writes each event as one JSON object per line (JSON Lines).
+///
+/// Events accumulate in a [`BufWriter`], so a long resilience soak pays one
+/// syscall per buffer, not one per event. Whole lines enter the buffer
+/// atomically and the sink flushes on [`Drop`], so a run that ends without
+/// an explicit [`Sink::flush`] (early return, panic unwinding) still leaves
+/// a valid JSONL file of complete lines on disk.
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: BufWriter<File>,
@@ -275,6 +335,41 @@ impl Sink for JsonlSink {
 
     fn flush(&mut self) {
         let _ = self.writer.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        // Last-chance flush so truncated runs keep every completed line;
+        // errors are unreportable here (the happy path flushed already).
+        let _ = self.writer.flush();
+    }
+}
+
+/// A sink that fans every event out to several downstream sinks — e.g. a
+/// JSONL file *and* a trace collector fed by the same session.
+pub struct MultiSink {
+    sinks: Vec<SinkHandle>,
+}
+
+impl MultiSink {
+    /// A fan-out over `sinks`, in emission order.
+    pub fn new(sinks: Vec<SinkHandle>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn emit(&mut self, event: &Event) {
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+
+    fn flush(&mut self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
     }
 }
 
@@ -381,6 +476,62 @@ mod tests {
             value: f64::NAN,
         };
         assert!(e.to_json().contains("\"value\":null"));
+    }
+
+    #[test]
+    fn instants_serialize_with_kind_and_detail() {
+        let e = Event::Instant {
+            frame: 12,
+            kind: InstantKind::LadderShift,
+            ts_ms: 200.5,
+            detail: "rung 0 -> 2".to_owned(),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"instant\",\"frame\":12,\"kind\":\"ladder-shift\",\"ts_ms\":200.5,\"detail\":\"rung 0 -> 2\"}"
+        );
+        let labels: std::collections::HashSet<&str> = [
+            InstantKind::DeadlineMiss,
+            InstantKind::Drop,
+            InstantKind::LadderShift,
+            InstantKind::Nack,
+            InstantKind::Fault,
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        assert_eq!(labels.len(), 5, "instant labels must be unique");
+    }
+
+    #[test]
+    fn multi_sink_fans_out_to_every_branch() {
+        let a = MemorySink::new();
+        let b = MemorySink::new();
+        let multi = SinkHandle::new(MultiSink::new(vec![
+            SinkHandle::new(a.clone()),
+            SinkHandle::new(b.clone()),
+        ]));
+        multi.emit(&Event::FrameStart { frame: 1 });
+        multi.flush();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop_without_explicit_flush() {
+        let path = std::env::temp_dir().join("gss_telemetry_sink_drop_test.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).expect("create jsonl");
+            for frame in 0..100 {
+                sink.emit(&Event::FrameStart { frame });
+            }
+            // no flush: Drop must push the buffered lines out
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 100);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

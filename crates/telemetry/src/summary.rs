@@ -176,6 +176,10 @@ impl TelemetrySummary {
             if i > 0 {
                 out.push(',');
             }
+            let mean = match g.stats.mean() {
+                Some(m) => json_f64(m),
+                None => "null".to_owned(),
+            };
             let _ = write!(
                 out,
                 "\"{}\":{{\"last\":{},\"min\":{},\"max\":{},\"mean\":{},\"count\":{}}}",
@@ -183,7 +187,7 @@ impl TelemetrySummary {
                 json_f64(g.stats.last),
                 json_f64(g.stats.min),
                 json_f64(g.stats.max),
-                json_f64(g.stats.mean()),
+                mean,
                 g.stats.count
             );
         }
@@ -248,12 +252,11 @@ impl TelemetrySummary {
                 .gauges
                 .iter()
                 .map(|g| {
-                    format!(
-                        "{} last {:.1} mean {:.1}",
-                        g.gauge.label(),
-                        g.stats.last,
-                        g.stats.mean()
-                    )
+                    let mean = match g.stats.mean() {
+                        Some(m) => format!("{m:.1}"),
+                        None => "—".to_owned(),
+                    };
+                    format!("{} last {:.1} mean {}", g.gauge.label(), g.stats.last, mean)
                 })
                 .collect();
             let _ = writeln!(out, "  gauges: {}", parts.join(", "));
@@ -359,6 +362,20 @@ mod tests {
         assert!(json.contains("\"below_range\":0"));
         assert!(json.contains("\"above_range\":1"));
         assert!(json.contains("\"rejected\":0"));
+    }
+
+    #[test]
+    fn empty_gauge_renders_null_and_em_dash() {
+        let mut s = sample_summary();
+        s.gauges[0].stats = GaugeStat::default();
+        assert!(
+            s.to_json().contains("\"mean\":null"),
+            "empty gauge mean must serialize as null, not 0"
+        );
+        assert!(
+            s.table().contains("mean —"),
+            "empty gauge mean must render as an em dash"
+        );
     }
 
     #[test]
