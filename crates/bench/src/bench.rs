@@ -163,6 +163,27 @@ fn session_metrics(
             tl.counter(counter) as f64,
         ));
     }
+    // observability-layer metrics: attribution coverage and SLO standings
+    // are pure functions of the modeled trace, so they gate exactly
+    out.push(BenchMetric::modeled(
+        format!("resilience.{tag}.miss_attributed_fraction"),
+        r.attribution.attributed_fraction(),
+    ));
+    out.push(BenchMetric::exact(
+        format!("resilience.{tag}.slo_breaches"),
+        r.slo.total_breaches() as f64,
+    ));
+}
+
+/// The deterministic metric set of one resilience-storm run — shared by
+/// [`collect`] and the triage report's drift section, so the two can't
+/// diverge on what "the storm's metrics" means.
+pub(crate) fn resilience_metrics(storm: &resilience::ResilienceRuns) -> Vec<BenchMetric> {
+    let mut metrics = Vec::new();
+    session_metrics(&mut metrics, "controller", &storm.controller);
+    session_metrics(&mut metrics, "no_controller", &storm.no_controller);
+    session_metrics(&mut metrics, "nemo", &storm.nemo);
+    metrics
 }
 
 /// Runs the benchmarked experiments and collects the metric set.
@@ -172,9 +193,7 @@ pub fn collect(options: &RunOptions) -> Baseline {
     let t0 = std::time::Instant::now();
     let storm = resilience::measure(options);
     let resilience_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    session_metrics(&mut metrics, "controller", &storm.controller);
-    session_metrics(&mut metrics, "no_controller", &storm.no_controller);
-    session_metrics(&mut metrics, "nemo", &storm.nemo);
+    metrics.extend(resilience_metrics(&storm));
     metrics.push(BenchMetric::informational(
         "resilience.wall_ms",
         resilience_wall_ms,

@@ -3,6 +3,7 @@
 //! ```text
 //! figures [--quick] [--threads N] [--telemetry out.jsonl] [--trace out.json] [experiment-id ...]
 //! figures bench [--quick] [--threads N] [--host TAG] (--emit-baseline PATH | --check PATH)
+//! figures triage [--quick] [--threads N] [--baseline PATH] [--out PATH] [--prom PATH] [--folded PATH] [--gate]
 //! ```
 //!
 //! `--telemetry` streams every session's frame-scoped event trace (stage
@@ -18,8 +19,18 @@
 //! `gss_bench::bench` for the metric set and tolerance-band policy.
 //! `--check` exits non-zero when any gated metric drifts out of band,
 //! after printing the per-metric drift table.
+//!
+//! The `triage` subcommand runs the canonical resilience storm and emits
+//! the machine-readable health report (deadline-miss attribution + SLO
+//! burn rates + drift vs a committed baseline): see `gss_bench::triage`.
+//! `--out` writes the deterministic triage JSON, `--prom` a Prometheus
+//! text snapshot, `--folded` a collapsed-stack pool profile for
+//! flamegraph tooling (wall-clock — the one non-deterministic artifact),
+//! and `--gate` exits non-zero when the managed storm breaches an SLO,
+//! leaves more than 5% of its misses unattributed, or drifts off the
+//! baseline.
 
-use gss_bench::{bench, run_experiment, RunOptions, ALL_EXPERIMENTS};
+use gss_bench::{bench, run_experiment, triage, RunOptions, ALL_EXPERIMENTS};
 use gss_telemetry::{JsonlSink, Level, MultiSink, SinkHandle, TraceSink};
 use std::process::ExitCode;
 
@@ -27,6 +38,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
         return run_bench(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("triage") {
+        return run_triage(&args[1..]);
     }
     run_figures(&args)
 }
@@ -67,6 +81,9 @@ fn run_figures(args: &[String]) -> ExitCode {
                 );
                 println!(
                     "       figures bench [--quick] [--threads N] [--host TAG] (--emit-baseline PATH | --check PATH)"
+                );
+                println!(
+                    "       figures triage [--quick] [--threads N] [--baseline PATH] [--out PATH] [--prom PATH] [--folded PATH] [--gate]"
                 );
                 println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 return ExitCode::SUCCESS;
@@ -244,6 +261,144 @@ fn run_bench(args: &[String]) -> ExitCode {
                 "usage: figures bench [--quick] [--threads N] [--host TAG] (--emit-baseline PATH | --check PATH)"
             );
             ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_triage(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut baseline_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+    let mut folded_path: Option<String> = None;
+    let mut gate = false;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--threads" => match args.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => gss_platform::pool::set_workers(n),
+                _ => {
+                    eprintln!("error: --threads needs a worker count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => baseline_path = args.next().cloned(),
+            "--out" => out_path = args.next().cloned(),
+            "--prom" => prom_path = args.next().cloned(),
+            "--folded" => folded_path = args.next().cloned(),
+            "--gate" => gate = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures triage [--quick] [--threads N] [--baseline PATH] [--out PATH] [--prom PATH] [--folded PATH] [--gate]"
+                );
+                println!("  --baseline PATH  benchmark baseline to diff against (default BENCH_ci.json if present)");
+                println!(
+                    "  --out PATH       write the deterministic triage JSON (default: stdout)"
+                );
+                println!(
+                    "  --prom PATH      write a Prometheus text snapshot of the storm sessions"
+                );
+                println!("  --folded PATH    write a collapsed-stack pool profile (wall-clock)");
+                println!(
+                    "  --gate           exit non-zero on SLO breach, <95% attribution, or drift"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown triage argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // default to the committed CI baseline when it is present and the
+    // caller did not pick one explicitly
+    let baseline_path = baseline_path.or_else(|| {
+        std::path::Path::new("BENCH_ci.json")
+            .exists()
+            .then(|| "BENCH_ci.json".to_owned())
+    });
+    let baseline = match &baseline_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match bench::Baseline::from_json(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("error: malformed baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
+    let options = RunOptions {
+        quick,
+        telemetry: None,
+    };
+    let report = triage::build(
+        &options,
+        baseline
+            .as_ref()
+            .map(|b| (baseline_path.as_deref().unwrap_or_default(), b)),
+    );
+
+    eprint!("{}", report.table());
+    let json = report.to_json();
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: cannot write triage report {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("triage report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    if let Some(path) = &prom_path {
+        if let Err(e) = std::fs::write(path, report.prometheus()) {
+            eprintln!("error: cannot write prometheus snapshot {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("prometheus snapshot written to {path}");
+    }
+    if let Some(path) = &folded_path {
+        // wall-clock artifact: a quality-on profiled session, separate
+        // from the deterministic report by design
+        let acct = gss_bench::experiments::scaling::profile(&options);
+        if let Err(e) = std::fs::write(path, acct.collapsed_stack()) {
+            eprintln!("error: cannot write collapsed stack {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "collapsed-stack pool profile written to {path} (imbalance {:.2})",
+            acct.imbalance()
+        );
+    }
+
+    let failures = report.gate_failures();
+    if failures.is_empty() {
+        println!("triage gate: healthy (all SLOs intact, attribution complete, no drift)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("triage gate: {f}");
+        }
+        if gate {
+            eprintln!("triage gate FAILED with {} violation(s)", failures.len());
+            ExitCode::FAILURE
+        } else {
+            println!(
+                "triage gate: {} violation(s) (informational; pass --gate to enforce)",
+                failures.len()
+            );
+            ExitCode::SUCCESS
         }
     }
 }

@@ -101,6 +101,35 @@ pub fn measure(options: &RunOptions) -> Vec<ScalingPoint> {
     points
 }
 
+/// Runs one quality-on session at the current worker count under pool
+/// accounting and returns the per-worker ledger — the input of the
+/// collapsed-stack flamegraph export (`figures triage --folded`). Uses
+/// the same session shape as the ladder so the profile reflects the
+/// parallel data path, not the aggregate-only storm. A 1-worker pool
+/// runs its regions inline and records nothing, so the profile
+/// temporarily widens to the ladder's headline count of 4 workers.
+pub fn profile(options: &RunOptions) -> gss_platform::pool::PoolAccounting {
+    let cfg = SessionConfig {
+        frames: options.frames(24, 5),
+        gop_size: 12,
+        lr_size: if options.quick {
+            (192, 108)
+        } else {
+            (320, 180)
+        },
+        ..SessionConfig::new(GameId::G3, DeviceProfile::s8_tab())
+    };
+    let prev = pool::workers();
+    if prev <= 1 {
+        pool::set_workers(4);
+    }
+    pool::start_accounting();
+    let _ = run_session(&cfg, Pipeline::GameStreamSr).expect("profile session");
+    let acct = pool::stop_accounting();
+    pool::set_workers(prev);
+    acct
+}
+
 /// Prints the scaling table and the headline speedup at 4 workers.
 pub fn run(options: &RunOptions) {
     let points = measure(options);

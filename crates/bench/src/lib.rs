@@ -26,6 +26,7 @@
 pub mod bench;
 pub mod experiments;
 mod table;
+pub mod triage;
 
 pub use table::Table;
 

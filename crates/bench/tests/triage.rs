@@ -1,0 +1,130 @@
+//! Integration tests for `figures triage`: the health report must be
+//! byte-identical across reruns and worker counts, the controller-managed
+//! storm must satisfy the CI health contract (>= 95% of misses
+//! attributed, zero SLO breaches), and the unmanaged storm must be
+//! distinguishable from it (it breaches).
+
+use gss_bench::bench::Baseline;
+use gss_bench::{triage, RunOptions};
+use gss_platform::pool;
+use gss_telemetry::json;
+
+fn committed_ci_baseline() -> Baseline {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ci.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_ci.json is committed at the repo root");
+    Baseline::from_json(&text).expect("committed baseline parses")
+}
+
+fn quick_report() -> triage::TriageReport {
+    let baseline = committed_ci_baseline();
+    triage::build(
+        &RunOptions {
+            quick: true,
+            ..Default::default()
+        },
+        Some(("BENCH_ci.json", &baseline)),
+    )
+}
+
+#[test]
+fn triage_json_is_byte_identical_across_reruns_and_worker_counts() {
+    let prev = pool::workers();
+    let mut exports = Vec::new();
+    for workers in [1usize, 8] {
+        pool::set_workers(workers);
+        exports.push(quick_report().to_json());
+    }
+    pool::set_workers(prev);
+    exports.push(quick_report().to_json());
+    for e in &exports[1..] {
+        assert!(
+            e == &exports[0],
+            "triage JSON diverged across reruns / worker counts"
+        );
+    }
+    // and the document is well-formed JSON with the expected skeleton
+    let doc = json::parse(&exports[0]).expect("triage report parses");
+    assert_eq!(
+        doc.get("report").and_then(json::Json::as_str),
+        Some("gss-triage")
+    );
+    let sessions = doc
+        .get("sessions")
+        .and_then(json::Json::as_arr)
+        .expect("sessions array");
+    assert_eq!(sessions.len(), 3);
+    for s in sessions {
+        assert!(s.get("attribution").is_some(), "session lacks attribution");
+        assert!(s.get("slo").is_some(), "session lacks slo standings");
+    }
+    assert!(doc.get("drift").is_some());
+    assert!(doc.get("gate").is_some());
+}
+
+#[test]
+fn controller_storm_meets_the_health_contract() {
+    let report = quick_report();
+    let c = &report.runs.controller;
+    assert!(
+        c.attribution.attributed_fraction() >= triage::MIN_ATTRIBUTED_FRACTION,
+        "only {:.1}% of controller misses attributed",
+        c.attribution.attributed_fraction() * 100.0
+    );
+    assert_eq!(
+        c.slo.total_breaches(),
+        0,
+        "the managed storm must not breach any SLO: {:?}",
+        c.slo.objectives
+    );
+    assert!(
+        report.gate_failures().is_empty(),
+        "gate failures on a healthy storm: {:?}",
+        report.gate_failures()
+    );
+}
+
+#[test]
+fn unmanaged_storms_breach_where_the_controller_does_not() {
+    let report = quick_report();
+    assert!(
+        report.runs.no_controller.slo.total_breaches() > 0,
+        "the unmanaged storm should breach at least one SLO"
+    );
+    assert!(
+        report.runs.nemo.slo.total_breaches() > 0,
+        "the NEMO baseline should breach at least one SLO"
+    );
+    // the blame tables discriminate too: without the ladder the misses
+    // pile onto the throttle, with it they shrink to ladder lag
+    let nc = &report.runs.no_controller;
+    assert!(
+        nc.telemetry.deadline_misses > report.runs.controller.telemetry.deadline_misses,
+        "controller should reduce deadline misses"
+    );
+    assert!(
+        nc.attribution.attributed_fraction() >= triage::MIN_ATTRIBUTED_FRACTION,
+        "unmanaged misses must still be attributable"
+    );
+}
+
+#[test]
+fn prometheus_snapshot_is_deterministic_and_carries_the_gate_metrics() {
+    let a = quick_report().prometheus();
+    let b = quick_report().prometheus();
+    assert_eq!(a, b, "prometheus snapshot diverged across reruns");
+    for family in [
+        "gss_deadline_misses_total",
+        "gss_miss_cause_total",
+        "gss_miss_attributed_fraction",
+        "gss_slo_breaches_total",
+        "gss_slo_breached",
+    ] {
+        assert!(a.contains(family), "snapshot lost {family}");
+    }
+    for session in ["controller", "no_controller", "nemo"] {
+        assert!(
+            a.contains(&format!("session=\"{session}\"")),
+            "snapshot lost session {session}"
+        );
+    }
+}

@@ -254,6 +254,12 @@ pub struct SessionReport {
     /// Aggregated telemetry: per-stage latency percentiles, counters,
     /// gauges and deadline-miss accounting for the whole session.
     pub telemetry: TelemetrySummary,
+    /// Root-cause attribution of every deadline miss and frozen stall,
+    /// replayed from the session's causal trace.
+    pub attribution: gss_telemetry::SessionAttribution,
+    /// Service-level-objective standings: breaches and worst burn rates
+    /// for the standard objectives ([`gss_telemetry::SloEngine::standard`]).
+    pub slo: gss_telemetry::SloSummary,
 }
 
 impl SessionReport {
@@ -456,9 +462,21 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
         ),
         REALTIME_BUDGET_MS,
     );
-    if let Some(sink) = &config.telemetry {
-        rec = rec.with_sink(sink.clone());
-    }
+    // an internal trace sink always rides along (tee'd with any
+    // user-supplied sink) so deadline-miss attribution can replay the
+    // session's causal span tree after the run
+    let trace = gss_telemetry::TraceSink::new();
+    let trace_handle = SinkHandle::new(trace.clone());
+    rec = rec.with_sink(match &config.telemetry {
+        Some(sink) => SinkHandle::new(gss_telemetry::MultiSink::new(vec![
+            sink.clone(),
+            trace_handle,
+        ])),
+        None => trace_handle,
+    });
+    // the SLO engine watches the same per-frame health bits the report
+    // exposes; breach transitions land in the trace as slo-breach markers
+    let mut slo = gss_telemetry::SloEngine::standard(REALTIME_BUDGET_MS);
 
     let mut frames = Vec::with_capacity(config.frames);
     // resilience state: the ladder controller adapts the GameStreamSR
@@ -684,7 +702,8 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
         // exposes, so its miss count is consistent with the FrameRecords by
         // construction (end_frame closes the frame for the trace sink, so
         // the miss marker must be emitted first, with the same predicate)
-        if upscale.critical_ms > rec.budget_ms() + 1e-9 {
+        let met_now = gss_telemetry::deadline_met(upscale.critical_ms, rec.budget_ms());
+        if !met_now {
             rec.instant(
                 InstantKind::DeadlineMiss,
                 upscale_start + upscale.critical_ms,
@@ -693,6 +712,19 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
                     upscale.critical_ms,
                     rec.budget_ms()
                 ),
+            );
+        }
+        // SLO burn rates see the same health bits; breach transitions must
+        // also land before end_frame so they attach to this frame's trace
+        for ev in slo.observe(&gss_telemetry::FrameHealth {
+            critical_ms: upscale.critical_ms,
+            deadline_met: met_now,
+            frozen,
+        }) {
+            rec.instant(
+                InstantKind::SloBreach,
+                send_time - server_side_ms + mtp_breakdown.total_ms(),
+                ev.detail,
             );
         }
         let deadline_met = rec
@@ -775,13 +807,23 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
         }
     }
 
+    let telemetry = rec.finish();
+    // finish() closed the session for the sinks; replay the completed
+    // causal trace and attribute every miss and stall
+    let attribution = trace
+        .sessions()
+        .last()
+        .map(|s| gss_telemetry::Attributor::new(REALTIME_BUDGET_MS).attribute(s))
+        .unwrap_or_default();
     Ok(SessionReport {
         pipeline,
         game: config.game,
         device: config.device.name.to_owned(),
         frames,
         energy: meter.breakdown(),
-        telemetry: rec.finish(),
+        telemetry,
+        attribution,
+        slo: slo.summary(),
     })
 }
 

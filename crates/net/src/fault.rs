@@ -398,4 +398,31 @@ mod tests {
             ]
         );
     }
+
+    #[test]
+    fn fault_labels_stay_aligned_with_the_attribution_taxonomy() {
+        // the attributor keys on fault labels carried by trace instants:
+        // faults that can eat a stage's budget must reuse the miss-cause
+        // label verbatim, and the outage label must match the string the
+        // attributor's decision tree tests for. A rename on either side
+        // breaks root-cause attribution silently — this pins the contract.
+        use gss_telemetry::MissCause;
+        assert_eq!(
+            FaultKind::NpuThrottle { peak_slowdown: 2.0 }.label(),
+            MissCause::NpuThrottle.label()
+        );
+        assert_eq!(
+            FaultKind::JitterSpike { factor: 2.0 }.label(),
+            MissCause::JitterSpike.label()
+        );
+        assert_eq!(
+            FaultKind::DecoderStall { extra_ms: 1.0 }.label(),
+            MissCause::DecoderStall.label()
+        );
+        assert_eq!(FaultKind::Outage.label(), "outage");
+        assert_eq!(
+            crate::DropCause::QueueOverflow.label(),
+            MissCause::QueueOverflow.label()
+        );
+    }
 }

@@ -3,8 +3,10 @@
 use serde::{Deserialize, Serialize};
 
 /// The 60 FPS frame budget in milliseconds (16.66 ms), the paper's
-/// real-time bar.
-pub const REALTIME_BUDGET_MS: f64 = 1000.0 / 60.0;
+/// real-time bar. Re-exported from `gss-telemetry`, which owns the
+/// canonical definition (the recorder, session simulator and SLO engine
+/// all judge frames against the same constant).
+pub use gss_telemetry::REALTIME_BUDGET_MS;
 
 /// Foveal visual diameter on screen at a typical 30 cm mobile viewing
 /// distance: `2 · 30 cm · tan(3°) ≈ 3.14 cm ≈ 1.25 in` (paper §IV-B1).

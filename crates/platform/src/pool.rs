@@ -86,6 +86,27 @@ impl PoolAccounting {
         let max = *self.per_worker_ns.iter().max().expect("nonempty") as f64;
         max / (total as f64 / n as f64)
     }
+
+    /// Renders the per-worker accounting as collapsed-stack lines
+    /// (`pool;worker-N <ns>`), the input format of flamegraph tooling
+    /// (e.g. `flamegraph.pl`, speedscope, inferno). One line per tracked
+    /// worker plus a `pool;idle` line charging the span's unused capacity
+    /// (`span_ns × workers − Σ per-worker`), so the flame width reflects
+    /// load imbalance directly. These are wall-clock numbers: unlike the
+    /// triage JSON they vary run to run and must ship as a separate
+    /// artifact.
+    pub fn collapsed_stack(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut busy = 0u64;
+        for (i, &ns) in self.per_worker_ns.iter().enumerate() {
+            let _ = writeln!(out, "pool;worker-{i} {ns}");
+            busy += ns;
+        }
+        let capacity = self.span_ns.saturating_mul(self.per_worker_ns.len() as u64);
+        let _ = writeln!(out, "pool;idle {}", capacity.saturating_sub(busy));
+        out
+    }
 }
 
 /// Switches parallel regions into accounting mode: chunks execute
@@ -454,6 +475,20 @@ mod tests {
             per_worker_ns: vec![30, 10],
         };
         assert_eq!(skewed.imbalance(), 1.5);
+    }
+
+    #[test]
+    fn collapsed_stack_lists_workers_and_idle_capacity() {
+        let acct = PoolAccounting {
+            work_ns: 40,
+            span_ns: 30,
+            per_worker_ns: vec![30, 10],
+        };
+        assert_eq!(
+            acct.collapsed_stack(),
+            "pool;worker-0 30\npool;worker-1 10\npool;idle 20\n"
+        );
+        assert_eq!(PoolAccounting::default().collapsed_stack(), "pool;idle 0\n");
     }
 
     #[test]

@@ -388,6 +388,70 @@ mod tests {
     }
 
     #[test]
+    fn unescapes_every_escape_form() {
+        let doc = parse(r#""\b\f\n\r\t\/\\\"\u0000\u007F""#).unwrap();
+        assert_eq!(
+            doc.as_str().unwrap(),
+            "\u{0008}\u{000C}\n\r\t/\\\"\u{0000}\u{007F}"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_escapes_and_surrogate_halves() {
+        for bad in [
+            r#""\x""#,      // unknown escape
+            r#""\u12""#,    // truncated \u
+            r#""\uZZZZ""#,  // non-hex \u
+            r#""\udc00""#,  // lone low surrogate
+            r#""\ud83dA""#, // high surrogate with a non-surrogate low half
+            "\"\\",         // dangling escape at end of input
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_exponent_form_numbers() {
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(parse("-2.5E-2").unwrap(), Json::Num(-0.025));
+        assert_eq!(parse("1E+10").unwrap(), Json::Num(1e10));
+        assert_eq!(parse("0.5e0").unwrap(), Json::Num(0.5));
+        // overflow saturates the way f64 parsing does rather than erroring
+        assert_eq!(parse("2e308").unwrap(), Json::Num(f64::INFINITY));
+        // a bare exponent marker is not a number
+        for bad in ["1e", "1e+", "-", "-e3"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accepts_nesting_at_the_depth_limit() {
+        // deepest accepted document: one level shy of the rejection bound
+        // exercised by `rejects_pathological_nesting`
+        let n = MAX_DEPTH + 1;
+        let deep = "[".repeat(n) + &"]".repeat(n);
+        assert!(parse(&deep).is_ok());
+        // alternating object/array nesting counts against the same limit
+        let mixed = r#"{"a":["#.repeat(64) + "1" + &"]}".repeat(64);
+        let mut doc = &parse(&mixed).unwrap();
+        for _ in 0..64 {
+            doc = &doc.get("a").unwrap().as_arr().unwrap()[0];
+        }
+        assert_eq!(doc, &Json::Num(1.0));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_but_allows_trailing_whitespace() {
+        for bad in ["[1] [2]", "true false", "1 2", "{\"a\":1},", "null,"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+        assert_eq!(
+            parse(" \t\n[1, 2] \r\n ").unwrap().as_arr().unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
     fn round_trips_telemetry_summary_json() {
         let summary = crate::TelemetrySummary::default().to_json();
         let doc = parse(&summary).unwrap();

@@ -27,20 +27,44 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 mod hist;
 pub mod json;
+pub mod prom;
 mod recorder;
 mod sink;
+pub mod slo;
 mod summary;
 pub mod trace;
 
+pub use attribution::{Attributor, BlameEntry, MissCause, MissRecord, SessionAttribution};
 pub use hist::{DistSummary, Histogram, BUCKETS};
 pub use recorder::{Recorder, TelemetryError, MAX_SPAN_DEPTH};
 pub use sink::{
     Event, InstantKind, JsonlSink, Level, MemorySink, MultiSink, NullSink, Sink, SinkHandle,
 };
+pub use slo::{FrameHealth, Objective, SloEngine, SloEvent, SloSpec, SloStatus, SloSummary};
 pub use summary::{CounterSummary, GaugeSummary, StageSummary, TelemetrySummary};
 pub use trace::{TraceFrame, TraceInstant, TraceSession, TraceSink, TraceSpan};
+
+/// The 60 FPS real-time frame budget in milliseconds (16.66 ms). This is
+/// the canonical definition; `gss_platform::REALTIME_BUDGET_MS` re-exports
+/// it so the timing models, the session simulator, the recorder and the
+/// SLO engine all judge frames against the same number.
+pub const REALTIME_BUDGET_MS: f64 = 1000.0 / 60.0;
+
+/// Slack added to every deadline comparison so float noise from summing
+/// modeled stage times cannot flip a frame that is exactly on budget.
+/// Shared by [`Recorder::end_frame`], the session simulator's miss marker
+/// and the SLO engine via [`deadline_met`], so the three predicates cannot
+/// drift apart.
+pub const DEADLINE_EPSILON_MS: f64 = 1e-9;
+
+/// The deadline predicate: does a critical path of `critical_ms` fit a
+/// budget of `budget_ms`, up to [`DEADLINE_EPSILON_MS`] of float noise?
+pub fn deadline_met(critical_ms: f64, budget_ms: f64) -> bool {
+    critical_ms <= budget_ms + DEADLINE_EPSILON_MS
+}
 
 /// The pipeline stages a frame passes through, server to display.
 ///

@@ -1,0 +1,369 @@
+//! Prometheus text-format snapshot exporter.
+//!
+//! Renders one or more sessions' telemetry summaries — optionally with
+//! their attribution and SLO verdicts — in the Prometheus exposition
+//! format (text/plain version 0.0.4), so standard scrape-file tooling and
+//! dashboards can ingest a simulated run. This is a *snapshot* exporter:
+//! the simulator has no live endpoint, so the intended flow is writing
+//! the rendering to a file (e.g. for the node-exporter textfile
+//! collector, or offline promtool analysis).
+//!
+//! Every family is emitted in a fixed order with samples sorted by the
+//! enum declaration orders, and all numbers come from modeled state, so
+//! the output is byte-identical across reruns and worker counts.
+
+use crate::attribution::SessionAttribution;
+use crate::sink::json_f64;
+use crate::slo::SloSummary;
+use crate::summary::TelemetrySummary;
+use crate::{Counter, Gauge};
+use std::fmt::Write as _;
+
+/// One session's exportable state.
+#[derive(Debug, Clone, Copy)]
+pub struct PromSession<'a> {
+    /// Value of the `session` label on every sample (keep it short and
+    /// stable; the full telemetry label is too noisy for a label value).
+    pub name: &'a str,
+    /// Aggregated telemetry.
+    pub summary: &'a TelemetrySummary,
+    /// Deadline-miss attribution, when computed.
+    pub attribution: Option<&'a SessionAttribution>,
+    /// SLO standings, when computed.
+    pub slo: Option<&'a SloSummary>,
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sample value: finite floats via the shared deterministic
+/// float formatting, non-finite as `NaN` (which Prometheus accepts).
+fn value(v: f64) -> String {
+    if v.is_finite() {
+        json_f64(v)
+    } else {
+        "NaN".to_owned()
+    }
+}
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders the sessions as one Prometheus text exposition.
+pub fn render(sessions: &[PromSession<'_>]) -> String {
+    let mut out = String::new();
+
+    family(
+        &mut out,
+        "gss_frames_total",
+        "counter",
+        "Frames completed by the session.",
+    );
+    for s in sessions {
+        let _ = writeln!(
+            out,
+            "gss_frames_total{{session=\"{}\"}} {}",
+            escape_label(s.name),
+            s.summary.frames
+        );
+    }
+
+    family(
+        &mut out,
+        "gss_deadline_misses_total",
+        "counter",
+        "Frames whose upscaling critical path exceeded the real-time budget.",
+    );
+    for s in sessions {
+        let _ = writeln!(
+            out,
+            "gss_deadline_misses_total{{session=\"{}\"}} {}",
+            escape_label(s.name),
+            s.summary.deadline_misses
+        );
+    }
+
+    family(
+        &mut out,
+        "gss_counter_total",
+        "counter",
+        "Monotonic telemetry counters, keyed by counter label.",
+    );
+    for s in sessions {
+        for c in Counter::ALL {
+            let _ = writeln!(
+                out,
+                "gss_counter_total{{session=\"{}\",counter=\"{}\"}} {}",
+                escape_label(s.name),
+                c.label(),
+                s.summary.counter(c)
+            );
+        }
+    }
+
+    family(
+        &mut out,
+        "gss_gauge",
+        "gauge",
+        "Sampled telemetry gauges (last/min/max/mean over the session).",
+    );
+    for s in sessions {
+        for g in Gauge::ALL {
+            if let Some(stats) = s.summary.gauge(g) {
+                if stats.count == 0 {
+                    continue;
+                }
+                let mean = stats.mean().unwrap_or(f64::NAN);
+                for (stat, v) in [
+                    ("last", stats.last),
+                    ("min", stats.min),
+                    ("max", stats.max),
+                    ("mean", mean),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "gss_gauge{{session=\"{}\",gauge=\"{}\",stat=\"{stat}\"}} {}",
+                        escape_label(s.name),
+                        g.label(),
+                        value(v)
+                    );
+                }
+            }
+        }
+    }
+
+    family(
+        &mut out,
+        "gss_stage_latency_ms",
+        "gauge",
+        "Per-stage latency distribution quantiles, modeled ms.",
+    );
+    for s in sessions {
+        for st in &s.summary.stages {
+            for (q, v) in [
+                ("0.5", st.dist.p50),
+                ("0.9", st.dist.p90),
+                ("0.95", st.dist.p95),
+                ("0.99", st.dist.p99),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "gss_stage_latency_ms{{session=\"{}\",stage=\"{}\",quantile=\"{q}\"}} {}",
+                    escape_label(s.name),
+                    st.stage.label(),
+                    value(v)
+                );
+            }
+        }
+    }
+    family(
+        &mut out,
+        "gss_stage_latency_samples_total",
+        "counter",
+        "Samples behind each stage latency distribution.",
+    );
+    for s in sessions {
+        for st in &s.summary.stages {
+            let _ = writeln!(
+                out,
+                "gss_stage_latency_samples_total{{session=\"{}\",stage=\"{}\"}} {}",
+                escape_label(s.name),
+                st.stage.label(),
+                st.dist.count
+            );
+        }
+    }
+
+    family(
+        &mut out,
+        "gss_miss_cause_total",
+        "counter",
+        "Deadline misses attributed to each root cause.",
+    );
+    for s in sessions {
+        if let Some(a) = s.attribution {
+            for b in &a.blame {
+                let _ = writeln!(
+                    out,
+                    "gss_miss_cause_total{{session=\"{}\",cause=\"{}\"}} {}",
+                    escape_label(s.name),
+                    b.cause.label(),
+                    b.misses
+                );
+            }
+        }
+    }
+    family(
+        &mut out,
+        "gss_miss_overrun_ms_total",
+        "counter",
+        "Total budget overrun attributed to each root cause, modeled ms.",
+    );
+    for s in sessions {
+        if let Some(a) = s.attribution {
+            for b in &a.blame {
+                let _ = writeln!(
+                    out,
+                    "gss_miss_overrun_ms_total{{session=\"{}\",cause=\"{}\"}} {}",
+                    escape_label(s.name),
+                    b.cause.label(),
+                    value(b.total_overrun_ms)
+                );
+            }
+        }
+    }
+    family(
+        &mut out,
+        "gss_miss_attributed_fraction",
+        "gauge",
+        "Fraction of deadline misses assigned a non-unknown cause.",
+    );
+    for s in sessions {
+        if let Some(a) = s.attribution {
+            let _ = writeln!(
+                out,
+                "gss_miss_attributed_fraction{{session=\"{}\"}} {}",
+                escape_label(s.name),
+                value(a.attributed_fraction())
+            );
+        }
+    }
+
+    family(
+        &mut out,
+        "gss_slo_breaches_total",
+        "counter",
+        "Times each objective entered breach.",
+    );
+    for s in sessions {
+        if let Some(slo) = s.slo {
+            for o in &slo.objectives {
+                let _ = writeln!(
+                    out,
+                    "gss_slo_breaches_total{{session=\"{}\",slo=\"{}\"}} {}",
+                    escape_label(s.name),
+                    escape_label(&o.name),
+                    o.breaches
+                );
+            }
+        }
+    }
+    family(
+        &mut out,
+        "gss_slo_burn_rate_max",
+        "gauge",
+        "Worst burn rate each objective saw, by window.",
+    );
+    for s in sessions {
+        if let Some(slo) = s.slo {
+            for o in &slo.objectives {
+                for (window, v) in [("fast", o.max_fast_burn), ("slow", o.max_slow_burn)] {
+                    let _ = writeln!(
+                        out,
+                        "gss_slo_burn_rate_max{{session=\"{}\",slo=\"{}\",window=\"{window}\"}} {}",
+                        escape_label(s.name),
+                        escape_label(&o.name),
+                        value(v)
+                    );
+                }
+            }
+        }
+    }
+    family(
+        &mut out,
+        "gss_slo_breached",
+        "gauge",
+        "Whether each objective was in breach at session end (0/1).",
+    );
+    for s in sessions {
+        if let Some(slo) = s.slo {
+            for o in &slo.objectives {
+                let _ = writeln!(
+                    out,
+                    "gss_slo_breached{{session=\"{}\",slo=\"{}\"}} {}",
+                    escape_label(s.name),
+                    escape_label(&o.name),
+                    u8::from(o.breached)
+                );
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, Stage};
+
+    fn summary() -> TelemetrySummary {
+        let mut rec = Recorder::new("test".to_owned(), crate::REALTIME_BUDGET_MS);
+        for i in 0..4u64 {
+            rec.begin_frame(i);
+            rec.record_span(Stage::NpuSr, i as f64 * 16.67, 4.0);
+            rec.gauge(Gauge::LadderRung, 1.0);
+            rec.incr(Counter::FramesEncoded);
+            rec.end_frame(12.0, 4.0, 1000).unwrap();
+        }
+        rec.finish()
+    }
+
+    #[test]
+    fn renders_a_parseable_snapshot() {
+        let s = summary();
+        let text = render(&[PromSession {
+            name: "controller",
+            summary: &s,
+            attribution: None,
+            slo: None,
+        }]);
+        assert!(text.contains("gss_frames_total{session=\"controller\"} 4"));
+        assert!(text.contains("# TYPE gss_counter_total counter"));
+        assert!(
+            text.contains("gss_counter_total{session=\"controller\",counter=\"frames-encoded\"} 4")
+        );
+        assert!(text.contains(
+            "gss_stage_latency_ms{session=\"controller\",stage=\"npu-sr\",quantile=\"0.99\"}"
+        ));
+        // every non-comment line is `name{labels} value`
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (metric, v) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(metric.contains('{') && metric.ends_with('}'), "{line}");
+            assert!(
+                v == "NaN" || v.parse::<f64>().is_ok(),
+                "value must parse: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_escapes_labels() {
+        let s = summary();
+        let sess = [PromSession {
+            name: "a\"b\\c",
+            summary: &s,
+            attribution: None,
+            slo: None,
+        }];
+        let a = render(&sess);
+        assert_eq!(a, render(&sess));
+        assert!(a.contains("session=\"a\\\"b\\\\c\""));
+    }
+}

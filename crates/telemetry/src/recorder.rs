@@ -284,7 +284,7 @@ impl Recorder {
         self.bytes_hist.record(bytes as f64);
         // Matches the session simulator's real-time test: a frame is on time
         // when it fits the budget up to float noise.
-        let deadline_met = critical_ms <= self.budget_ms + 1e-9;
+        let deadline_met = crate::deadline_met(critical_ms, self.budget_ms);
         if !deadline_met {
             self.deadline_misses += 1;
             self.counters[Counter::DeadlineMisses.index()] += 1;

@@ -58,6 +58,9 @@ pub enum InstantKind {
     Nack,
     /// The set of active scripted faults changed.
     Fault,
+    /// A service-level objective entered or left breach (detail carries
+    /// the objective name and its burn rates).
+    SloBreach,
 }
 
 impl InstantKind {
@@ -69,6 +72,7 @@ impl InstantKind {
             InstantKind::LadderShift => "ladder-shift",
             InstantKind::Nack => "nack",
             InstantKind::Fault => "fault",
+            InstantKind::SloBreach => "slo-breach",
         }
     }
 }
@@ -496,11 +500,12 @@ mod tests {
             InstantKind::LadderShift,
             InstantKind::Nack,
             InstantKind::Fault,
+            InstantKind::SloBreach,
         ]
         .iter()
         .map(|k| k.label())
         .collect();
-        assert_eq!(labels.len(), 5, "instant labels must be unique");
+        assert_eq!(labels.len(), 6, "instant labels must be unique");
     }
 
     #[test]

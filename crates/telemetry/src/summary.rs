@@ -83,7 +83,7 @@ impl Default for TelemetrySummary {
     }
 }
 
-fn dist_json(d: &DistSummary) -> String {
+pub(crate) fn dist_json(d: &DistSummary) -> String {
     format!(
         "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"below_range\":{},\"above_range\":{},\"rejected\":{}}}",
         d.count,

@@ -195,6 +195,46 @@ fn trace_json_is_byte_identical_across_reruns_and_worker_counts() {
     }
 }
 
+#[test]
+fn slo_breach_instants_fire_without_the_controller_and_stay_quiet_with_it() {
+    // the managed storm absorbs the faults inside its SLO error budgets:
+    // no breach markers may appear in its trace (the CI triage gate
+    // enforces the same contract on the canonical storm)
+    let (trace, _) = traced_run();
+    assert!(
+        !trace.sessions()[0]
+            .frames
+            .iter()
+            .any(|f| f.instants.iter().any(|i| i.kind == InstantKind::SloBreach)),
+        "the controller-managed storm must not breach an SLO"
+    );
+
+    // the same storm without the degradation ladder burns through the
+    // error budget and the breach surfaces as a causal marker
+    let trace = TraceSink::new();
+    let cfg = SessionConfig {
+        degradation: None,
+        ..stormy_cfg()
+    }
+    .with_telemetry(SinkHandle::new(trace.clone()));
+    run_session(&cfg, Pipeline::GameStreamSr).expect("session");
+    let breaches: Vec<String> = trace.sessions()[0]
+        .frames
+        .iter()
+        .flat_map(|f| &f.instants)
+        .filter(|i| i.kind == InstantKind::SloBreach)
+        .map(|i| i.detail.clone())
+        .collect();
+    assert!(
+        !breaches.is_empty(),
+        "the unmanaged storm should trip at least one SLO breach marker"
+    );
+    assert!(
+        breaches.iter().any(|d| d.contains("breach")),
+        "breach details should say what happened: {breaches:?}"
+    );
+}
+
 // ---- property test: synthetic event streams -----------------------------
 
 fn stage_of(idx: usize) -> Stage {
