@@ -23,7 +23,7 @@
 //! - **Informational** (raw wall-clock): recorded for trend archaeology,
 //!   never gated (`None` tolerances — the check always passes them).
 
-use crate::experiments::{resilience, scaling};
+use crate::experiments::{recovery, resilience, scaling};
 use crate::{RunOptions, Table};
 use gss_telemetry::json::{self, Json};
 
@@ -186,6 +186,48 @@ pub(crate) fn resilience_metrics(storm: &resilience::ResilienceRuns) -> Vec<Benc
     metrics
 }
 
+/// The deterministic metric set of one crash-storm device sweep — the
+/// recovery state machine's outcomes per device tier. All modeled: a
+/// crash that drifts into a longer freeze or loses its fallback is a real
+/// behavior change, not noise.
+pub(crate) fn recovery_metrics(runs: &recovery::RecoveryRuns) -> Vec<BenchMetric> {
+    const FRAME_MS: f64 = 1000.0 / 60.0;
+    let mut out = Vec::new();
+    for run in &runs.runs {
+        let r = &run.report;
+        let rec = r
+            .recovery
+            .as_ref()
+            .expect("the crash storm arms the machine");
+        let tag = run.tag;
+        out.push(BenchMetric::modeled(
+            format!("recovery.{tag}.time_to_recover_p99_ms"),
+            rec.time_to_recover_p99_ms(FRAME_MS),
+        ));
+        out.push(BenchMetric::exact(
+            format!("recovery.{tag}.frozen_during_recovery"),
+            rec.frozen_frames as f64,
+        ));
+        out.push(BenchMetric::exact(
+            format!("recovery.{tag}.longest_frozen_run"),
+            r.longest_frozen_run() as f64,
+        ));
+        out.push(BenchMetric::exact(
+            format!("recovery.{tag}.crashes"),
+            rec.crashes as f64,
+        ));
+        out.push(BenchMetric::exact(
+            format!("recovery.{tag}.safe_profile_fallback"),
+            if rec.safe_profile_fallback { 1.0 } else { 0.0 },
+        ));
+        out.push(BenchMetric::modeled(
+            format!("recovery.{tag}.post_recovery_fps"),
+            recovery::post_recovery_fps(r, runs.clearance_frame),
+        ));
+    }
+    out
+}
+
 /// Runs the benchmarked experiments and collects the metric set.
 pub fn collect(options: &RunOptions) -> Baseline {
     let mut metrics = Vec::new();
@@ -197,6 +239,15 @@ pub fn collect(options: &RunOptions) -> Baseline {
     metrics.push(BenchMetric::informational(
         "resilience.wall_ms",
         resilience_wall_ms,
+    ));
+
+    let t0 = std::time::Instant::now();
+    let crash_sweep = recovery::measure(options);
+    let recovery_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    metrics.extend(recovery_metrics(&crash_sweep));
+    metrics.push(BenchMetric::informational(
+        "recovery.wall_ms",
+        recovery_wall_ms,
     ));
 
     let t0 = std::time::Instant::now();

@@ -12,6 +12,7 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig9;
 pub mod loss;
+pub mod recovery;
 pub mod resilience;
 pub mod scaling;
 pub mod server_side;

@@ -11,7 +11,7 @@
 //! or a single experiment by id (`table1`, `fig2`, `fig3a`, `fig3b`,
 //! `fig7`, `fig9`, `fig10a`, `fig10b`, `fig10c`, `fig11`, `fig12`,
 //! `fig13`, `fig14a`, `fig14b`, `fig15`, `server`, `ablation`, `loss`,
-//! `resilience`, `scaling`):
+//! `resilience`, `recovery`, `scaling`):
 //!
 //! ```text
 //! cargo run --release -p gss-bench --bin figures -- fig10a
@@ -64,7 +64,7 @@ impl RunOptions {
 }
 
 /// All experiment ids in report order.
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "table1",
     "fig2",
     "fig3a",
@@ -84,6 +84,7 @@ pub const ALL_EXPERIMENTS: [&str; 20] = [
     "ablation",
     "loss",
     "resilience",
+    "recovery",
     "scaling",
 ];
 
@@ -115,6 +116,7 @@ pub fn run_experiment(id: &str, options: &RunOptions) -> Result<(), String> {
         "ablation" => e::ablation::run(options),
         "loss" => e::loss::run(options),
         "resilience" => e::resilience::run(options),
+        "recovery" => e::recovery::run(options),
         "scaling" => e::scaling::run(options),
         other => return Err(format!("unknown experiment id: {other}")),
     }

@@ -138,6 +138,7 @@ pub enum LadderStep {
 pub struct DegradationController {
     config: DegradationConfig,
     rung: usize,
+    ceiling: usize,
     window: VecDeque<bool>,
     misses_in_window: usize,
     clean_streak: usize,
@@ -161,6 +162,7 @@ impl DegradationController {
         DegradationController {
             config,
             rung: 0,
+            ceiling: 0,
             window: VecDeque::with_capacity(config.window),
             misses_in_window: 0,
             clean_streak: 0,
@@ -186,6 +188,48 @@ impl DegradationController {
     /// Whether the controller sits below full quality.
     pub fn is_degraded(&self) -> bool {
         self.rung > 0
+    }
+
+    /// The best (lowest-index) rung the controller may climb to. 0 unless
+    /// clamped by capability negotiation or the safe-profile fallback.
+    pub fn ceiling(&self) -> usize {
+        self.ceiling
+    }
+
+    /// Ratchets the ceiling: the controller will never climb above
+    /// `rung` again. Tightening only — a looser value than the current
+    /// ceiling is ignored, so the safe-profile fallback cannot be undone
+    /// by a later negotiation. Returns `true` when the *current* rung had
+    /// to move down to respect the new ceiling.
+    pub fn clamp_ceiling(&mut self, rung: usize) -> bool {
+        self.ceiling = self.ceiling.max(rung.min(LADDER.len() - 1));
+        if self.rung < self.ceiling {
+            self.rung = self.ceiling;
+            self.window.clear();
+            self.misses_in_window = 0;
+            self.clean_streak = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forces the controller to `rung` immediately (clamped to the
+    /// ceiling and the ladder), clearing the rolling window — recovery
+    /// uses this to engage the ladder floor the moment the decoder dies
+    /// rather than waiting for the miss window to fill. Returns `true`
+    /// when the rung changed.
+    pub fn force_rung(&mut self, rung: usize) -> bool {
+        let target = rung.clamp(self.ceiling, LADDER.len() - 1);
+        if target == self.rung {
+            return false;
+        }
+        self.rung = target;
+        self.window.clear();
+        self.misses_in_window = 0;
+        self.clean_streak = 0;
+        self.cooldown = self.config.cooldown_frames;
+        true
     }
 
     /// Folds one frame's health into the rolling window and returns the
@@ -215,7 +259,7 @@ impl DegradationController {
             self.clean_streak = 0;
             return Some(LadderStep::Downgrade);
         }
-        if self.clean_streak >= self.config.recover_frames && self.rung > 0 {
+        if self.clean_streak >= self.config.recover_frames && self.rung > self.ceiling {
             self.rung -= 1;
             self.cooldown = self.config.cooldown_frames;
             // hysteresis: a fresh streak is required for the next step up
@@ -473,6 +517,110 @@ mod tests {
         nack.on_loss();
         assert_eq!(nack.begin_frame(51), Some(NackSignal::Fresh));
         assert_eq!(nack.backoff_frames(), 3);
+    }
+
+    #[test]
+    fn a_clamped_ceiling_caps_recovery_and_only_ratchets_down() {
+        let cfg = DegradationConfig {
+            cooldown_frames: 0,
+            ..DegradationConfig::default()
+        };
+        let mut ctl = DegradationController::new(cfg);
+        // negotiation says this client tops out at rung 2
+        assert!(ctl.clamp_ceiling(2), "the rung must move to the ceiling");
+        assert_eq!(ctl.rung(), 2);
+        assert_eq!(ctl.ceiling(), 2);
+        // no amount of clean frames climbs above the ceiling
+        for _ in 0..10 * cfg.recover_frames {
+            assert_eq!(ctl.observe(false), None);
+        }
+        assert_eq!(ctl.rung(), 2);
+        // misses still walk down below the ceiling, and recovery returns
+        // exactly to it
+        for _ in 0..cfg.degrade_misses {
+            ctl.observe(true);
+        }
+        assert_eq!(ctl.rung(), 3);
+        for _ in 0..2 * cfg.recover_frames {
+            ctl.observe(false);
+        }
+        assert_eq!(ctl.rung(), 2);
+        // loosening is ignored: the fallback cannot be undone
+        assert!(!ctl.clamp_ceiling(0));
+        assert_eq!(ctl.ceiling(), 2);
+        // out-of-range values clamp to the floor
+        ctl.clamp_ceiling(99);
+        assert_eq!(ctl.ceiling(), LADDER.len() - 1);
+        assert_eq!(ctl.rung(), LADDER.len() - 1);
+    }
+
+    #[test]
+    fn force_rung_jumps_immediately_and_respects_the_ceiling() {
+        let cfg = DegradationConfig::default();
+        let mut ctl = DegradationController::new(cfg);
+        assert!(ctl.force_rung(LADDER.len() - 1), "jump to the floor");
+        assert_eq!(ctl.rung(), LADDER.len() - 1);
+        assert!(!ctl.force_rung(LADDER.len() - 1), "no-op reports false");
+        // forcing upward respects a clamped ceiling
+        ctl.clamp_ceiling(2);
+        assert!(ctl.force_rung(0));
+        assert_eq!(ctl.rung(), 2, "force cannot pierce the ceiling");
+    }
+
+    #[test]
+    fn nack_backoff_saturates_exactly_at_its_bound() {
+        // timeout == max: the very first retry is already saturated and
+        // every further retry stays pinned there
+        let mut nack = NackManager::new(24, 24);
+        nack.on_loss();
+        assert_eq!(nack.begin_frame(0), Some(NackSignal::Fresh));
+        assert_eq!(nack.backoff_frames(), 24);
+        assert_eq!(nack.begin_frame(24), Some(NackSignal::Retry));
+        assert_eq!(nack.backoff_frames(), 24, "2x24 clamps back to 24");
+        assert_eq!(nack.begin_frame(47), None);
+        assert_eq!(nack.begin_frame(48), Some(NackSignal::Retry));
+        assert_eq!(nack.backoff_frames(), 24);
+    }
+
+    #[test]
+    fn keyframe_mid_backoff_window_resets_the_schedule() {
+        let mut nack = NackManager::new(3, 24);
+        nack.on_loss();
+        assert_eq!(nack.begin_frame(0), Some(NackSignal::Fresh));
+        assert_eq!(nack.begin_frame(3), Some(NackSignal::Retry));
+        assert_eq!(nack.backoff_frames(), 6);
+        // the keyframe lands while the 6-frame retry window is still open
+        nack.on_keyframe_delivered();
+        assert!(!nack.awaiting());
+        assert_eq!(nack.backoff_frames(), 3, "backoff resets to the base");
+        // the stale deadline must not fire a ghost retry later
+        for f in 4..40 {
+            assert_eq!(nack.begin_frame(f), None, "ghost retry at frame {f}");
+        }
+        // and a fresh loss starts a brand-new schedule from the base
+        nack.on_loss();
+        assert_eq!(nack.begin_frame(40), Some(NackSignal::Fresh));
+        assert_eq!(nack.begin_frame(42), None);
+        assert_eq!(nack.begin_frame(43), Some(NackSignal::Retry));
+    }
+
+    #[test]
+    fn loss_and_keyframe_in_the_same_frame() {
+        // the session processes the transfer outcome before polling the
+        // next frame: a loss followed by a keyframe in the same frame
+        // leaves no outstanding request...
+        let mut nack = NackManager::new(3, 24);
+        nack.on_loss();
+        nack.on_keyframe_delivered();
+        assert!(!nack.awaiting());
+        assert_eq!(nack.begin_frame(1), None, "nothing outstanding");
+        // ...while the reverse order (keyframe then a same-frame loss)
+        // leaves exactly one fresh request for the next poll
+        nack.on_keyframe_delivered();
+        nack.on_loss();
+        assert!(nack.awaiting());
+        assert_eq!(nack.begin_frame(2), Some(NackSignal::Fresh));
+        assert_eq!(nack.begin_frame(3), None);
     }
 
     #[test]

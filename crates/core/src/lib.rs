@@ -52,7 +52,9 @@ pub mod decoder_ext;
 pub mod degrade;
 mod error;
 pub mod mtp;
+pub mod negotiate;
 pub mod nemo;
+pub mod recovery;
 pub mod roi;
 pub mod server;
 pub mod session;
@@ -64,7 +66,11 @@ pub use degrade::{
 };
 pub use error::GssError;
 pub use mtp::MtpBreakdown;
+pub use negotiate::{negotiate, NegotiatedStream, StreamOffer};
 pub use nemo::{NemoClient, NemoOutput};
+pub use recovery::{
+    RecoveryConfig, RecoveryEvent, RecoveryMachine, RecoveryState, RecoverySummary,
+};
 pub use roi::{RoiDetector, RoiDetectorConfig, RoiResult, RoiWindowPlan};
 pub use server::{GameStreamServer, ServerConfig, ServerPacket};
 pub use session::{

@@ -1,0 +1,186 @@
+//! Session-start capability negotiation.
+//!
+//! Before the first frame, [`crate::server::GameStreamServer`] publishes a
+//! [`StreamOffer`] — the stream it would like to send — and the client
+//! answers with its [`DeviceCapabilities`]. [`negotiate`] intersects the
+//! two into a [`NegotiatedStream`]: the decode resolution is clamped to
+//! what the client's hardware decoder sustains, the codec profile drops to
+//! the strongest one both sides implement, and the degradation ladder's
+//! best rung is limited to the SR tiers the client's NPU can actually
+//! host. The session simulator applies the result before frame 0 and
+//! clamps the [`crate::degrade::DegradationController`] ceiling to the
+//! negotiated rung, so a weak client is never asked to decode or upscale
+//! beyond its capabilities.
+//!
+//! For the calibrated reference devices the negotiation is the identity —
+//! their capability sets constrain nothing — which keeps every pre-existing
+//! session byte-identical.
+
+use crate::degrade::LADDER;
+use gss_platform::{CodecProfile, DeviceCapabilities};
+use gss_sr::ModelTier;
+use serde::{Deserialize, Serialize};
+
+/// What the server proposes at session start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamOffer {
+    /// The low-resolution canvas the session simulates quality on.
+    pub lr_size: (usize, usize),
+    /// Upscale factor from the low-resolution stream to the display.
+    pub scale_factor: usize,
+    /// Coded pixels per frame at the deployment decode resolution.
+    pub decode_pixels: usize,
+    /// Codec profile the server encodes by default.
+    pub codec_profile: CodecProfile,
+}
+
+/// The mutually supported stream configuration both ends agreed on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NegotiatedStream {
+    /// Coded pixels the client will decode per frame (offer clamped to
+    /// the client's decoder capability).
+    pub decode_pixels: usize,
+    /// Profile the stream is encoded with: `min(offered, supported)`.
+    pub codec_profile: CodecProfile,
+    /// Best (lowest-index) degradation-ladder rung whose SR tier the
+    /// client's NPU supports; the controller's ceiling is clamped here.
+    pub top_rung: usize,
+    /// SR model tiers the client can host, strongest first.
+    pub supported_tiers: Vec<ModelTier>,
+    /// Whether negotiation changed anything relative to the offer.
+    pub clamped: bool,
+}
+
+impl NegotiatedStream {
+    /// One-line summary for the session log.
+    pub fn describe(&self) -> String {
+        let tiers: Vec<&str> = self.supported_tiers.iter().map(|t| t.label()).collect();
+        format!(
+            "negotiated stream: decode {} px, profile {}, top rung {}, tiers [{}]{}",
+            self.decode_pixels,
+            self.codec_profile.label(),
+            self.top_rung,
+            tiers.join(", "),
+            if self.clamped { " (clamped)" } else { "" }
+        )
+    }
+}
+
+/// Intersects the server's offer with the client's capability set.
+///
+/// The result is monotone in the capabilities — a strictly stronger client
+/// never negotiates a weaker stream — and is the identity when the
+/// capabilities cover the whole offer.
+pub fn negotiate(offer: &StreamOffer, caps: &DeviceCapabilities) -> NegotiatedStream {
+    let decode_pixels = offer.decode_pixels.min(caps.max_decode_pixels);
+    let codec_profile = offer.codec_profile.min(caps.codec_profile);
+    let top_rung = LADDER
+        .iter()
+        .position(|r| {
+            r.tier
+                .is_none_or(|t| caps.supports_cost_ratio(t.cost_ratio()))
+        })
+        .unwrap_or(LADDER.len() - 1);
+    let supported_tiers: Vec<ModelTier> = ModelTier::ALL
+        .iter()
+        .copied()
+        .filter(|t| caps.supports_cost_ratio(t.cost_ratio()))
+        .collect();
+    let clamped =
+        decode_pixels < offer.decode_pixels || codec_profile < offer.codec_profile || top_rung > 0;
+    NegotiatedStream {
+        decode_pixels,
+        codec_profile,
+        top_rung,
+        supported_tiers,
+        clamped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mtp::FULL_LR;
+    use gss_platform::DeviceProfile;
+
+    fn offer() -> StreamOffer {
+        StreamOffer {
+            lr_size: (320, 180),
+            scale_factor: 2,
+            decode_pixels: FULL_LR.pixels(),
+            codec_profile: CodecProfile::High,
+        }
+    }
+
+    #[test]
+    fn flagship_capabilities_negotiate_the_identity() {
+        for d in DeviceProfile::all() {
+            let n = negotiate(&offer(), &d.capabilities);
+            assert_eq!(n.decode_pixels, FULL_LR.pixels(), "{}", d.name);
+            assert_eq!(n.codec_profile, CodecProfile::High);
+            assert_eq!(n.top_rung, 0, "{} must keep the full ladder", d.name);
+            assert_eq!(n.supported_tiers, ModelTier::ALL.to_vec());
+            assert!(!n.clamped, "{} must not be clamped", d.name);
+        }
+    }
+
+    #[test]
+    fn the_entry_tier_clamps_every_dimension() {
+        let caps = DeviceProfile::tier_low().capabilities;
+        let n = negotiate(&offer(), &caps);
+        assert_eq!(n.decode_pixels, 1280 * 720);
+        assert_eq!(n.codec_profile, CodecProfile::Baseline);
+        // rungs 0/1 run EDSR-64 (cost 1.0) which the weak NPU rejects;
+        // rung 2 is the first EDSR-16 rung
+        assert_eq!(n.top_rung, 2);
+        assert_eq!(
+            n.supported_tiers,
+            vec![ModelTier::Edsr16, ModelTier::Fsrcnn]
+        );
+        assert!(n.clamped);
+        assert!(n.describe().contains("(clamped)"));
+    }
+
+    #[test]
+    fn a_decode_bound_client_clamps_resolution_only() {
+        let caps = DeviceCapabilities {
+            max_decode_pixels: 640 * 360,
+            ..DeviceCapabilities::flagship()
+        };
+        let n = negotiate(&offer(), &caps);
+        assert_eq!(n.decode_pixels, 640 * 360);
+        assert_eq!(n.top_rung, 0);
+        assert!(n.clamped);
+    }
+
+    #[test]
+    fn an_npu_less_client_falls_to_the_bilinear_floor() {
+        let caps = DeviceCapabilities {
+            max_sr_cost_ratio: 0.0,
+            ..DeviceCapabilities::flagship()
+        };
+        let n = negotiate(&offer(), &caps);
+        assert_eq!(n.top_rung, LADDER.len() - 1, "only the floor is left");
+        assert!(n.supported_tiers.is_empty());
+    }
+
+    #[test]
+    fn negotiation_is_monotone_across_the_matrix() {
+        // a stronger device never negotiates a weaker stream
+        let by_tier = [
+            DeviceProfile::tier_low(),
+            DeviceProfile::tier_mid(),
+            DeviceProfile::tier_high(),
+        ];
+        let results: Vec<NegotiatedStream> = by_tier
+            .iter()
+            .map(|d| negotiate(&offer(), &d.capabilities))
+            .collect();
+        for pair in results.windows(2) {
+            assert!(pair[0].decode_pixels <= pair[1].decode_pixels);
+            assert!(pair[0].codec_profile <= pair[1].codec_profile);
+            assert!(pair[0].top_rung >= pair[1].top_rung);
+            assert!(pair[0].supported_tiers.len() <= pair[1].supported_tiers.len());
+        }
+    }
+}

@@ -168,6 +168,19 @@ impl GameStreamServer {
         &self.config
     }
 
+    /// The stream the server proposes at session start — the input to
+    /// [`crate::negotiate::negotiate`]. Decode pixels are quoted at
+    /// deployment scale (the canvas is an evaluation artifact) and the
+    /// server always offers its strongest codec profile.
+    pub fn offer(&self) -> crate::negotiate::StreamOffer {
+        crate::negotiate::StreamOffer {
+            lr_size: self.config.lr_size,
+            scale_factor: self.config.scale,
+            decode_pixels: crate::mtp::FULL_LR.pixels(),
+            codec_profile: gss_platform::CodecProfile::High,
+        }
+    }
+
     /// `true` when the next frame will be a keyframe.
     pub fn next_is_keyframe(&self) -> bool {
         self.encoder.next_is_keyframe()

@@ -18,9 +18,13 @@
 //! models, so latency/energy figures are canvas-independent.
 
 use crate::client::GameStreamClient;
-use crate::degrade::{DegradationController, LadderStep, NackManager, NackSignal};
+use crate::degrade::{
+    DegradationController, LadderRung, LadderStep, NackManager, NackSignal, LADDER,
+};
 use crate::mtp::{self, MtpBreakdown, FULL_LR};
+use crate::negotiate::negotiate;
 use crate::nemo::NemoClient;
+use crate::recovery::{RecoveryConfig, RecoveryEvent, RecoveryMachine, RecoverySummary};
 use crate::roi::{plan_roi_window, RoiDetectorConfig};
 use crate::server::{GameStreamServer, ServerConfig};
 use crate::GssError;
@@ -260,6 +264,10 @@ pub struct SessionReport {
     /// Service-level-objective standings: breaches and worst burn rates
     /// for the standard objectives ([`gss_telemetry::SloEngine::standard`]).
     pub slo: gss_telemetry::SloSummary,
+    /// Decoder-crash recovery history (`None` when the fault plan scripts
+    /// no crash — the recovery machine is only armed when needed, so
+    /// crash-free sessions replay byte-identically to earlier builds).
+    pub recovery: Option<RecoverySummary>,
 }
 
 impl SessionReport {
@@ -406,6 +414,111 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
+/// Applies one ladder rung's parameters to the live pipeline — the RoI
+/// window shipped to the server, the client's SR tier and the encoder's
+/// rate target — and returns the resulting (RoI side, SR cost ratio) pair
+/// at deployment scale. Shared by the degradation controller's regular
+/// steps, the negotiated capability clamp and the crash-recovery floor,
+/// so every path renegotiates the pipeline identically.
+fn apply_rung_params(
+    rung: &LadderRung,
+    config: &SessionConfig,
+    base_side: usize,
+    server: &mut GameStreamServer,
+    ours_client: &mut GameStreamClient,
+) -> (usize, f64) {
+    let active_side = rung.roi_side(&config.device, base_side);
+    let active_cost = rung.tier.map_or(1.0, |t| t.cost_ratio());
+    ours_client.set_model_tier(rung.tier);
+    server.set_rate_target_scale(rung.rate_scale);
+    // the server keeps detecting an RoI (coordinates still ship with
+    // every packet), so its window floors at 8 px even on the bilinear
+    // rung
+    let canvas_side = ((active_side * config.lr_size.0) / FULL_LR.width())
+        .max(8)
+        .min(config.lr_size.0.min(config.lr_size.1));
+    server.set_roi_window((canvas_side, canvas_side));
+    (active_side, active_cost)
+}
+
+/// Folds the recovery machine's transitions into the live session: a
+/// trace instant per event, crash/reconfigure counters, the ladder floor
+/// while the decoder is down, the permanent ceiling on safe-profile
+/// fallback, and a fresh NACK resync cycle the moment the machine starts
+/// waiting for its keyframe.
+#[allow(clippy::too_many_arguments)]
+fn apply_recovery_events(
+    events: &[RecoveryEvent],
+    send_time: f64,
+    config: &SessionConfig,
+    base_side: usize,
+    rec: &mut Recorder,
+    controller: &mut Option<DegradationController>,
+    server: &mut GameStreamServer,
+    ours_client: &mut GameStreamClient,
+    nack: &mut NackManager,
+    active_side: &mut usize,
+    active_cost: &mut f64,
+) {
+    for ev in events {
+        rec.instant(InstantKind::Recovery, send_time, ev.detail());
+        match ev {
+            RecoveryEvent::CrashDetected { .. } => {
+                rec.incr(Counter::DecoderCrashes);
+                rec.log(Level::Warn, ev.detail());
+                // graceful degradation: ride out the recovery on the
+                // bilinear floor; the controller climbs back with its
+                // usual hysteresis once frames flow again
+                if let Some(ctl) = controller.as_mut() {
+                    if ctl.force_rung(LADDER.len() - 1) {
+                        let (side, cost) = apply_rung_params(
+                            &ctl.rung_params(),
+                            config,
+                            base_side,
+                            server,
+                            ours_client,
+                        );
+                        *active_side = side;
+                        *active_cost = cost;
+                    }
+                }
+            }
+            RecoveryEvent::Reconfiguring { .. } => {
+                rec.incr(Counter::DecoderReconfigures);
+            }
+            RecoveryEvent::AwaitingKeyframe => {
+                // restart the NACK cycle from scratch: the machine needs a
+                // keyframe *now*, and any backoff accumulated while the
+                // decoder was down would only delay the resync
+                nack.on_keyframe_delivered();
+                nack.on_loss();
+            }
+            RecoveryEvent::AttemptFailed { .. } => {
+                rec.log(Level::Warn, ev.detail());
+            }
+            RecoveryEvent::SafeProfileFallback => {
+                rec.log(Level::Error, ev.detail());
+                if let Some(ctl) = controller.as_mut() {
+                    if ctl.clamp_ceiling(LADDER.len() - 1) {
+                        let (side, cost) = apply_rung_params(
+                            &ctl.rung_params(),
+                            config,
+                            base_side,
+                            server,
+                            ours_client,
+                        );
+                        *active_side = side;
+                        *active_cost = cost;
+                    }
+                }
+            }
+            RecoveryEvent::Recovered { .. } => {
+                rec.log(Level::Info, ev.detail());
+            }
+        }
+    }
+}
+
 /// Runs one session with one pipeline.
 ///
 /// # Errors
@@ -493,6 +606,56 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
     );
     let mut active_side = plan.chosen_side;
     let mut active_cost = 1.0_f64;
+
+    // ---- capability negotiation (step 0) ---------------------------------
+    // the server's offer meets the client's capability set before the
+    // first frame. For the calibrated reference devices the result is the
+    // identity (their capabilities cover the whole offer), which keeps
+    // every pre-existing session byte-identical.
+    let negotiated = negotiate(&server.offer(), &config.device.capabilities);
+    if negotiated.clamped {
+        rec.log(Level::Info, negotiated.describe());
+    }
+    if pipeline == Pipeline::GameStreamSr && negotiated.top_rung > 0 {
+        match &mut controller {
+            // the controller may never climb above the negotiated rung
+            Some(ctl) => {
+                if ctl.clamp_ceiling(negotiated.top_rung) {
+                    let (side, cost) = apply_rung_params(
+                        &ctl.rung_params(),
+                        config,
+                        plan.chosen_side,
+                        &mut server,
+                        &mut ours_client,
+                    );
+                    active_side = side;
+                    active_cost = cost;
+                }
+            }
+            // no controller: pin the pipeline statically to the best rung
+            // the client's NPU supports
+            None => {
+                let (side, cost) = apply_rung_params(
+                    &LADDER[negotiated.top_rung],
+                    config,
+                    plan.chosen_side,
+                    &mut server,
+                    &mut ours_client,
+                );
+                active_side = side;
+                active_cost = cost;
+            }
+        }
+    }
+    // decoder crash recovery: the machine is armed only when the plan
+    // scripts a crash, and arming it implies loss recovery — a recovering
+    // decoder freezes the display and resyncs on a NACKed keyframe
+    let mut recovery = config
+        .fault_plan
+        .has_decoder_crashes()
+        .then(|| RecoveryMachine::new(RecoveryConfig::default()));
+    let loss_recovery = config.loss_recovery || recovery.is_some();
+
     let mut active_faults: Vec<&'static str> = Vec::new();
     let mut last_displayed: Option<Frame> = None;
     for i in 0..config.frames {
@@ -515,12 +678,33 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
         if slowdown > 1.0 {
             rec.gauge(Gauge::NpuSlowdown, slowdown);
         }
+        // ---- decoder crash recovery (frame open) --------------------------
+        // sample the crash signal at send time and walk the state machine;
+        // its transitions renegotiate the pipeline before this frame's
+        // packet is cut
+        if let Some(rm) = &mut recovery {
+            let events = rm.begin_frame(config.fault_plan.decoder_crashed(send_time));
+            apply_recovery_events(
+                &events,
+                send_time,
+                config,
+                plan.chosen_side,
+                &mut rec,
+                &mut controller,
+                &mut server,
+                &mut ours_client,
+                &mut nack,
+                &mut active_side,
+                &mut active_cost,
+            );
+            rec.gauge(Gauge::RecoveryState, rm.state().gauge_value());
+        }
         let rung_now = controller.as_ref().map_or(0, |c| c.rung());
         if controller.is_some() {
             rec.gauge(Gauge::LadderRung, rung_now as f64);
         }
 
-        if config.loss_recovery {
+        if loss_recovery {
             if let Some(signal) = nack.begin_frame(i) {
                 server.request_keyframe();
                 rec.incr(Counter::Nacks);
@@ -544,26 +728,66 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
         // ---- network ------------------------------------------------------
         let input_uplink_ms = link.control_latency_ms();
         let transfer = link.send_traced(bytes_full, send_time, &mut rec);
-        let (dropped, downlink_ms) = if transfer.delivered() {
+        let (mut dropped, downlink_ms) = if transfer.delivered() {
             (false, transfer.transit_ms)
         } else {
             // bound: the frame would have waited out the full queue
             (true, config.link.queue_limit_ms + config.link.rtt_ms / 2.0)
         };
+        let mut drop_cause = transfer.drop_cause;
+        // a delivered frame is still unusable while the decoder is down:
+        // the client discards it. The drop is charged to the decoder, not
+        // the link — a distinct cause in the counters and the stall ledger
+        if let Some(rm) = &recovery {
+            if !dropped && !rm.can_decode(packet.frame_type == FrameType::Intra) {
+                dropped = true;
+                drop_cause = Some(DropCause::DecoderDown);
+                rec.incr(Counter::FramesDropped);
+                rec.incr(Counter::DropsDecoderDown);
+                rec.instant(
+                    InstantKind::Drop,
+                    send_time,
+                    format!("frame dropped: {}", DropCause::DecoderDown.label()),
+                );
+            }
+        }
         // a frame is unusable when it was dropped, or when it depends on a
         // reference the client never received (judged before this frame's
         // loss is folded into the NACK state)
-        let frozen = config.loss_recovery
+        let frozen = loss_recovery
             && (dropped || (nack.awaiting() && packet.frame_type == FrameType::Inter));
         if frozen {
             rec.incr(Counter::FramesFrozen);
         }
-        if config.loss_recovery {
+        if loss_recovery {
             if dropped {
                 nack.on_loss();
             } else if packet.frame_type == FrameType::Intra {
                 nack.on_keyframe_delivered();
             }
+        }
+        // ---- decoder crash recovery (frame close) -------------------------
+        // a keyframe that was delivered *and* decoded completes the resync;
+        // an expired keyframe window fails the attempt and re-reconfigures
+        if let Some(rm) = &mut recovery {
+            if frozen && rm.in_recovery() {
+                rm.note_frozen();
+            }
+            let keyframe_decoded = !dropped && !frozen && packet.frame_type == FrameType::Intra;
+            let events = rm.end_frame(keyframe_decoded);
+            apply_recovery_events(
+                &events,
+                send_time,
+                config,
+                plan.chosen_side,
+                &mut rec,
+                &mut controller,
+                &mut server,
+                &mut ours_client,
+                &mut nack,
+                &mut active_side,
+                &mut active_cost,
+            );
         }
         meter.add_network_bytes(bytes_full);
 
@@ -575,7 +799,7 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
         } else {
             match pipeline {
                 Pipeline::GameStreamSr => {
-                    let decode = config.device.hw_decode_ms(FULL_LR.pixels()) + stall_ms;
+                    let decode = config.device.hw_decode_ms(negotiated.decode_pixels) + stall_ms;
                     meter.add_busy(Stage::Decode, Rail::HwDecoder, decode);
                     let t = mtp::ours_upscale_degraded(
                         &config.device,
@@ -588,7 +812,7 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
                     (decode, t)
                 }
                 Pipeline::Nemo => {
-                    let decode = config.device.sw_decode_ms(FULL_LR.pixels()) + stall_ms;
+                    let decode = config.device.sw_decode_ms(negotiated.decode_pixels) + stall_ms;
                     meter.add_busy(Stage::Decode, Rail::CpuHeavy, decode);
                     let t = match packet.frame_type {
                         FrameType::Intra => {
@@ -746,7 +970,7 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
             mtp: mtp_breakdown,
             bytes: bytes_full,
             dropped,
-            drop_cause: transfer.drop_cause,
+            drop_cause,
             rung: rung_now,
             frozen,
             deadline_met,
@@ -765,17 +989,15 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
                     LadderStep::Downgrade => Counter::LadderDowngrades,
                     LadderStep::Upgrade => Counter::LadderUpgrades,
                 });
-                active_side = rung.roi_side(&config.device, plan.chosen_side);
-                active_cost = rung.tier.map_or(1.0, |t| t.cost_ratio());
-                ours_client.set_model_tier(rung.tier);
-                server.set_rate_target_scale(rung.rate_scale);
-                // the server keeps detecting an RoI (coordinates still ship
-                // with every packet), so its window floors at 8 px even on
-                // the bilinear rung
-                let canvas_side = ((active_side * config.lr_size.0) / FULL_LR.width())
-                    .max(8)
-                    .min(config.lr_size.0.min(config.lr_size.1));
-                server.set_roi_window((canvas_side, canvas_side));
+                let (side, cost) = apply_rung_params(
+                    &rung,
+                    config,
+                    plan.chosen_side,
+                    &mut server,
+                    &mut ours_client,
+                );
+                active_side = side;
+                active_cost = cost;
                 let shift_msg = format!(
                     "ladder {}: rung {} -> {} ({}, roi {} px, rate x{:.2})",
                     match step {
@@ -824,6 +1046,7 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
         telemetry,
         attribution,
         slo: slo.summary(),
+        recovery: recovery.map(RecoveryMachine::into_summary),
     })
 }
 
@@ -1113,6 +1336,108 @@ mod tests {
         let cfg = tiny_config().without_quality();
         let r = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
         assert!(r.frames.iter().all(|f| !f.frozen));
+    }
+
+    #[test]
+    fn decoder_crash_freezes_then_recovers_with_a_summary() {
+        use gss_net::{FaultEvent, FaultKind};
+        // one crash at 150 ms in an otherwise clean 60-frame session; the
+        // machine must be armed implicitly (no loss_recovery flag set)
+        let plan = FaultPlan::new(vec![FaultEvent {
+            start_ms: 150.0,
+            end_ms: 250.0,
+            kind: FaultKind::DecoderCrash,
+        }]);
+        let cfg = SessionConfig {
+            frames: 60,
+            lr_size: (128, 72),
+            ..SessionConfig::new(GameId::G3, DeviceProfile::s8_tab())
+        }
+        .without_quality()
+        .with_faults(plan);
+        let r = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+        let rec = r.recovery.as_ref().expect("machine was armed");
+        assert_eq!(rec.crashes, 1);
+        assert_eq!(rec.recovery_frames.len(), 1, "the episode must complete");
+        assert!(!rec.safe_profile_fallback);
+        assert!(rec.frozen_frames > 0, "recovery frames freeze the display");
+        // the client discarded delivered frames while the decoder was down
+        assert!(r.drops_with_cause(DropCause::DecoderDown) > 0);
+        assert!(r.telemetry.counter(Counter::DecoderCrashes) == 1);
+        assert!(r.telemetry.counter(Counter::DropsDecoderDown) > 0);
+        // no permanent freeze: the tail of the session streams normally
+        assert!(r.frames[50..].iter().all(|f| !f.frozen));
+        // frozen repeats trivially meet the deadline, so the episode must
+        // not stall the session beyond its budgets (drain 2 + reconfigure
+        // 3 + resync ≤ await 8)
+        assert!(r.longest_frozen_run() <= 13, "{}", r.longest_frozen_run());
+    }
+
+    #[test]
+    fn crash_storm_backs_off_into_the_safe_profile_fallback() {
+        // the canonical storm at 0.2x: five crashes, the last four inside
+        // one stability window — strikes 2..4 grow the backoff and the
+        // 4th crosses max_strikes into the permanent ladder floor
+        let scale = 0.2;
+        let frames = (FaultPlan::crash_storm_duration_ms(scale) * 60.0 / 1000.0).ceil() as usize;
+        let cfg = SessionConfig {
+            frames,
+            gop_size: 60,
+            lr_size: (128, 72),
+            rate_control: Some(gss_codec::RateControlConfig::for_bitrate_mbps(12.0)),
+            ..SessionConfig::new(GameId::G3, DeviceProfile::s8_tab())
+        }
+        .without_quality()
+        .with_faults(FaultPlan::crash_storm_scaled(scale))
+        .with_degradation(crate::degrade::DegradationConfig::default());
+        let r = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+        let rec = r.recovery.as_ref().expect("machine was armed");
+        assert_eq!(rec.crashes, 5, "every scripted crash must be sampled");
+        assert!(rec.safe_profile_fallback, "repeat offences must trip it");
+        assert!(rec.reconfigures >= 5);
+        // every burst eventually recovered (at this compressed clock the
+        // rapid-fire crashes merge into one long episode, but it ends):
+        // a crash never became a permanent freeze
+        assert!(rec.recovery_frames.len() >= 2, "{:?}", rec.recovery_frames);
+        assert!(!r.frames.last().unwrap().frozen);
+        // the fallback pins the ladder to its floor for the rest of the run
+        assert_eq!(r.frames.last().unwrap().rung, LADDER.len() - 1);
+        // deterministic replay: the same plan reproduces the same session
+        let r2 = run_session(&cfg, Pipeline::GameStreamSr).unwrap();
+        assert_eq!(format!("{:?}", r.frames), format!("{:?}", r2.frames));
+        assert_eq!(r.recovery, r2.recovery);
+    }
+
+    #[test]
+    fn capability_negotiation_clamps_the_weak_tier() {
+        // same weak NPU, once with its honest capability set and once
+        // claiming flagship capabilities: the honest run negotiates the
+        // EDSR-16 rung and its upscale path must be strictly cheaper
+        let run = |device: DeviceProfile| {
+            let cfg = SessionConfig {
+                frames: 12,
+                lr_size: (128, 72),
+                ..SessionConfig::new(GameId::G3, device)
+            }
+            .without_quality();
+            run_session(&cfg, Pipeline::GameStreamSr).unwrap()
+        };
+        let honest = run(DeviceProfile::tier_low());
+        let lying = run(DeviceProfile {
+            capabilities: gss_platform::DeviceCapabilities::flagship(),
+            ..DeviceProfile::tier_low()
+        });
+        assert!(
+            honest.mean_upscale_ms_all() < lying.mean_upscale_ms_all(),
+            "negotiated clamp must shed NPU load: {:.2} vs {:.2}",
+            honest.mean_upscale_ms_all(),
+            lying.mean_upscale_ms_all()
+        );
+        // flagship reference devices negotiate the identity — nothing in
+        // their session may change (guards byte-compat of old baselines)
+        let s8 = run(DeviceProfile::s8_tab());
+        assert_eq!(s8.recovery, None);
+        assert_eq!(s8.max_rung(), 0);
     }
 
     #[test]

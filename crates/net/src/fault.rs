@@ -9,8 +9,9 @@
 //!
 //! Network faults ([`FaultKind::BandwidthCollapse`], [`FaultKind::Outage`],
 //! [`FaultKind::JitterSpike`]) are consumed by [`crate::Link`]; platform
-//! faults ([`FaultKind::NpuThrottle`], [`FaultKind::DecoderStall`]) are
-//! queried by the session simulator and fed into the device timing models.
+//! faults ([`FaultKind::NpuThrottle`], [`FaultKind::DecoderStall`],
+//! [`FaultKind::DecoderCrash`]) are queried by the session simulator and
+//! fed into the device timing models and the recovery state machine.
 //!
 //! ```
 //! use gss_net::{FaultEvent, FaultKind, FaultPlan};
@@ -57,6 +58,14 @@ pub enum FaultKind {
         /// Added decode latency, ms.
         extra_ms: f64,
     },
+    /// The client hardware decoder crashes outright: for the window the
+    /// crash signal is asserted and nothing can be decoded until the
+    /// session's recovery state machine has drained, reconfigured the
+    /// codec and resynchronized on a keyframe. Unlike
+    /// [`FaultKind::DecoderStall`] this is not extra latency — it is a
+    /// hard loss of the decode capability, the failure mode production
+    /// clients dedicate a recovery manager to.
+    DecoderCrash,
 }
 
 impl FaultKind {
@@ -68,6 +77,7 @@ impl FaultKind {
             FaultKind::JitterSpike { .. } => "jitter-spike",
             FaultKind::NpuThrottle { .. } => "npu-throttle",
             FaultKind::DecoderStall { .. } => "decoder-stall",
+            FaultKind::DecoderCrash => "decoder-crash",
         }
     }
 }
@@ -108,11 +118,18 @@ impl FaultPlan {
     ///
     /// # Panics
     ///
-    /// Panics on an event whose window is empty or inverted, a collapse
-    /// factor outside `(0, 1]`, a jitter factor below 1, a throttle
-    /// slowdown below 1, or a negative stall.
+    /// Panics on an event whose window starts before the session (a
+    /// negative `start_ms`), whose window is empty or inverted, a
+    /// collapse factor outside `(0, 1]`, a jitter factor below 1, a
+    /// throttle slowdown below 1, or a negative stall. Silently accepting
+    /// such events would skew the timed integrations (e.g.
+    /// [`FaultPlan::decoder_stall_ms`]) without any visible error.
     pub fn new(events: Vec<FaultEvent>) -> Self {
         for e in &events {
+            assert!(
+                e.start_ms >= 0.0,
+                "fault window must start at or after session time 0"
+            );
             assert!(e.end_ms > e.start_ms, "fault window must be non-empty");
             match e.kind {
                 FaultKind::BandwidthCollapse { factor } => {
@@ -130,7 +147,7 @@ impl FaultPlan {
                 FaultKind::DecoderStall { extra_ms } => {
                     assert!(extra_ms >= 0.0, "stall must be non-negative");
                 }
-                FaultKind::Outage => {}
+                FaultKind::Outage | FaultKind::DecoderCrash => {}
             }
         }
         FaultPlan { events }
@@ -206,6 +223,25 @@ impl FaultPlan {
             .sum()
     }
 
+    /// Whether the decoder crash signal is asserted at `t_ms` — i.e. any
+    /// [`FaultKind::DecoderCrash`] window covers the instant. The session's
+    /// recovery state machine reacts to the *rising edge* of this signal;
+    /// the window length only controls how long the crash keeps firing.
+    pub fn decoder_crashed(&self, t_ms: f64) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.is_active(t_ms) && e.kind == FaultKind::DecoderCrash)
+    }
+
+    /// Whether the plan scripts any decoder crash at all — the session
+    /// arms its recovery state machine only when this holds, so crash-free
+    /// plans replay byte-identically to builds that predate recovery.
+    pub fn has_decoder_crashes(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.kind == FaultKind::DecoderCrash)
+    }
+
     /// Labels of the faults active at `t_ms`, in schedule order (for
     /// structured telemetry when the active set changes).
     pub fn active_labels(&self, t_ms: f64) -> Vec<&'static str> {
@@ -267,6 +303,53 @@ impl FaultPlan {
     /// Duration of the session the canonical timeline is scripted for, ms.
     pub fn canonical_duration_ms(time_scale: f64) -> f64 {
         20_000.0 * time_scale
+    }
+
+    /// The canonical *crash storm*: the full [`FaultPlan::canonical`]
+    /// timeline plus decoder crashes layered on top. An isolated early
+    /// crash at 1 s exercises a clean single recovery; a burst of four
+    /// rapid crashes from 6 s onward — inside the throttle/collapse
+    /// window, each landing before the previous recovery's stability
+    /// period expires — drives the recovery state machine through
+    /// exponential backoff into the permanent safe-profile fallback.
+    /// Deterministic like everything else in this module.
+    pub fn crash_storm() -> Self {
+        FaultPlan::crash_storm_scaled(1.0)
+    }
+
+    /// [`FaultPlan::crash_storm`] with every timestamp multiplied by
+    /// `time_scale` (same compressed-clock contract as
+    /// [`FaultPlan::canonical_scaled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `time_scale` is not positive.
+    pub fn crash_storm_scaled(time_scale: f64) -> Self {
+        assert!(time_scale > 0.0, "time scale must be positive");
+        let s = time_scale;
+        let mut events = FaultPlan::canonical_scaled(s).events;
+        // 100 ms windows so even a 0.2x compressed clock (20 ms windows,
+        // 16.67 ms frame period) samples every crash at least once.
+        for (start, end) in [
+            (1_000.0, 1_100.0),
+            (6_000.0, 6_100.0),
+            (6_600.0, 6_700.0),
+            (7_200.0, 7_300.0),
+            (7_800.0, 7_900.0),
+        ] {
+            events.push(FaultEvent {
+                start_ms: start * s,
+                end_ms: end * s,
+                kind: FaultKind::DecoderCrash,
+            });
+        }
+        FaultPlan::new(events)
+    }
+
+    /// Duration of the session the crash storm is scripted for, ms (same
+    /// clock as [`FaultPlan::canonical_duration_ms`]).
+    pub fn crash_storm_duration_ms(time_scale: f64) -> f64 {
+        FaultPlan::canonical_duration_ms(time_scale)
     }
 }
 
@@ -381,6 +464,106 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "session time 0")]
+    fn negative_start_rejected() {
+        let _ = FaultPlan::new(vec![FaultEvent {
+            start_ms: -1.0,
+            end_ms: 10.0,
+            kind: FaultKind::Outage,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn negative_duration_rejected() {
+        let _ = FaultPlan::new(vec![FaultEvent {
+            start_ms: 10.0,
+            end_ms: 5.0,
+            kind: FaultKind::DecoderStall { extra_ms: 1.0 },
+        }]);
+    }
+
+    #[test]
+    fn overlapping_same_kind_events_compose_without_double_counting_edges() {
+        // two stalls overlapping on [50, 100): the sum integrates both in
+        // the overlap and exactly one outside it, and the half-open edges
+        // keep adjacent windows from double-counting their shared instant
+        let p = FaultPlan::new(vec![
+            FaultEvent {
+                start_ms: 0.0,
+                end_ms: 100.0,
+                kind: FaultKind::DecoderStall { extra_ms: 2.0 },
+            },
+            FaultEvent {
+                start_ms: 50.0,
+                end_ms: 150.0,
+                kind: FaultKind::DecoderStall { extra_ms: 1.0 },
+            },
+            FaultEvent {
+                start_ms: 150.0,
+                end_ms: 200.0,
+                kind: FaultKind::DecoderStall { extra_ms: 4.0 },
+            },
+        ]);
+        assert!((p.decoder_stall_ms(25.0) - 2.0).abs() < 1e-12);
+        assert!((p.decoder_stall_ms(75.0) - 3.0).abs() < 1e-12);
+        assert!((p.decoder_stall_ms(125.0) - 1.0).abs() < 1e-12);
+        // t = 150 is the boundary: the second window has closed, only the
+        // third is active — never 1.0 + 4.0
+        assert!((p.decoder_stall_ms(150.0) - 4.0).abs() < 1e-12);
+        // overlapping crash windows behave as one asserted signal
+        let c = FaultPlan::new(vec![
+            FaultEvent {
+                start_ms: 0.0,
+                end_ms: 60.0,
+                kind: FaultKind::DecoderCrash,
+            },
+            FaultEvent {
+                start_ms: 40.0,
+                end_ms: 100.0,
+                kind: FaultKind::DecoderCrash,
+            },
+        ]);
+        assert!(c.decoder_crashed(50.0));
+        assert!(c.decoder_crashed(99.9));
+        assert!(!c.decoder_crashed(100.0));
+        assert_eq!(c.active_labels(50.0), vec!["decoder-crash"; 2]);
+    }
+
+    #[test]
+    fn crash_storm_extends_the_canonical_timeline() {
+        let canonical = FaultPlan::canonical();
+        let storm = FaultPlan::crash_storm();
+        // the storm is a strict superset: the canonical events are intact,
+        // so it perturbs none of the canonical-plan metrics
+        assert_eq!(
+            &storm.events()[..canonical.events().len()],
+            canonical.events()
+        );
+        let crashes = storm
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::DecoderCrash)
+            .count();
+        assert_eq!(crashes, 5);
+        assert!(storm.decoder_crashed(1_050.0));
+        assert!(!storm.decoder_crashed(2_000.0));
+        assert!(storm.decoder_crashed(7_850.0));
+        assert!(!canonical.decoder_crashed(1_050.0));
+        // compressed clock keeps every crash window at least one 60 FPS
+        // frame period wide
+        let quick = FaultPlan::crash_storm_scaled(0.2);
+        for e in quick
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::DecoderCrash)
+        {
+            assert!(e.end_ms - e.start_ms >= 1000.0 / 60.0);
+        }
+        assert_eq!(FaultPlan::crash_storm_duration_ms(0.5), 10_000.0);
+    }
+
+    #[test]
     fn labels_are_stable() {
         let labels: Vec<&str> = FaultPlan::canonical()
             .events()
@@ -421,8 +604,13 @@ mod tests {
         );
         assert_eq!(FaultKind::Outage.label(), "outage");
         assert_eq!(
+            FaultKind::DecoderCrash.label(),
+            MissCause::DecoderCrash.label()
+        );
+        assert_eq!(
             crate::DropCause::QueueOverflow.label(),
             MissCause::QueueOverflow.label()
         );
+        assert_eq!(crate::DropCause::DecoderDown.label(), "decoder-down");
     }
 }

@@ -85,6 +85,12 @@ pub enum DropCause {
     /// The frame would have overflowed the bottleneck queue (tail drop —
     /// the channel is alive but too slow for the offered load).
     QueueOverflow,
+    /// The frame arrived but the client's decoder was down (crashed or
+    /// mid-reconfigure), so the payload was discarded undecoded. Emitted
+    /// by the session simulator's recovery state machine, never by
+    /// [`Link`] itself — the network delivered the frame; the client could
+    /// not use it.
+    DecoderDown,
     /// An injected outage window: the channel delivered nothing at all.
     Outage,
 }
@@ -94,6 +100,7 @@ impl DropCause {
     pub fn label(self) -> &'static str {
         match self {
             DropCause::QueueOverflow => "queue-overflow",
+            DropCause::DecoderDown => "decoder-down",
             DropCause::Outage => "outage",
         }
     }
@@ -273,6 +280,7 @@ impl Link {
                 rec.incr(gss_telemetry::Counter::FramesDropped);
                 rec.incr(match cause {
                     DropCause::QueueOverflow => gss_telemetry::Counter::DropsQueueOverflow,
+                    DropCause::DecoderDown => gss_telemetry::Counter::DropsDecoderDown,
                     DropCause::Outage => gss_telemetry::Counter::DropsOutage,
                 });
                 rec.instant(

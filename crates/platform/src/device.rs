@@ -12,10 +12,85 @@ pub use gss_telemetry::REALTIME_BUDGET_MS;
 /// distance: `2 · 30 cm · tan(3°) ≈ 3.14 cm ≈ 1.25 in` (paper §IV-B1).
 pub const FOVEAL_DIAMETER_INCHES: f64 = 1.25;
 
+/// Codec profiles a client decoder can expose in the session-start
+/// handshake, ordered weakest to strongest — `Ord` lets negotiation take
+/// the `min` of the offered and supported profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CodecProfile {
+    /// Constrained baseline: every decoder supports it.
+    Baseline,
+    /// Main profile.
+    Main,
+    /// High profile (the server's default offer).
+    High,
+}
+
+impl CodecProfile {
+    /// Kebab-case label for logs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CodecProfile::Baseline => "baseline",
+            CodecProfile::Main => "main",
+            CodecProfile::High => "high",
+        }
+    }
+}
+
+/// The capability set a client advertises at session start, exchanged in
+/// the `GameStreamServer`/`GameStreamClient` handshake so the server never
+/// sends a stream the client cannot decode or upscale.
+///
+/// The fields map onto the negotiation dimensions:
+/// - `max_decode_pixels` caps the coded resolution the hardware decoder
+///   sustains at 60 FPS — the server's offered decode resolution is
+///   clamped to it.
+/// - `codec_profile` is the strongest profile the decoder implements; the
+///   session streams `min(offered, supported)`.
+/// - `max_sr_cost_ratio` bounds which SR model tiers the NPU can run: a
+///   tier is supported iff its EDSR-relative per-pixel cost is at or below
+///   this ratio, which clamps the degradation ladder's best rung.
+/// - `thermal_envelope_w` is the sustained power budget before the SoC
+///   throttles (informational in the timing model; throttle behaviour is
+///   scripted via fault plans).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceCapabilities {
+    /// Largest coded frame (pixels) the hardware decoder sustains in
+    /// real time.
+    pub max_decode_pixels: usize,
+    /// Strongest codec profile the decoder implements.
+    pub codec_profile: CodecProfile,
+    /// Largest EDSR-relative SR model cost the NPU can host (1.0 admits
+    /// the full EDSR-64 tier).
+    pub max_sr_cost_ratio: f64,
+    /// Sustained power envelope before thermal throttling, watts.
+    pub thermal_envelope_w: f64,
+}
+
+impl DeviceCapabilities {
+    /// A flagship capability set that constrains nothing the reference
+    /// devices do: 4K decode, High profile, every SR tier.
+    pub fn flagship() -> Self {
+        DeviceCapabilities {
+            max_decode_pixels: 3840 * 2160,
+            codec_profile: CodecProfile::High,
+            max_sr_cost_ratio: 1.0,
+            thermal_envelope_w: 12.0,
+        }
+    }
+
+    /// Whether an SR model with the given EDSR-relative cost ratio fits
+    /// this client's NPU (small epsilon so a tier sitting exactly on the
+    /// bound is admitted despite float noise).
+    pub fn supports_cost_ratio(&self, cost_ratio: f64) -> bool {
+        cost_ratio <= self.max_sr_cost_ratio + 1e-12
+    }
+}
+
 /// A mobile client's calibrated performance/power model.
 ///
 /// Construct via [`DeviceProfile::s8_tab`] / [`DeviceProfile::pixel7_pro`],
-/// or build a custom profile for what-if studies.
+/// the synthetic [`DeviceProfile::matrix`] tiers, or build a custom
+/// profile for what-if studies.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceProfile {
     /// Marketing name.
@@ -60,6 +135,8 @@ pub struct DeviceProfile {
     /// Display-pipeline energy per presented frame, millijoules (panel
     /// timing controller + composition; scales with panel area).
     pub display_mj_per_frame: f64,
+    /// Capability set advertised in the session-start handshake.
+    pub capabilities: DeviceCapabilities,
 }
 
 impl DeviceProfile {
@@ -88,6 +165,7 @@ impl DeviceProfile {
             // the Tab's much larger 120 Hz panel drives a heavier display
             // pipeline, which is why its relative savings are lower (Fig. 11)
             display_mj_per_frame: 36.0,
+            capabilities: DeviceCapabilities::flagship(),
         }
     }
 
@@ -113,12 +191,122 @@ impl DeviceProfile {
             camera_w: 2.8,
             net_uj_per_byte: 0.05,
             display_mj_per_frame: 2.5,
+            capabilities: DeviceCapabilities {
+                thermal_envelope_w: 10.0,
+                ..DeviceCapabilities::flagship()
+            },
         }
     }
 
-    /// Both reference devices.
+    /// A synthetic entry-level client: a weak NPU that cannot host the
+    /// heavy EDSR tiers, a 720p-bound baseline-profile decoder and a tight
+    /// thermal envelope. Capability negotiation clamps its sessions to the
+    /// lightweight ladder rungs.
+    pub fn tier_low() -> Self {
+        DeviceProfile {
+            name: "Entry Tier (low NPU)",
+            ppi: 267.0,
+            npu_full_frame_ms: 520.0,
+            npu_alpha: 1.12,
+            gpu_bilinear_ms_per_mpx: 0.9,
+            cpu_bilinear_ms_per_mpx: 8.0,
+            cpu_reconstruct_ms_per_mpx: 2.2,
+            sw_decode_ms_per_mpx: 28.0,
+            hw_decode_ms_per_mpx: 7.5,
+            display_present_ms: 8.0,
+            npu_w: 2.5,
+            gpu_w: 2.0,
+            cpu_heavy_w: 2.5,
+            cpu_light_w: 1.4,
+            hw_decoder_w: 0.8,
+            camera_w: 2.2,
+            net_uj_per_byte: 0.06,
+            display_mj_per_frame: 4.0,
+            capabilities: DeviceCapabilities {
+                max_decode_pixels: 1280 * 720,
+                codec_profile: CodecProfile::Baseline,
+                // admits EDSR-16 (~0.064) and FSRCNN (~0.012), not EDSR-64
+                max_sr_cost_ratio: 0.1,
+                thermal_envelope_w: 6.0,
+            },
+        }
+    }
+
+    /// A synthetic mid-range client: between the entry tier and the
+    /// calibrated flagships, every SR tier admitted.
+    pub fn tier_mid() -> Self {
+        DeviceProfile {
+            name: "Mid Tier",
+            ppi: 400.0,
+            npu_full_frame_ms: 310.0,
+            npu_alpha: 1.13,
+            gpu_bilinear_ms_per_mpx: 0.55,
+            cpu_bilinear_ms_per_mpx: 6.2,
+            cpu_reconstruct_ms_per_mpx: 1.8,
+            sw_decode_ms_per_mpx: 23.0,
+            hw_decode_ms_per_mpx: 6.0,
+            display_present_ms: 7.5,
+            npu_w: 3.2,
+            gpu_w: 2.5,
+            cpu_heavy_w: 2.8,
+            cpu_light_w: 1.6,
+            hw_decoder_w: 0.9,
+            camera_w: 2.5,
+            net_uj_per_byte: 0.055,
+            display_mj_per_frame: 3.0,
+            capabilities: DeviceCapabilities {
+                max_decode_pixels: 2560 * 1440,
+                codec_profile: CodecProfile::Main,
+                max_sr_cost_ratio: 1.0,
+                thermal_envelope_w: 8.0,
+            },
+        }
+    }
+
+    /// A synthetic next-generation flagship: a faster NPU than either
+    /// calibrated reference device, nothing constrained.
+    pub fn tier_high() -> Self {
+        DeviceProfile {
+            name: "Flagship Tier (high NPU)",
+            ppi: 512.0,
+            npu_full_frame_ms: 150.0,
+            npu_alpha: 1.13,
+            gpu_bilinear_ms_per_mpx: 0.35,
+            cpu_bilinear_ms_per_mpx: 4.8,
+            cpu_reconstruct_ms_per_mpx: 1.3,
+            sw_decode_ms_per_mpx: 18.0,
+            hw_decode_ms_per_mpx: 4.5,
+            display_present_ms: 6.5,
+            npu_w: 4.5,
+            gpu_w: 3.2,
+            cpu_heavy_w: 3.2,
+            cpu_light_w: 1.8,
+            hw_decoder_w: 1.1,
+            camera_w: 2.8,
+            net_uj_per_byte: 0.045,
+            display_mj_per_frame: 2.2,
+            capabilities: DeviceCapabilities::flagship(),
+        }
+    }
+
+    /// Both reference devices (the paper's Table I hardware). Kept to the
+    /// calibrated pair on purpose — the paper-anchor tests iterate it; the
+    /// synthetic tiers live in [`DeviceProfile::matrix`].
     pub fn all() -> Vec<DeviceProfile> {
         vec![DeviceProfile::s8_tab(), DeviceProfile::pixel7_pro()]
+    }
+
+    /// The full device matrix the recovery/robustness experiments sweep:
+    /// both calibrated reference devices plus the synthetic low/mid/high
+    /// NPU tiers.
+    pub fn matrix() -> Vec<DeviceProfile> {
+        vec![
+            DeviceProfile::s8_tab(),
+            DeviceProfile::pixel7_pro(),
+            DeviceProfile::tier_low(),
+            DeviceProfile::tier_mid(),
+            DeviceProfile::tier_high(),
+        ]
     }
 
     /// NPU latency in ms for a DNN-SR pass over `input_pixels` (×2 scale).
@@ -342,6 +530,70 @@ mod tests {
         // timing scales exactly linearly with the slowdown
         let base = d.npu_sr_ms_for_model(300 * 300, 1.0);
         assert!((d.npu_sr_ms_throttled(300 * 300, 1.0, 2.5) - base * 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn the_matrix_extends_the_reference_pair_with_ordered_npu_tiers() {
+        let matrix = DeviceProfile::matrix();
+        assert_eq!(matrix.len(), 5);
+        assert_eq!(&matrix[..2], &DeviceProfile::all()[..]);
+        let names: std::collections::HashSet<&str> = matrix.iter().map(|d| d.name).collect();
+        assert_eq!(names.len(), 5, "device names must be unique");
+        // NPU tiers are ordered: low is slower than every reference
+        // device, high is faster than both
+        let px = 300 * 300;
+        let low = DeviceProfile::tier_low().npu_sr_ms(px);
+        let high = DeviceProfile::tier_high().npu_sr_ms(px);
+        for d in DeviceProfile::all() {
+            let t = d.npu_sr_ms(px);
+            assert!(low > t, "{} not slower than {}", low, t);
+            assert!(high < t, "{} not faster than {}", high, t);
+        }
+    }
+
+    #[test]
+    fn capability_sets_follow_the_tiers() {
+        let low = DeviceProfile::tier_low().capabilities;
+        let mid = DeviceProfile::tier_mid().capabilities;
+        let high = DeviceProfile::tier_high().capabilities;
+        assert!(low.max_decode_pixels < mid.max_decode_pixels);
+        assert!(mid.max_decode_pixels < high.max_decode_pixels);
+        assert!(low.codec_profile < mid.codec_profile);
+        assert!(mid.codec_profile < high.codec_profile);
+        assert!(low.thermal_envelope_w < high.thermal_envelope_w);
+        // the entry tier rejects the heavy EDSR-64 tier but admits the
+        // light models; the others admit everything
+        assert!(!low.supports_cost_ratio(1.0));
+        assert!(low.supports_cost_ratio(0.064));
+        assert!(low.supports_cost_ratio(0.013));
+        assert!(mid.supports_cost_ratio(1.0));
+        assert!(high.supports_cost_ratio(1.0));
+        // reference devices constrain nothing (their sessions predate the
+        // handshake and must stay byte-identical)
+        for d in DeviceProfile::all() {
+            assert!(d.capabilities.supports_cost_ratio(1.0));
+            assert!(d.capabilities.max_decode_pixels >= 2560 * 1440);
+            assert_eq!(d.capabilities.codec_profile, CodecProfile::High);
+        }
+    }
+
+    #[test]
+    fn codec_profiles_order_weakest_to_strongest() {
+        assert!(CodecProfile::Baseline < CodecProfile::Main);
+        assert!(CodecProfile::Main < CodecProfile::High);
+        assert_eq!(
+            CodecProfile::High.min(CodecProfile::Baseline),
+            CodecProfile::Baseline
+        );
+        let labels: std::collections::HashSet<&str> = [
+            CodecProfile::Baseline,
+            CodecProfile::Main,
+            CodecProfile::High,
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        assert_eq!(labels.len(), 3);
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub mod plane_ops;
 pub mod pool;
 mod server;
 
-pub use device::{DeviceProfile, FOVEAL_DIAMETER_INCHES, REALTIME_BUDGET_MS};
+pub use device::{
+    CodecProfile, DeviceCapabilities, DeviceProfile, FOVEAL_DIAMETER_INCHES, REALTIME_BUDGET_MS,
+};
 pub use energy::{EnergyBreakdown, EnergyMeter, Rail, Stage};
 pub use server::ServerModel;

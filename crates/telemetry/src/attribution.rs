@@ -45,6 +45,10 @@ pub enum MissCause {
     QueueOverflow,
     /// A decoder stall inflated the decode stage beyond its baseline.
     DecoderStall,
+    /// The hardware decoder crashed: the frame missed (or froze) while the
+    /// recovery state machine was draining, reconfiguring or waiting for a
+    /// keyframe resync.
+    DecoderCrash,
     /// The SR pass overran the budget with no fault active — the
     /// configuration is intrinsically too slow for the deadline.
     SrOverrun,
@@ -62,7 +66,7 @@ pub enum MissCause {
 
 impl MissCause {
     /// Number of causes.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// All causes, in declaration order.
     pub const ALL: [MissCause; MissCause::COUNT] = [
@@ -71,6 +75,7 @@ impl MissCause {
         MissCause::JitterSpike,
         MissCause::QueueOverflow,
         MissCause::DecoderStall,
+        MissCause::DecoderCrash,
         MissCause::SrOverrun,
         MissCause::LadderLag,
         MissCause::PoolImbalance,
@@ -92,6 +97,7 @@ impl MissCause {
             MissCause::JitterSpike => "jitter-spike",
             MissCause::QueueOverflow => "queue-overflow",
             MissCause::DecoderStall => "decoder-stall",
+            MissCause::DecoderCrash => "decoder-crash",
             MissCause::SrOverrun => "sr-overrun",
             MissCause::LadderLag => "ladder-lag",
             MissCause::PoolImbalance => "pool-imbalance",
@@ -571,6 +577,12 @@ impl Attributor {
             }
             return (MissCause::NpuThrottle, evidence);
         }
+        if fault("decoder-crash") || f.drop_cause.as_deref() == Some("decoder-down") {
+            return (
+                MissCause::DecoderCrash,
+                "decoder down: crash recovery in progress".to_owned(),
+            );
+        }
         if fault("decoder-stall") && elevated(Stage::Decode) {
             return (
                 MissCause::DecoderStall,
@@ -621,6 +633,7 @@ fn drop_label_to_cause(label: &str) -> Option<MissCause> {
     match label {
         "queue-overflow" => Some(MissCause::QueueOverflow),
         "outage" => Some(MissCause::NetOutage),
+        "decoder-down" => Some(MissCause::DecoderCrash),
         _ => None,
     }
 }

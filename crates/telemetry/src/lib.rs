@@ -168,11 +168,19 @@ pub enum Counter {
     DropsQueueOverflow,
     /// Link drops caused by a scripted outage window.
     DropsOutage,
+    /// Delivered frames discarded because the client decoder was down
+    /// (crashed or mid-reconfigure).
+    DropsDecoderDown,
+    /// Hardware decoder crashes observed by the recovery state machine.
+    DecoderCrashes,
+    /// Decoder reconfigure attempts started by the recovery state machine
+    /// (> crashes when keyframe resync times out and the attempt retries).
+    DecoderReconfigures,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 17;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -190,6 +198,9 @@ impl Counter {
         Counter::NackRetries,
         Counter::DropsQueueOverflow,
         Counter::DropsOutage,
+        Counter::DropsDecoderDown,
+        Counter::DecoderCrashes,
+        Counter::DecoderReconfigures,
     ];
 
     /// Stable array index of this counter.
@@ -214,6 +225,9 @@ impl Counter {
             Counter::NackRetries => "nack-retries",
             Counter::DropsQueueOverflow => "drops-queue-overflow",
             Counter::DropsOutage => "drops-outage",
+            Counter::DropsDecoderDown => "drops-decoder-down",
+            Counter::DecoderCrashes => "decoder-crashes",
+            Counter::DecoderReconfigures => "decoder-reconfigures",
         }
     }
 }
@@ -233,11 +247,14 @@ pub enum Gauge {
     LadderRung,
     /// NPU thermal slowdown factor applied to the SR timing model.
     NpuSlowdown,
+    /// Recovery state machine position (0 = healthy, 1 = draining,
+    /// 2 = reconfiguring, 3 = awaiting keyframe).
+    RecoveryState,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All gauges, in declaration order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -247,6 +264,7 @@ impl Gauge {
         Gauge::LinkBandwidthMbps,
         Gauge::LadderRung,
         Gauge::NpuSlowdown,
+        Gauge::RecoveryState,
     ];
 
     /// Stable array index of this gauge.
@@ -263,6 +281,7 @@ impl Gauge {
             Gauge::LinkBandwidthMbps => "link-bandwidth-mbps",
             Gauge::LadderRung => "ladder-rung",
             Gauge::NpuSlowdown => "npu-slowdown",
+            Gauge::RecoveryState => "recovery-state",
         }
     }
 }

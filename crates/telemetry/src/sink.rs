@@ -61,6 +61,10 @@ pub enum InstantKind {
     /// A service-level objective entered or left breach (detail carries
     /// the objective name and its burn rates).
     SloBreach,
+    /// The decoder-crash recovery state machine changed state (detail
+    /// carries the transition: crash detected, reconfigure attempt,
+    /// keyframe resync, safe-profile fallback).
+    Recovery,
 }
 
 impl InstantKind {
@@ -73,6 +77,7 @@ impl InstantKind {
             InstantKind::Nack => "nack",
             InstantKind::Fault => "fault",
             InstantKind::SloBreach => "slo-breach",
+            InstantKind::Recovery => "recovery",
         }
     }
 }
@@ -501,11 +506,12 @@ mod tests {
             InstantKind::Nack,
             InstantKind::Fault,
             InstantKind::SloBreach,
+            InstantKind::Recovery,
         ]
         .iter()
         .map(|k| k.label())
         .collect();
-        assert_eq!(labels.len(), 6, "instant labels must be unique");
+        assert_eq!(labels.len(), 7, "instant labels must be unique");
     }
 
     #[test]
