@@ -23,7 +23,7 @@
 //! - **Informational** (raw wall-clock): recorded for trend archaeology,
 //!   never gated (`None` tolerances — the check always passes them).
 
-use crate::experiments::{recovery, resilience, scaling};
+use crate::experiments::{consolidate, recovery, resilience, scaling};
 use crate::{RunOptions, Table};
 use gss_telemetry::json::{self, Json};
 
@@ -228,6 +228,51 @@ pub(crate) fn recovery_metrics(runs: &recovery::RecoveryRuns) -> Vec<BenchMetric
     out
 }
 
+/// The deterministic metric set of one consolidation sweep — every value
+/// is replayed bit-identically on any host and worker count by the fleet
+/// determinism contract (`tests/fleet.rs` pins it).
+pub(crate) fn consolidate_metrics(sweep: &consolidate::ConsolidationSweep) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for p in &sweep.points {
+        let r = &p.report;
+        let tag = format!("consolidate.n{}", p.n);
+        out.push(BenchMetric::exact(
+            format!("{tag}.healthy_sessions"),
+            p.healthy_sessions() as f64,
+        ));
+        out.push(BenchMetric::modeled(
+            format!("{tag}.min_fps_effective"),
+            r.min_fps_effective(),
+        ));
+        out.push(BenchMetric::modeled(
+            format!("{tag}.mean_fps_effective"),
+            r.mean_fps_effective(),
+        ));
+        out.push(BenchMetric::modeled(
+            format!("{tag}.mtp_p99_ms"),
+            r.mtp_p99_ms,
+        ));
+        out.push(BenchMetric::exact(
+            format!("{tag}.frames"),
+            r.total_frames() as f64,
+        ));
+        out.push(BenchMetric::exact(
+            format!("{tag}.frozen"),
+            r.total_frozen() as f64,
+        ));
+        let flow = r.total_flow();
+        out.push(BenchMetric::exact(
+            format!("{tag}.drops_queue_overflow"),
+            flow.drops_queue_overflow as f64,
+        ));
+        out.push(BenchMetric::modeled(
+            format!("{tag}.miss_attributed_fraction"),
+            r.attributed_fraction(),
+        ));
+    }
+    out
+}
+
 /// Runs the benchmarked experiments and collects the metric set.
 pub fn collect(options: &RunOptions) -> Baseline {
     let mut metrics = Vec::new();
@@ -271,6 +316,15 @@ pub fn collect(options: &RunOptions) -> Baseline {
     metrics.push(BenchMetric::informational(
         "scaling.wall_ms",
         scaling_wall_ms,
+    ));
+
+    let t0 = std::time::Instant::now();
+    let sweep = consolidate::measure(options);
+    let consolidate_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    metrics.extend(consolidate_metrics(&sweep));
+    metrics.push(BenchMetric::informational(
+        "consolidate.wall_ms",
+        consolidate_wall_ms,
     ));
 
     Baseline {

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod common;
+pub mod consolidate;
 pub mod fig10;
 pub mod fig11_12;
 pub mod fig13;

@@ -64,7 +64,7 @@ impl RunOptions {
 }
 
 /// All experiment ids in report order.
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "table1",
     "fig2",
     "fig3a",
@@ -86,6 +86,7 @@ pub const ALL_EXPERIMENTS: [&str; 21] = [
     "resilience",
     "recovery",
     "scaling",
+    "consolidate",
 ];
 
 /// Runs one experiment by id, printing its rows to stdout.
@@ -118,6 +119,7 @@ pub fn run_experiment(id: &str, options: &RunOptions) -> Result<(), String> {
         "resilience" => e::resilience::run(options),
         "recovery" => e::recovery::run(options),
         "scaling" => e::scaling::run(options),
+        "consolidate" => e::consolidate::run(options),
         other => return Err(format!("unknown experiment id: {other}")),
     }
     Ok(())

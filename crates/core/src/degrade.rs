@@ -281,12 +281,23 @@ pub enum NackSignal {
 
 /// Keyframe-request state machine: one NACK per loss, re-issued with
 /// exponential backoff while the keyframe fails to arrive.
+///
+/// The retry schedule is keyed on the manager's **own** frame counter:
+/// every [`begin_frame`](Self::begin_frame) poll is one frame of this
+/// session's timeline, counted internally. Earlier revisions took the
+/// caller's frame index, which silently coupled the backoff window to
+/// whatever counter the caller happened to share — two sessions polled
+/// from one loop at different frame phases would stretch or collapse each
+/// other's retry windows. Per-session isolation now holds by construction.
 #[derive(Debug, Clone)]
 pub struct NackManager {
     timeout_frames: usize,
     backoff_max_frames: usize,
     awaiting: bool,
     pending_request: bool,
+    /// Frames observed by this manager (incremented per poll).
+    frame: usize,
+    /// Retry deadline on the internal frame counter.
     deadline: Option<usize>,
     backoff: usize,
 }
@@ -308,9 +319,16 @@ impl NackManager {
             backoff_max_frames,
             awaiting: false,
             pending_request: false,
+            frame: 0,
             deadline: None,
             backoff: timeout_frames,
         }
+    }
+
+    /// Frames this manager has observed (one per
+    /// [`begin_frame`](Self::begin_frame) poll).
+    pub fn frames_observed(&self) -> usize {
+        self.frame
     }
 
     /// Whether a keyframe is still outstanding.
@@ -339,20 +357,23 @@ impl NackManager {
         self.backoff = self.timeout_frames;
     }
 
-    /// Polled at the start of frame `frame_index`, before the server
-    /// encodes: says whether to send a (re-)request this frame.
-    pub fn begin_frame(&mut self, frame_index: usize) -> Option<NackSignal> {
+    /// Polled once at the start of every frame of this session, before the
+    /// server encodes: says whether to send a (re-)request this frame.
+    /// Each call advances the manager's internal frame counter by one.
+    pub fn begin_frame(&mut self) -> Option<NackSignal> {
+        let now = self.frame;
+        self.frame += 1;
         if !self.awaiting {
             return None;
         }
         if self.pending_request {
             self.pending_request = false;
-            self.deadline = Some(frame_index + self.backoff);
+            self.deadline = Some(now + self.backoff);
             return Some(NackSignal::Fresh);
         }
-        if self.deadline.is_some_and(|d| frame_index >= d) {
+        if self.deadline.is_some_and(|d| now >= d) {
             self.backoff = (self.backoff * 2).min(self.backoff_max_frames);
-            self.deadline = Some(frame_index + self.backoff);
+            self.deadline = Some(now + self.backoff);
             return Some(NackSignal::Retry);
         }
         None
@@ -489,34 +510,85 @@ mod tests {
         assert_eq!(ctl.observe(false), Some(LadderStep::Upgrade));
     }
 
+    /// Polls `nack` for `n` frames, asserting every poll stays quiet.
+    fn quiet_frames(nack: &mut NackManager, n: usize) {
+        for _ in 0..n {
+            assert_eq!(
+                nack.begin_frame(),
+                None,
+                "unexpected signal at frame {}",
+                nack.frames_observed()
+            );
+        }
+    }
+
     #[test]
     fn nack_retries_with_exponential_backoff() {
         let mut nack = NackManager::new(3, 24);
-        assert_eq!(nack.begin_frame(0), None);
+        assert_eq!(nack.begin_frame(), None); // frame 0: nothing lost
         nack.on_loss();
-        assert_eq!(nack.begin_frame(1), Some(NackSignal::Fresh));
-        // waits out the timeout...
-        assert_eq!(nack.begin_frame(2), None);
-        assert_eq!(nack.begin_frame(3), None);
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Fresh)); // frame 1
+                                                                 // waits out the timeout (frames 2-3)...
+        quiet_frames(&mut nack, 2);
         // ...then retries with doubled backoff: 3 → 6 → 12 → 24 → 24
-        assert_eq!(nack.begin_frame(4), Some(NackSignal::Retry));
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Retry)); // frame 4
         assert_eq!(nack.backoff_frames(), 6);
-        assert_eq!(nack.begin_frame(9), None);
-        assert_eq!(nack.begin_frame(10), Some(NackSignal::Retry));
+        quiet_frames(&mut nack, 5); // frames 5-9
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Retry)); // frame 10
         assert_eq!(nack.backoff_frames(), 12);
-        assert_eq!(nack.begin_frame(22), Some(NackSignal::Retry));
+        quiet_frames(&mut nack, 11); // frames 11-21
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Retry)); // frame 22
         assert_eq!(nack.backoff_frames(), 24);
-        assert_eq!(nack.begin_frame(46), Some(NackSignal::Retry));
+        quiet_frames(&mut nack, 23); // frames 23-45
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Retry)); // frame 46
         assert_eq!(nack.backoff_frames(), 24, "backoff is bounded");
         // delivery resets everything
         nack.on_keyframe_delivered();
         assert!(!nack.awaiting());
         assert_eq!(nack.backoff_frames(), 3);
-        assert_eq!(nack.begin_frame(50), None);
-        // a second loss starts from the base timeout again
+        assert_eq!(nack.begin_frame(), None); // frame 47
+                                              // a second loss starts from the base timeout again
         nack.on_loss();
-        assert_eq!(nack.begin_frame(51), Some(NackSignal::Fresh));
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Fresh)); // frame 48
         assert_eq!(nack.backoff_frames(), 3);
+    }
+
+    #[test]
+    fn nack_schedules_are_isolated_between_sessions_at_different_phases() {
+        // Two sessions polled from one loop, the second joining 17 frames
+        // late: each manager's backoff window must be keyed on its own
+        // frame counter, so the phase offset cannot perturb either
+        // schedule. Signals are recorded relative to each session's own
+        // loss and must match exactly.
+        let schedule_of = |phase_lag: usize| {
+            let mut nack = NackManager::new(3, 24);
+            for _ in 0..phase_lag {
+                assert_eq!(nack.begin_frame(), None);
+            }
+            nack.on_loss();
+            (0..40).map(|_| nack.begin_frame()).collect::<Vec<_>>()
+        };
+        let a = schedule_of(0);
+        let b = schedule_of(17);
+        assert_eq!(a, b, "phase lag leaked into the retry schedule");
+        assert_eq!(a[0], Some(NackSignal::Fresh));
+        assert!(a.contains(&Some(NackSignal::Retry)));
+
+        // And interleaved polling of two live managers cannot cross-talk:
+        // session B's schedule is identical whether A exists or not.
+        let mut a_live = NackManager::new(3, 24);
+        let mut b_live = NackManager::new(3, 24);
+        for _ in 0..17 {
+            let _ = a_live.begin_frame();
+        }
+        a_live.on_loss();
+        b_live.on_loss();
+        let mut b_signals = Vec::new();
+        for _ in 0..40 {
+            let _ = a_live.begin_frame();
+            b_signals.push(b_live.begin_frame());
+        }
+        assert_eq!(b_signals, schedule_of(0));
     }
 
     #[test]
@@ -573,12 +645,13 @@ mod tests {
         // every further retry stays pinned there
         let mut nack = NackManager::new(24, 24);
         nack.on_loss();
-        assert_eq!(nack.begin_frame(0), Some(NackSignal::Fresh));
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Fresh)); // frame 0
         assert_eq!(nack.backoff_frames(), 24);
-        assert_eq!(nack.begin_frame(24), Some(NackSignal::Retry));
+        quiet_frames(&mut nack, 23); // frames 1-23
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Retry)); // frame 24
         assert_eq!(nack.backoff_frames(), 24, "2x24 clamps back to 24");
-        assert_eq!(nack.begin_frame(47), None);
-        assert_eq!(nack.begin_frame(48), Some(NackSignal::Retry));
+        quiet_frames(&mut nack, 23); // frames 25-47
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Retry)); // frame 48
         assert_eq!(nack.backoff_frames(), 24);
     }
 
@@ -586,22 +659,21 @@ mod tests {
     fn keyframe_mid_backoff_window_resets_the_schedule() {
         let mut nack = NackManager::new(3, 24);
         nack.on_loss();
-        assert_eq!(nack.begin_frame(0), Some(NackSignal::Fresh));
-        assert_eq!(nack.begin_frame(3), Some(NackSignal::Retry));
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Fresh)); // frame 0
+        quiet_frames(&mut nack, 2); // frames 1-2
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Retry)); // frame 3
         assert_eq!(nack.backoff_frames(), 6);
         // the keyframe lands while the 6-frame retry window is still open
         nack.on_keyframe_delivered();
         assert!(!nack.awaiting());
         assert_eq!(nack.backoff_frames(), 3, "backoff resets to the base");
         // the stale deadline must not fire a ghost retry later
-        for f in 4..40 {
-            assert_eq!(nack.begin_frame(f), None, "ghost retry at frame {f}");
-        }
-        // and a fresh loss starts a brand-new schedule from the base
+        quiet_frames(&mut nack, 36); // frames 4-39
+                                     // and a fresh loss starts a brand-new schedule from the base
         nack.on_loss();
-        assert_eq!(nack.begin_frame(40), Some(NackSignal::Fresh));
-        assert_eq!(nack.begin_frame(42), None);
-        assert_eq!(nack.begin_frame(43), Some(NackSignal::Retry));
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Fresh)); // frame 40
+        quiet_frames(&mut nack, 2); // frames 41-42
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Retry)); // frame 43
     }
 
     #[test]
@@ -613,14 +685,14 @@ mod tests {
         nack.on_loss();
         nack.on_keyframe_delivered();
         assert!(!nack.awaiting());
-        assert_eq!(nack.begin_frame(1), None, "nothing outstanding");
+        assert_eq!(nack.begin_frame(), None, "nothing outstanding");
         // ...while the reverse order (keyframe then a same-frame loss)
         // leaves exactly one fresh request for the next poll
         nack.on_keyframe_delivered();
         nack.on_loss();
         assert!(nack.awaiting());
-        assert_eq!(nack.begin_frame(2), Some(NackSignal::Fresh));
-        assert_eq!(nack.begin_frame(3), None);
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Fresh));
+        assert_eq!(nack.begin_frame(), None);
     }
 
     #[test]
@@ -629,8 +701,8 @@ mod tests {
         nack.on_loss();
         nack.on_loss();
         nack.on_loss();
-        assert_eq!(nack.begin_frame(1), Some(NackSignal::Fresh));
-        assert_eq!(nack.begin_frame(2), None);
+        assert_eq!(nack.begin_frame(), Some(NackSignal::Fresh));
+        assert_eq!(nack.begin_frame(), None);
     }
 
     #[test]

@@ -1,0 +1,1335 @@
+//! Fleet-scale consolidation simulator: many sessions, one server, one
+//! shared uplink.
+//!
+//! A consolidation server runs N concurrent [`session`](crate::session)-
+//! style pipelines behind a single bottleneck uplink with a global
+//! bandwidth budget. [`FleetSim`] is the discrete-event driver: logical
+//! time advances in 60 Hz ticks ([`FleetSim::step`]), and each tick runs
+//! five phases in a fixed order:
+//!
+//! 1. **Departures** — sessions whose scripted `leave_tick` arrived are
+//!    finalized (their last frame is `leave_tick - 1`).
+//! 2. **Admission** — arrivals whose `join_tick` arrived enter a FIFO
+//!    queue; the head of the queue is admitted while concurrency is below
+//!    [`AdmissionPolicy::capacity`]; joins beyond
+//!    [`AdmissionPolicy::queue_limit`] waiting slots are rejected.
+//! 3. **Allocation** — the shared budget
+//!    (`bandwidth_mbps × uplink_utilization`) is split fairly across the
+//!    admitted sessions; each session's encoder rate target is actuated
+//!    through [`GameStreamServer::set_rate_target_scale`], *composed* with
+//!    its degradation-ladder rung scale. Server-side stage latencies are
+//!    stretched by the consolidation factor `ceil(n / server_slots)` —
+//!    sessions time-share the render/encode GPU.
+//! 4. **Produce** (parallel) — every admitted session renders, detects its
+//!    RoI and encodes its frame. Sessions are batched across the worker
+//!    pool via [`PoolHandle::for_each_mut`]; each session owns its
+//!    recorder, trace sink and RNG-free pipeline state, so the phase is
+//!    embarrassingly parallel and bit-deterministic at any worker count.
+//! 5. **Transport + control** (serial) — staged packets cross the
+//!    [`SharedLink`] in session order (the bottleneck has one clock and
+//!    one RNG, so the serial order *is* the determinism contract), then
+//!    each session runs its client model, NACK/recovery machines,
+//!    SLO engine and degradation controller.
+//!
+//! Determinism: one seed fixes the shared channel; per-session pipelines
+//! consume no shared mutable state in the parallel phase; phases 1–3 and
+//! 5 are serial. Two runs with the same [`FleetConfig`] produce
+//! byte-identical [`FleetReport::to_json`] output at any worker count —
+//! `tests/fleet.rs` pins this.
+
+use std::collections::VecDeque;
+
+use crate::degrade::{
+    DegradationConfig, DegradationController, LadderRung, LadderStep, NackManager, NackSignal,
+    LADDER,
+};
+use crate::mtp::{self, MtpBreakdown, FULL_LR};
+use crate::negotiate::negotiate;
+use crate::recovery::{RecoveryConfig, RecoveryEvent, RecoveryMachine, RecoverySummary};
+use crate::roi::{plan_roi_window, RoiDetectorConfig};
+use crate::server::{GameStreamServer, ServerConfig};
+use crate::GssError;
+use gss_codec::{EncoderConfig, FrameType, RateControlConfig};
+use gss_net::{DropCause, FaultPlan, FlowStats, LinkProfile, SharedLink};
+use gss_platform::pool::PoolHandle;
+use gss_platform::{DeviceProfile, ServerModel, REALTIME_BUDGET_MS};
+use gss_render::GameId;
+use gss_telemetry::{
+    Attributor, Counter, FrameHealth, Gauge, InstantKind, Level, Recorder, SessionAttribution,
+    SinkHandle, SloEngine, SloSummary, TelemetrySummary, TraceSession, TraceSink,
+};
+
+/// One session's place in the fleet timeline.
+#[derive(Debug, Clone)]
+pub struct FleetSessionSpec {
+    /// Game workload.
+    pub game: GameId,
+    /// Client device model.
+    pub device: DeviceProfile,
+    /// Session-local fault timeline: outages/jitter/bandwidth events shape
+    /// this session's last hop into the shared bottleneck; decoder
+    /// crash/stall and NPU-throttle events hit this session's client.
+    pub fault_plan: FaultPlan,
+    /// Fleet tick at which the session requests admission.
+    pub join_tick: usize,
+    /// Fleet tick at which the session departs (its last frame is
+    /// `leave_tick - 1`); `None` streams until the fleet run ends.
+    pub leave_tick: Option<usize>,
+}
+
+impl FleetSessionSpec {
+    /// A session joining at tick 0 and staying until the run ends.
+    pub fn new(game: GameId, device: DeviceProfile) -> Self {
+        FleetSessionSpec {
+            game,
+            device,
+            fault_plan: FaultPlan::default(),
+            join_tick: 0,
+            leave_tick: None,
+        }
+    }
+
+    /// Sets the admission-request tick.
+    pub fn joining_at(mut self, tick: usize) -> Self {
+        self.join_tick = tick;
+        self
+    }
+
+    /// Sets the departure tick.
+    pub fn leaving_at(mut self, tick: usize) -> Self {
+        self.leave_tick = Some(tick);
+        self
+    }
+
+    /// Attaches a session-local fault timeline.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+}
+
+/// Join admission control for the consolidation server.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Maximum concurrently admitted sessions (the capacity estimate).
+    pub capacity: usize,
+    /// Joins allowed to wait in the FIFO queue; arrivals beyond this are
+    /// rejected outright.
+    pub queue_limit: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            capacity: 8,
+            queue_limit: 4,
+        }
+    }
+}
+
+/// Full configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Shared-bottleneck profile (its `bandwidth_mbps` is the uplink's
+    /// nominal capacity).
+    pub link: LinkProfile,
+    /// Channel seed; one seed fixes the whole fleet's bandwidth trace and
+    /// jitter stream.
+    pub link_seed: u64,
+    /// Fault timeline shaping the shared bottleneck itself (hits every
+    /// flow at once — a staggered storm is per-session plans instead).
+    pub shared_faults: FaultPlan,
+    /// Fleet ticks to run (60 ticks = 1 s logical).
+    pub ticks: usize,
+    /// Low-resolution canvas every session's data path runs on.
+    pub lr_size: (usize, usize),
+    /// GOP length per session.
+    pub gop_size: usize,
+    /// Intra quality of each session's encoder.
+    pub encoder_quality: u8,
+    /// Per-session nominal rate target, Mbps at deployment scale. The
+    /// allocator scales this down when the fleet oversubscribes the
+    /// budget.
+    pub session_rate_mbps: f64,
+    /// Fraction of the bottleneck's nominal bandwidth the allocator hands
+    /// out (headroom for keyframes, jitter and bandwidth fades).
+    pub uplink_utilization: f64,
+    /// Concurrent render/encode slots on the consolidation server:
+    /// server-side stage latencies stretch by `ceil(n / server_slots)`.
+    pub server_slots: usize,
+    /// Server timing model (per slot).
+    pub server_model: ServerModel,
+    /// Degradation-ladder configuration shared by every session; `None`
+    /// pins each session to its negotiated rung.
+    pub degradation: Option<DegradationConfig>,
+    /// Join admission control.
+    pub admission: AdmissionPolicy,
+    /// Worker-pool capacity for the produce phase, captured once at
+    /// construction (see [`PoolHandle`]).
+    pub pool: PoolHandle,
+    /// The fleet timeline.
+    pub sessions: Vec<FleetSessionSpec>,
+}
+
+impl FleetConfig {
+    /// A fleet on the given shared link with no sessions yet: 120 ticks,
+    /// fast canvas, adaptive degradation, default admission policy.
+    pub fn new(link: LinkProfile, link_seed: u64) -> Self {
+        FleetConfig {
+            link,
+            link_seed,
+            shared_faults: FaultPlan::default(),
+            ticks: 120,
+            lr_size: (128, 72),
+            gop_size: 60,
+            encoder_quality: 75,
+            session_rate_mbps: 8.0,
+            uplink_utilization: 0.7,
+            server_slots: 4,
+            server_model: ServerModel::default(),
+            degradation: Some(DegradationConfig::default()),
+            admission: AdmissionPolicy::default(),
+            pool: PoolHandle::current(),
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Adds a session spec.
+    pub fn with_session(mut self, spec: FleetSessionSpec) -> Self {
+        self.sessions.push(spec);
+        self
+    }
+
+    /// Sets the tick count.
+    pub fn with_ticks(mut self, ticks: usize) -> Self {
+        self.ticks = ticks;
+        self
+    }
+
+    /// The bandwidth budget the allocator splits across admitted
+    /// sessions, Mbps.
+    pub fn budget_mbps(&self) -> f64 {
+        self.link.bandwidth_mbps * self.uplink_utilization
+    }
+
+    fn canvas_to_full(&self) -> f64 {
+        let ratio = FULL_LR.pixels() as f64 / (self.lr_size.0 * self.lr_size.1) as f64;
+        ratio.powf(0.835)
+    }
+}
+
+/// Packet staged by the parallel produce phase for the serial transport
+/// phase.
+struct StagedPacket {
+    bytes_full: usize,
+    frame_type: FrameType,
+    rung: usize,
+    slowdown: f64,
+    stall_ms: f64,
+}
+
+/// One admitted session's live pipeline state.
+struct ActiveSession {
+    spec_idx: usize,
+    device: DeviceProfile,
+    fault_plan: FaultPlan,
+    joined_tick: usize,
+    flow: usize,
+    frame: usize,
+    server: GameStreamServer,
+    rec: Recorder,
+    trace: TraceSink,
+    slo: SloEngine,
+    controller: Option<DegradationController>,
+    pinned_rung: usize,
+    nack: NackManager,
+    recovery: Option<RecoveryMachine>,
+    base_side: usize,
+    active_side: usize,
+    active_cost: f64,
+    decode_pixels: usize,
+    alloc_scale: f64,
+    active_faults: Vec<&'static str>,
+    staged: Option<StagedPacket>,
+    error: Option<GssError>,
+    // accumulators
+    frames_total: u64,
+    frames_ok: u64,
+    frames_frozen: u64,
+    deadline_misses: u64,
+    drops_decoder_down: u64,
+    max_rung: usize,
+    mtp_totals: Vec<f64>,
+}
+
+impl ActiveSession {
+    /// The rung the session should currently be running (controller rung,
+    /// or the negotiated pin without a controller).
+    fn current_rung(&self) -> LadderRung {
+        match &self.controller {
+            Some(ctl) => ctl.rung_params(),
+            None => LADDER[self.pinned_rung],
+        }
+    }
+
+    /// Applies one ladder rung to the live pipeline, composing the rate
+    /// scale with the fleet allocator's share (the session-level analogue
+    /// of `session::apply_rung_params`; the client tier is implied by
+    /// `active_cost` since fleet sessions skip the pixel data path).
+    fn apply_rung(&mut self, rung: &LadderRung, lr_size: (usize, usize)) {
+        self.active_side = rung.roi_side(&self.device, self.base_side);
+        self.active_cost = rung.tier.map_or(1.0, |t| t.cost_ratio());
+        self.server
+            .set_rate_target_scale(rung.rate_scale * self.alloc_scale);
+        let canvas_side = ((self.active_side * lr_size.0) / FULL_LR.width())
+            .max(8)
+            .min(lr_size.0.min(lr_size.1));
+        self.server.set_roi_window((canvas_side, canvas_side));
+    }
+
+    /// Folds recovery-machine transitions into the live session (the
+    /// fleet-local analogue of `session::apply_recovery_events`).
+    fn apply_recovery(&mut self, events: &[RecoveryEvent], now_ms: f64, lr_size: (usize, usize)) {
+        for ev in events {
+            self.rec.instant(InstantKind::Recovery, now_ms, ev.detail());
+            match ev {
+                RecoveryEvent::CrashDetected { .. } => {
+                    self.rec.incr(Counter::DecoderCrashes);
+                    self.rec.log(Level::Warn, ev.detail());
+                    if let Some(ctl) = self.controller.as_mut() {
+                        if ctl.force_rung(LADDER.len() - 1) {
+                            let rung = ctl.rung_params();
+                            self.apply_rung(&rung, lr_size);
+                        }
+                    }
+                }
+                RecoveryEvent::Reconfiguring { .. } => {
+                    self.rec.incr(Counter::DecoderReconfigures);
+                }
+                RecoveryEvent::AwaitingKeyframe => {
+                    self.nack.on_keyframe_delivered();
+                    self.nack.on_loss();
+                }
+                RecoveryEvent::AttemptFailed { .. } => {
+                    self.rec.log(Level::Warn, ev.detail());
+                }
+                RecoveryEvent::SafeProfileFallback => {
+                    self.rec.log(Level::Error, ev.detail());
+                    if let Some(ctl) = self.controller.as_mut() {
+                        if ctl.clamp_ceiling(LADDER.len() - 1) {
+                            let rung = ctl.rung_params();
+                            self.apply_rung(&rung, lr_size);
+                        }
+                    }
+                }
+                RecoveryEvent::Recovered { .. } => {
+                    self.rec.log(Level::Info, ev.detail());
+                }
+            }
+        }
+    }
+
+    /// Parallel phase: open the frame, walk the fault/recovery/NACK
+    /// machinery, render + detect + encode, and stage the packet for the
+    /// serial transport phase. Touches only `self`.
+    fn produce(&mut self, now_ms: f64, config: &FleetConfig) {
+        self.rec.begin_frame(self.frame as u64);
+        let faults_now = self.fault_plan.active_labels(now_ms);
+        if faults_now != self.active_faults {
+            let msg = if faults_now.is_empty() {
+                "faults cleared".to_owned()
+            } else {
+                format!("faults active: {}", faults_now.join("+"))
+            };
+            self.rec.log(Level::Warn, msg.clone());
+            self.rec.instant(InstantKind::Fault, now_ms, msg);
+            self.active_faults = faults_now;
+        }
+        let slowdown = self.fault_plan.npu_slowdown(now_ms);
+        if slowdown > 1.0 {
+            self.rec.gauge(Gauge::NpuSlowdown, slowdown);
+        }
+        if self.recovery.is_some() {
+            let crashed = self.fault_plan.decoder_crashed(now_ms);
+            let events = self
+                .recovery
+                .as_mut()
+                .map(|rm| rm.begin_frame(crashed))
+                .unwrap_or_default();
+            self.apply_recovery(&events, now_ms, config.lr_size);
+            if let Some(rm) = &self.recovery {
+                self.rec
+                    .gauge(Gauge::RecoveryState, rm.state().gauge_value());
+            }
+        }
+        let rung_now = self.controller.as_ref().map_or(self.pinned_rung, |c| {
+            self.rec.gauge(Gauge::LadderRung, c.rung() as f64);
+            c.rung()
+        });
+        if let Some(signal) = self.nack.begin_frame() {
+            self.server.request_keyframe();
+            self.rec.incr(Counter::Nacks);
+            self.rec.instant(
+                InstantKind::Nack,
+                now_ms,
+                if signal == NackSignal::Retry {
+                    "keyframe re-request (retry)"
+                } else {
+                    "keyframe request"
+                },
+            );
+            if signal == NackSignal::Retry {
+                self.rec.incr(Counter::NackRetries);
+            }
+        }
+        match self.server.next_frame_traced(&mut self.rec) {
+            Ok(packet) => {
+                let byte_scale = config.canvas_to_full();
+                self.staged = Some(StagedPacket {
+                    bytes_full: (packet.encoded.size_bytes() as f64 * byte_scale) as usize,
+                    frame_type: packet.frame_type,
+                    rung: rung_now,
+                    slowdown,
+                    stall_ms: self.fault_plan.decoder_stall_ms(now_ms),
+                });
+            }
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// Serial phase: cross the shared link, run the client/recovery/SLO
+    /// models, close the frame and let the controller renegotiate.
+    fn transport(
+        &mut self,
+        link: &mut SharedLink,
+        now_ms: f64,
+        server_factor: f64,
+        config: &FleetConfig,
+    ) {
+        let Some(staged) = self.staged.take() else {
+            return;
+        };
+        let input_uplink_ms = link.control_latency_ms(self.flow);
+        let transfer = link.send_traced(self.flow, staged.bytes_full, now_ms, &mut self.rec);
+        let (mut dropped, downlink_ms) = if transfer.delivered() {
+            (false, transfer.transit_ms)
+        } else {
+            (true, config.link.queue_limit_ms + config.link.rtt_ms / 2.0)
+        };
+        let mut drop_cause = transfer.drop_cause;
+        let is_intra = staged.frame_type == FrameType::Intra;
+        if let Some(rm) = &self.recovery {
+            if !dropped && !rm.can_decode(is_intra) {
+                dropped = true;
+                drop_cause = Some(DropCause::DecoderDown);
+                self.rec.incr(Counter::FramesDropped);
+                self.rec.incr(Counter::DropsDecoderDown);
+                self.rec.instant(
+                    InstantKind::Drop,
+                    now_ms,
+                    format!("frame dropped: {}", DropCause::DecoderDown.label()),
+                );
+            }
+        }
+        let frozen = dropped || (self.nack.awaiting() && staged.frame_type == FrameType::Inter);
+        if frozen {
+            self.rec.incr(Counter::FramesFrozen);
+        }
+        if dropped {
+            self.nack.on_loss();
+        } else if is_intra {
+            self.nack.on_keyframe_delivered();
+        }
+        if self.recovery.is_some() {
+            let events = {
+                let rm = self.recovery.as_mut().expect("recovery present");
+                if frozen && rm.in_recovery() {
+                    rm.note_frozen();
+                }
+                rm.end_frame(!dropped && !frozen && is_intra)
+            };
+            self.apply_recovery(&events, now_ms, config.lr_size);
+        }
+
+        let (decode_ms, upscale) = if frozen {
+            (0.0, mtp::UpscaleTiming::default())
+        } else {
+            let decode = self.device.hw_decode_ms(self.decode_pixels) + staged.stall_ms;
+            let t = mtp::ours_upscale_degraded(
+                &self.device,
+                self.active_side,
+                self.active_cost,
+                staged.slowdown,
+            );
+            (decode, t)
+        };
+
+        let sm = &config.server_model;
+        let mtp_breakdown = MtpBreakdown {
+            input_uplink_ms,
+            engine_ms: sm.engine_tick_ms * server_factor,
+            render_ms: sm.render_ms(FULL_LR) * server_factor,
+            roi_extra_ms: (sm.roi_detect_ms(FULL_LR) - sm.encode_ms(FULL_LR)).max(0.0)
+                * server_factor,
+            encode_ms: sm.encode_ms(FULL_LR) * server_factor,
+            downlink_ms,
+            decode_ms,
+            upscale_ms: upscale.critical_ms,
+            display_ms: self.device.display_present_ms,
+        };
+        let server_side_ms = input_uplink_ms
+            + mtp_breakdown.engine_ms
+            + mtp_breakdown.render_ms
+            + mtp_breakdown.roi_extra_ms
+            + mtp_breakdown.encode_ms;
+        let upscale_start = mtp_breakdown.record_spans(&mut self.rec, now_ms - server_side_ms);
+        {
+            let render_end = now_ms - mtp_breakdown.roi_extra_ms - mtp_breakdown.encode_ms;
+            let depth_ms = sm.depth_capture_ms(FULL_LR) * server_factor;
+            self.rec
+                .record_span(gss_telemetry::Stage::DepthCapture, render_end, depth_ms);
+            self.rec.record_span(
+                gss_telemetry::Stage::RoiDetect,
+                render_end + depth_ms,
+                sm.roi_search_ms(FULL_LR) * server_factor,
+            );
+        }
+        upscale.record_spans(&mut self.rec, upscale_start);
+
+        let met_now = gss_telemetry::deadline_met(upscale.critical_ms, self.rec.budget_ms());
+        if !met_now {
+            self.rec.instant(
+                InstantKind::DeadlineMiss,
+                upscale_start + upscale.critical_ms,
+                format!(
+                    "critical path {:.2} ms > budget {:.2} ms",
+                    upscale.critical_ms,
+                    self.rec.budget_ms()
+                ),
+            );
+        }
+        for ev in self.slo.observe(&FrameHealth {
+            critical_ms: upscale.critical_ms,
+            deadline_met: met_now,
+            frozen,
+        }) {
+            self.rec.instant(
+                InstantKind::SloBreach,
+                now_ms - server_side_ms + mtp_breakdown.total_ms(),
+                ev.detail,
+            );
+        }
+        let deadline_met = self
+            .rec
+            .end_frame(
+                mtp_breakdown.total_ms(),
+                upscale.critical_ms,
+                staged.bytes_full as u64,
+            )
+            .expect("fleet sessions record one-shot spans only");
+
+        self.frames_total += 1;
+        if deadline_met && !frozen {
+            self.frames_ok += 1;
+        }
+        if frozen {
+            self.frames_frozen += 1;
+        }
+        if !deadline_met {
+            self.deadline_misses += 1;
+        }
+        if drop_cause == Some(DropCause::DecoderDown) {
+            self.drops_decoder_down += 1;
+        }
+        self.max_rung = self.max_rung.max(staged.rung);
+        self.mtp_totals.push(mtp_breakdown.total_ms());
+
+        if let Some(ctl) = &mut self.controller {
+            if let Some(step) = ctl.observe(dropped || !deadline_met) {
+                let rung = ctl.rung_params();
+                let to = ctl.rung();
+                self.rec.incr(match step {
+                    LadderStep::Downgrade => Counter::LadderDowngrades,
+                    LadderStep::Upgrade => Counter::LadderUpgrades,
+                });
+                self.apply_rung(&rung, config.lr_size);
+                let shift_msg = format!(
+                    "ladder {}: rung {} -> {} ({}, roi {} px, rate x{:.2})",
+                    match step {
+                        LadderStep::Downgrade => "down",
+                        LadderStep::Upgrade => "up",
+                    },
+                    staged.rung,
+                    to,
+                    rung.tier_label(),
+                    self.active_side,
+                    rung.rate_scale
+                );
+                self.rec.log(
+                    match step {
+                        LadderStep::Downgrade => Level::Warn,
+                        LadderStep::Upgrade => Level::Info,
+                    },
+                    shift_msg.clone(),
+                );
+                self.rec.instant(
+                    InstantKind::LadderShift,
+                    now_ms - server_side_ms + mtp_breakdown.total_ms(),
+                    shift_msg,
+                );
+            }
+        }
+        self.frame += 1;
+    }
+}
+
+/// Aggregate report for one fleet session.
+#[derive(Debug, Clone)]
+pub struct FleetSessionReport {
+    /// Index into [`FleetConfig::sessions`].
+    pub spec: usize,
+    /// Session label (`game @ device`).
+    pub label: String,
+    /// Tick the session was admitted.
+    pub joined_tick: usize,
+    /// Tick the session stopped streaming.
+    pub left_tick: usize,
+    /// Frames streamed.
+    pub frames: u64,
+    /// Frames that met the deadline and were not frozen.
+    pub frames_ok: u64,
+    /// Frozen (repeated) display slots.
+    pub frames_frozen: u64,
+    /// Critical-path deadline misses.
+    pub deadline_misses: u64,
+    /// Frames discarded while this session's decoder was down.
+    pub drops_decoder_down: u64,
+    /// Deepest degradation rung visited.
+    pub max_rung: usize,
+    /// Aggregated per-session telemetry.
+    pub telemetry: TelemetrySummary,
+    /// SLO standings.
+    pub slo: SloSummary,
+    /// Deadline-miss / stall attribution replayed from the trace.
+    pub attribution: SessionAttribution,
+    /// This session's ledger on the shared link.
+    pub flow: FlowStats,
+    /// Decoder-crash recovery history, when the spec scripted crashes.
+    pub recovery: Option<RecoverySummary>,
+}
+
+impl FleetSessionReport {
+    /// Effective display rate: 60 FPS times the fraction of frames that
+    /// met the deadline *and* were actually new (not frozen repeats) —
+    /// the honest per-viewer rate under consolidation.
+    pub fn fps_effective(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            60.0 * self.frames_ok as f64 / self.frames as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"spec\":{},\"label\":\"{}\",\"joined_tick\":{},\"left_tick\":{},\
+             \"frames\":{},\"frames_ok\":{},\"frames_frozen\":{},\"deadline_misses\":{},\
+             \"drops_decoder_down\":{},\"max_rung\":{},\"fps_effective\":{},\
+             \"flow\":{{\"sent\":{},\"dropped\":{},\"queue_overflow\":{},\"outage\":{},\"bytes\":{}}}",
+            self.spec,
+            json_escape(&self.label),
+            self.joined_tick,
+            self.left_tick,
+            self.frames,
+            self.frames_ok,
+            self.frames_frozen,
+            self.deadline_misses,
+            self.drops_decoder_down,
+            self.max_rung,
+            jnum(self.fps_effective()),
+            self.flow.sent,
+            self.flow.dropped,
+            self.flow.drops_queue_overflow,
+            self.flow.drops_outage,
+            self.flow.bytes,
+        );
+        let _ = write!(
+            out,
+            ",\"telemetry\":{},\"slo\":{},\"attribution\":{}}}",
+            self.telemetry.to_json(),
+            self.slo.to_json(),
+            self.attribution.to_json()
+        );
+        out
+    }
+}
+
+/// Admission-control outcome of one fleet run.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionSummary {
+    /// Sessions admitted (possibly after queueing).
+    pub admitted: usize,
+    /// Sessions rejected because the wait queue was full.
+    pub rejected: Vec<usize>,
+    /// Sessions that left (or the run ended) before they were admitted.
+    pub abandoned: Vec<usize>,
+    /// Deepest the wait queue ever got.
+    pub peak_queue: usize,
+    /// Most sessions ever concurrently admitted.
+    pub peak_concurrency: usize,
+}
+
+/// The fleet-aggregate report: per-session reports plus cross-session
+/// rollups. [`FleetReport::to_json`] is byte-deterministic.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Shared-link name.
+    pub link: String,
+    /// Allocator budget, Mbps.
+    pub budget_mbps: f64,
+    /// Admission capacity.
+    pub capacity: usize,
+    /// Ticks the fleet ran.
+    pub ticks: usize,
+    /// Admission-control outcome.
+    pub admission: AdmissionSummary,
+    /// Per-session reports, in spec order.
+    pub sessions: Vec<FleetSessionReport>,
+    /// Exact fleet-wide MTP p50, ms (pooled over every frame of every
+    /// session, not a percentile-of-percentiles).
+    pub mtp_p50_ms: f64,
+    /// Exact fleet-wide MTP p99, ms.
+    pub mtp_p99_ms: f64,
+}
+
+impl FleetReport {
+    /// Total frames streamed across the fleet.
+    pub fn total_frames(&self) -> u64 {
+        self.sessions.iter().map(|s| s.frames).sum()
+    }
+
+    /// Total deadline misses across the fleet.
+    pub fn total_deadline_misses(&self) -> u64 {
+        self.sessions.iter().map(|s| s.deadline_misses).sum()
+    }
+
+    /// Total frozen display slots across the fleet.
+    pub fn total_frozen(&self) -> u64 {
+        self.sessions.iter().map(|s| s.frames_frozen).sum()
+    }
+
+    /// Summed shared-link ledgers (the per-flow ledgers partition each
+    /// flow's drops, so the sum never double counts).
+    pub fn total_flow(&self) -> FlowStats {
+        let mut total = FlowStats::default();
+        for s in &self.sessions {
+            total.sent += s.flow.sent;
+            total.dropped += s.flow.dropped;
+            total.drops_queue_overflow += s.flow.drops_queue_overflow;
+            total.drops_outage += s.flow.drops_outage;
+            total.bytes += s.flow.bytes;
+        }
+        total
+    }
+
+    /// Worst per-session effective FPS (sessions that streamed at least
+    /// one frame).
+    pub fn min_fps_effective(&self) -> f64 {
+        self.sessions
+            .iter()
+            .filter(|s| s.frames > 0)
+            .map(FleetSessionReport::fps_effective)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean per-session effective FPS.
+    pub fn mean_fps_effective(&self) -> f64 {
+        let streamed: Vec<f64> = self
+            .sessions
+            .iter()
+            .filter(|s| s.frames > 0)
+            .map(FleetSessionReport::fps_effective)
+            .collect();
+        if streamed.is_empty() {
+            0.0
+        } else {
+            streamed.iter().sum::<f64>() / streamed.len() as f64
+        }
+    }
+
+    /// Fleet-wide fraction of deadline misses with a known root cause.
+    pub fn attributed_fraction(&self) -> f64 {
+        let misses: u64 = self.sessions.iter().map(|s| s.attribution.misses).sum();
+        if misses == 0 {
+            return 1.0;
+        }
+        let attributed: u64 = self
+            .sessions
+            .iter()
+            .map(|s| s.attribution.attributed())
+            .sum();
+        attributed as f64 / misses as f64
+    }
+
+    /// Every per-flow ledger partitions its drops by cause.
+    pub fn flows_consistent(&self) -> bool {
+        self.sessions.iter().all(|s| s.flow.consistent())
+    }
+
+    /// Deterministic single-line JSON: identical fleet runs produce
+    /// byte-identical output at any worker count.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let total = self.total_flow();
+        let _ = write!(
+            out,
+            "{{\"link\":\"{}\",\"budget_mbps\":{},\"capacity\":{},\"ticks\":{},\
+             \"admission\":{{\"admitted\":{},\"rejected\":{:?},\"abandoned\":{:?},\
+             \"peak_queue\":{},\"peak_concurrency\":{}}},\
+             \"fleet\":{{\"frames\":{},\"deadline_misses\":{},\"frozen\":{},\
+             \"mtp_p50_ms\":{},\"mtp_p99_ms\":{},\"min_fps_effective\":{},\
+             \"mean_fps_effective\":{},\"attributed_fraction\":{},\
+             \"drops\":{{\"sent\":{},\"dropped\":{},\"queue_overflow\":{},\"outage\":{},\"bytes\":{}}}}}",
+            json_escape(&self.link),
+            jnum(self.budget_mbps),
+            self.capacity,
+            self.ticks,
+            self.admission.admitted,
+            self.admission.rejected,
+            self.admission.abandoned,
+            self.admission.peak_queue,
+            self.admission.peak_concurrency,
+            self.total_frames(),
+            self.total_deadline_misses(),
+            self.total_frozen(),
+            jnum(self.mtp_p50_ms),
+            jnum(self.mtp_p99_ms),
+            jnum(self.min_fps_effective()),
+            jnum(self.mean_fps_effective()),
+            jnum(self.attributed_fraction()),
+            total.sent,
+            total.dropped,
+            total.drops_queue_overflow,
+            total.drops_outage,
+            total.bytes,
+        );
+        out.push_str(",\"sessions\":[");
+        for (i, s) in self.sessions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Exact percentile of a sample set (nearest-rank), deterministic for
+/// identical inputs in any order.
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+/// The discrete-event fleet driver. See the module docs for the per-tick
+/// phase order and the determinism contract.
+pub struct FleetSim {
+    config: FleetConfig,
+    link: SharedLink,
+    tick: usize,
+    wait_queue: VecDeque<usize>,
+    active: Vec<ActiveSession>,
+    finished: Vec<FleetSessionReport>,
+    traces: Vec<(usize, TraceSession)>,
+    admission: AdmissionSummary,
+    fleet_mtp: Vec<f64>,
+    server_factor: f64,
+}
+
+impl FleetSim {
+    /// Builds the fleet; no session is admitted until its join tick.
+    pub fn new(config: FleetConfig) -> Self {
+        let link = SharedLink::with_faults(
+            config.link.clone(),
+            config.link_seed,
+            config.shared_faults.clone(),
+        );
+        FleetSim {
+            config,
+            link,
+            tick: 0,
+            wait_queue: VecDeque::new(),
+            active: Vec::new(),
+            finished: Vec::new(),
+            traces: Vec::new(),
+            admission: AdmissionSummary::default(),
+            fleet_mtp: Vec::new(),
+            server_factor: 1.0,
+        }
+    }
+
+    /// The current logical tick.
+    pub fn tick(&self) -> usize {
+        self.tick
+    }
+
+    /// Currently admitted sessions.
+    pub fn concurrency(&self) -> usize {
+        self.active.len()
+    }
+
+    fn spawn_session(&mut self, spec_idx: usize, tick: usize) -> ActiveSession {
+        let config = &self.config;
+        let spec = &config.sessions[spec_idx];
+        let plan = plan_roi_window(&spec.device, 2, FULL_LR.width(), FULL_LR.height());
+        let roi_window = plan.scaled_to_canvas(config.lr_size.0, FULL_LR.width());
+        let byte_scale = config.canvas_to_full();
+        // consolidation needs the controller to actually reach small
+        // per-session shares, so open the quantizer range all the way down
+        let mut rate = RateControlConfig {
+            min_quality: 10,
+            ..RateControlConfig::for_bitrate_mbps(config.session_rate_mbps)
+        };
+        rate.target_bytes_per_frame =
+            ((rate.target_bytes_per_frame as f64 / byte_scale) as usize).max(1);
+        let server = GameStreamServer::new(ServerConfig {
+            game: spec.game,
+            lr_size: config.lr_size,
+            scale: 2,
+            encoder: EncoderConfig {
+                quality: config.encoder_quality,
+                gop_size: config.gop_size,
+                ..EncoderConfig::default()
+            },
+            detector: RoiDetectorConfig::default(),
+            roi_window,
+            time_stride: (FULL_LR.width() / config.lr_size.0.max(1)).max(1),
+            tracker: None,
+            rate_control: Some(rate),
+        });
+
+        let trace = TraceSink::new();
+        let rec = Recorder::new(
+            format!(
+                "fleet#{spec_idx} {:?} @ {} ({})",
+                spec.game, spec.device.name, config.link.name
+            ),
+            REALTIME_BUDGET_MS,
+        )
+        .with_sink(SinkHandle::new(trace.clone()));
+
+        let mut controller = config.degradation.map(DegradationController::new);
+        let nack_cfg = config.degradation.unwrap_or_default();
+        let nack = NackManager::new(
+            nack_cfg.nack_timeout_frames,
+            nack_cfg.nack_backoff_max_frames,
+        );
+
+        let mut session = ActiveSession {
+            spec_idx,
+            device: spec.device.clone(),
+            fault_plan: spec.fault_plan.clone(),
+            joined_tick: tick,
+            flow: 0, // assigned below, after negotiation settles
+            frame: 0,
+            rec,
+            trace,
+            slo: SloEngine::standard(REALTIME_BUDGET_MS),
+            pinned_rung: 0,
+            nack,
+            recovery: spec
+                .fault_plan
+                .has_decoder_crashes()
+                .then(|| RecoveryMachine::new(RecoveryConfig::default())),
+            base_side: plan.chosen_side,
+            active_side: plan.chosen_side,
+            active_cost: 1.0,
+            decode_pixels: 0,
+            alloc_scale: 1.0,
+            active_faults: Vec::new(),
+            staged: None,
+            error: None,
+            frames_total: 0,
+            frames_ok: 0,
+            frames_frozen: 0,
+            deadline_misses: 0,
+            drops_decoder_down: 0,
+            max_rung: 0,
+            mtp_totals: Vec::new(),
+            controller: None,
+            server: GameStreamServer::new(ServerConfig::new(spec.game, config.lr_size, roi_window)),
+        };
+        // capability negotiation (step 0), as in `run_session`
+        let negotiated = negotiate(&server.offer(), &spec.device.capabilities);
+        if negotiated.clamped {
+            session.rec.log(Level::Info, negotiated.describe());
+        }
+        session.decode_pixels = negotiated.decode_pixels;
+        session.server = server;
+        session.controller = controller.take();
+        if negotiated.top_rung > 0 {
+            match &mut session.controller {
+                Some(ctl) => {
+                    if ctl.clamp_ceiling(negotiated.top_rung) {
+                        let rung = ctl.rung_params();
+                        session.apply_rung(&rung, config.lr_size);
+                    }
+                }
+                None => {
+                    session.pinned_rung = negotiated.top_rung;
+                    let rung = LADDER[negotiated.top_rung];
+                    session.apply_rung(&rung, config.lr_size);
+                }
+            }
+        }
+        session.flow = self.link.add_flow(spec.fault_plan.clone());
+        session
+    }
+
+    fn finalize_session(&mut self, mut s: ActiveSession, left_tick: usize) {
+        let telemetry = s.rec.finish();
+        let trace_sessions = s.trace.sessions();
+        let attribution = trace_sessions
+            .last()
+            .map(|sess| Attributor::new(REALTIME_BUDGET_MS).attribute(sess))
+            .unwrap_or_default();
+        if let Some(sess) = trace_sessions.into_iter().last() {
+            self.traces.push((s.spec_idx, sess));
+        }
+        self.fleet_mtp.append(&mut s.mtp_totals);
+        let spec = &self.config.sessions[s.spec_idx];
+        self.finished.push(FleetSessionReport {
+            spec: s.spec_idx,
+            label: format!("{:?} @ {}", spec.game, spec.device.name),
+            joined_tick: s.joined_tick,
+            left_tick,
+            frames: s.frames_total,
+            frames_ok: s.frames_ok,
+            frames_frozen: s.frames_frozen,
+            deadline_misses: s.deadline_misses,
+            drops_decoder_down: s.drops_decoder_down,
+            max_rung: s.max_rung,
+            telemetry,
+            slo: s.slo.summary(),
+            attribution,
+            flow: self.link.stats(s.flow),
+            recovery: s.recovery.map(RecoveryMachine::into_summary),
+        });
+    }
+
+    /// Advances the fleet one 60 Hz tick through the five phases.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec failures from any session (which would indicate a
+    /// bug, as in [`crate::session::run_session`]).
+    pub fn step(&mut self) -> Result<(), GssError> {
+        let tick = self.tick;
+        let now_ms = tick as f64 * 1000.0 / 60.0;
+
+        // ---- phase 1: departures -----------------------------------------
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.config.sessions[self.active[i].spec_idx].leave_tick == Some(tick) {
+                let s = self.active.remove(i);
+                self.finalize_session(s, tick);
+            } else {
+                i += 1;
+            }
+        }
+
+        // ---- phase 2: admission ------------------------------------------
+        for idx in 0..self.config.sessions.len() {
+            if self.config.sessions[idx].join_tick == tick {
+                self.wait_queue.push_back(idx);
+            }
+        }
+        // queued sessions whose departure tick already passed gave up
+        self.wait_queue.retain(|&idx| {
+            let gone = self.config.sessions[idx]
+                .leave_tick
+                .is_some_and(|l| l <= tick);
+            if gone {
+                self.admission.abandoned.push(idx);
+            }
+            !gone
+        });
+        while self.active.len() < self.config.admission.capacity {
+            let Some(idx) = self.wait_queue.pop_front() else {
+                break;
+            };
+            let s = self.spawn_session(idx, tick);
+            self.active.push(s);
+            self.admission.admitted += 1;
+        }
+        while self.wait_queue.len() > self.config.admission.queue_limit {
+            let idx = self.wait_queue.pop_back().expect("queue non-empty");
+            self.admission.rejected.push(idx);
+        }
+        self.admission.peak_queue = self.admission.peak_queue.max(self.wait_queue.len());
+        self.admission.peak_concurrency = self.admission.peak_concurrency.max(self.active.len());
+
+        // ---- phase 3: fair-share rate allocation -------------------------
+        let n = self.active.len();
+        if n > 0 {
+            self.server_factor = n.div_ceil(self.config.server_slots.max(1)) as f64;
+            let share = self.config.budget_mbps() / n as f64;
+            let alloc = (share / self.config.session_rate_mbps.max(1e-9)).min(1.0);
+            let lr_size = self.config.lr_size;
+            for s in &mut self.active {
+                if (s.alloc_scale - alloc).abs() > 1e-12 {
+                    s.alloc_scale = alloc;
+                    let rung = s.current_rung();
+                    s.apply_rung(&rung, lr_size);
+                }
+            }
+        }
+
+        // ---- phase 4: produce (parallel, per-session isolated) -----------
+        {
+            let config = &self.config;
+            config.pool.for_each_mut(&mut self.active, |_, s| {
+                s.produce(now_ms, config);
+            });
+        }
+        for s in &mut self.active {
+            if let Some(e) = s.error.take() {
+                return Err(e);
+            }
+        }
+
+        // ---- phase 5: transport + control (serial, session order) --------
+        let server_factor = self.server_factor;
+        for i in 0..self.active.len() {
+            let (link, config) = (&mut self.link, &self.config);
+            self.active[i].transport(link, now_ms, server_factor, config);
+        }
+
+        self.tick += 1;
+        Ok(())
+    }
+
+    /// Runs every remaining tick, finalizes every session, and returns
+    /// the fleet report (sessions in spec order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first session error.
+    pub fn run_until_idle(&mut self) -> Result<FleetReport, GssError> {
+        while self.tick < self.config.ticks {
+            self.step()?;
+        }
+        let end = self.config.ticks;
+        while let Some(s) = self.active.pop() {
+            self.finalize_session(s, end);
+        }
+        while let Some(idx) = self.wait_queue.pop_front() {
+            self.admission.abandoned.push(idx);
+        }
+        self.finished.sort_by_key(|s| s.spec);
+        self.admission.rejected.sort_unstable();
+        self.admission.abandoned.sort_unstable();
+        let mut mtp = std::mem::take(&mut self.fleet_mtp);
+        let report = FleetReport {
+            link: self.config.link.name.to_owned(),
+            budget_mbps: self.config.budget_mbps(),
+            capacity: self.config.admission.capacity,
+            ticks: self.config.ticks,
+            admission: self.admission.clone(),
+            sessions: self.finished.clone(),
+            mtp_p50_ms: percentile(&mut mtp, 0.50),
+            mtp_p99_ms: percentile(&mut mtp, 0.99),
+        };
+        self.fleet_mtp = mtp;
+        Ok(report)
+    }
+
+    /// Merged Perfetto/Chrome trace of every finished session — one
+    /// Chrome process per fleet session, pids in spec order. Call after
+    /// [`FleetSim::run_until_idle`]. Byte-deterministic.
+    pub fn to_chrome_json(&self) -> String {
+        let mut traces = self.traces.clone();
+        traces.sort_by_key(|(spec, _)| *spec);
+        let sessions: Vec<TraceSession> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, mut sess))| {
+                let pid = (i + 1) as u64;
+                sess.pid = pid;
+                for f in &mut sess.frames {
+                    f.trace_id = pid * 1_000_000 + f.frame;
+                }
+                sess
+            })
+            .collect();
+        gss_telemetry::chrome_trace_json(&sessions)
+    }
+}
+
+/// Builds and runs a fleet to completion.
+///
+/// # Errors
+///
+/// Propagates the first session error.
+pub fn run_fleet(config: FleetConfig) -> Result<FleetReport, GssError> {
+    FleetSim::new(config).run_until_idle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_net::{FaultEvent, FaultKind};
+
+    fn two_session_config(ticks: usize) -> FleetConfig {
+        FleetConfig::new(LinkProfile::wifi(), 0x0f1ee7)
+            .with_ticks(ticks)
+            .with_session(FleetSessionSpec::new(GameId::G1, DeviceProfile::s8_tab()))
+            .with_session(FleetSessionSpec::new(
+                GameId::G4,
+                DeviceProfile::pixel7_pro(),
+            ))
+    }
+
+    #[test]
+    fn fleet_runs_and_reports_every_session() {
+        let report = run_fleet(two_session_config(60)).expect("fleet run");
+        assert_eq!(report.sessions.len(), 2);
+        for s in &report.sessions {
+            assert_eq!(s.frames, 60, "session {} frame count", s.spec);
+            assert!(s.flow.consistent());
+        }
+        assert_eq!(report.admission.admitted, 2);
+        assert!(report.admission.rejected.is_empty());
+        assert!(report.mtp_p99_ms >= report.mtp_p50_ms);
+    }
+
+    #[test]
+    fn reports_are_deterministic_for_one_config() {
+        let a = run_fleet(two_session_config(45)).expect("run a");
+        let b = run_fleet(two_session_config(45)).expect("run b");
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn admission_queues_then_rejects_past_the_policy() {
+        let mut config = FleetConfig::new(LinkProfile::wifi(), 1)
+            .with_ticks(30)
+            .with_session(FleetSessionSpec::new(GameId::G1, DeviceProfile::s8_tab()));
+        config.admission = AdmissionPolicy {
+            capacity: 1,
+            queue_limit: 1,
+        };
+        // three more arrivals at tick 0: one queued, the rest rejected
+        for _ in 0..3 {
+            config = config.with_session(FleetSessionSpec::new(
+                GameId::G2,
+                DeviceProfile::pixel7_pro(),
+            ));
+        }
+        let report = run_fleet(config).expect("fleet run");
+        assert_eq!(report.admission.admitted, 1);
+        assert_eq!(report.admission.rejected.len(), 2);
+        assert_eq!(report.admission.abandoned.len(), 1, "queued but never ran");
+        assert_eq!(report.sessions.len(), 1);
+    }
+
+    #[test]
+    fn a_leaver_frees_a_slot_for_the_queue() {
+        let mut config = FleetConfig::new(LinkProfile::wifi(), 2)
+            .with_ticks(40)
+            .with_session(FleetSessionSpec::new(GameId::G1, DeviceProfile::s8_tab()).leaving_at(20))
+            .with_session(
+                FleetSessionSpec::new(GameId::G2, DeviceProfile::pixel7_pro()).joining_at(5),
+            );
+        config.admission = AdmissionPolicy {
+            capacity: 1,
+            queue_limit: 2,
+        };
+        let report = run_fleet(config).expect("fleet run");
+        assert_eq!(report.admission.admitted, 2);
+        let late = &report.sessions[1];
+        assert_eq!(late.joined_tick, 20, "admitted the tick the slot freed");
+        assert_eq!(late.frames, 20);
+        assert_eq!(report.admission.peak_concurrency, 1);
+    }
+
+    #[test]
+    fn oversubscription_throttles_the_allocation_and_keeps_flows_consistent() {
+        // 8 sessions × 8 Mbps over a 60 Mbps bottleneck at 0.7 utilization
+        // oversubscribes; the allocator must shed rate rather than melt.
+        let mut config = FleetConfig::new(LinkProfile::wifi(), 3).with_ticks(45);
+        for i in 0..8 {
+            let dev = if i % 2 == 0 {
+                DeviceProfile::s8_tab()
+            } else {
+                DeviceProfile::pixel7_pro()
+            };
+            config = config.with_session(FleetSessionSpec::new(GameId::ALL[i], dev));
+        }
+        let report = run_fleet(config).expect("fleet run");
+        assert_eq!(report.sessions.len(), 8);
+        assert!(report.flows_consistent());
+        let total = report.total_flow();
+        assert_eq!(total.sent, 8 * 45);
+    }
+
+    #[test]
+    fn shared_outage_freezes_every_session_and_attributes_outage() {
+        let mut config = two_session_config(60);
+        config.shared_faults = FaultPlan::new(vec![FaultEvent {
+            start_ms: 200.0,
+            end_ms: 400.0,
+            kind: FaultKind::Outage,
+        }]);
+        let report = run_fleet(config).expect("fleet run");
+        for s in &report.sessions {
+            assert!(s.flow.drops_outage > 0, "session {} saw no outage", s.spec);
+            assert!(s.frames_frozen > 0);
+            assert!(s.flow.consistent());
+        }
+    }
+
+    #[test]
+    fn chrome_export_has_one_process_per_session() {
+        let mut sim = FleetSim::new(two_session_config(30));
+        sim.run_until_idle().expect("fleet run");
+        let json = sim.to_chrome_json();
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"pid\":2"));
+        assert!(!json.contains("\"pid\":3"));
+    }
+}

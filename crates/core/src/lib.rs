@@ -51,6 +51,7 @@ pub mod client;
 pub mod decoder_ext;
 pub mod degrade;
 mod error;
+pub mod fleet;
 pub mod mtp;
 pub mod negotiate;
 pub mod nemo;
@@ -65,6 +66,10 @@ pub use degrade::{
     LADDER,
 };
 pub use error::GssError;
+pub use fleet::{
+    run_fleet, AdmissionPolicy, AdmissionSummary, FleetConfig, FleetReport, FleetSessionReport,
+    FleetSessionSpec, FleetSim,
+};
 pub use mtp::MtpBreakdown;
 pub use negotiate::{negotiate, NegotiatedStream, StreamOffer};
 pub use nemo::{NemoClient, NemoOutput};

@@ -118,6 +118,12 @@ pub struct SessionConfig {
     /// keyframe re-requests under loss recovery. `None` disables
     /// adaptation (the paper's fixed configuration).
     pub degradation: Option<crate::degrade::DegradationConfig>,
+    /// Worker-pool capacity, captured once at construction and bound to
+    /// the stepping thread for the whole run. Threading the handle through
+    /// the config (instead of reading the process-wide knob at every use
+    /// site) keeps concurrent sessions in one process from clobbering each
+    /// other via [`gss_platform::pool::set_workers`].
+    pub pool: gss_platform::pool::PoolHandle,
 }
 
 impl SessionConfig {
@@ -143,6 +149,7 @@ impl SessionConfig {
             telemetry: None,
             fault_plan: FaultPlan::default(),
             degradation: None,
+            pool: gss_platform::pool::PoolHandle::current(),
         }
     }
 
@@ -526,6 +533,10 @@ fn apply_recovery_events(
 /// Propagates codec failures (which would indicate a bug — the simulated
 /// stream is delivered losslessly to the decoder).
 pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<SessionReport, GssError> {
+    // Pin the pool capacity captured at construction to this stepping
+    // thread: a concurrent session flipping the global worker knob must
+    // not reconfigure this session's kernels mid-frame.
+    let _pool = config.pool.bind();
     let plan = plan_roi_window(
         &config.device,
         config.scale,
@@ -705,7 +716,7 @@ pub fn run_session(config: &SessionConfig, pipeline: Pipeline) -> Result<Session
         }
 
         if loss_recovery {
-            if let Some(signal) = nack.begin_frame(i) {
+            if let Some(signal) = nack.begin_frame() {
                 server.request_keyframe();
                 rec.incr(Counter::Nacks);
                 rec.instant(

@@ -21,8 +21,10 @@
 #![warn(missing_docs)]
 
 mod fault;
+mod shared;
 
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use shared::{paired_single_flow, FlowStats, SharedLink};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +61,22 @@ impl LinkProfile {
             coherence_ms: 200.0,
             rtt_ms: 16.0,
             jitter_ms: 2.5,
+            queue_limit_ms: 50.0,
+        }
+    }
+
+    /// A fixed-access fiber uplink: fat and stable, the last hop of a
+    /// consolidation rack serving many sessions (see `gamestreamsr::fleet`).
+    /// Congestion on this profile is self-inflicted — the fleet's own
+    /// offered load, not channel fades.
+    pub fn fiber() -> Self {
+        LinkProfile {
+            name: "Fiber",
+            bandwidth_mbps: 100.0,
+            bandwidth_cv: 0.05,
+            coherence_ms: 1000.0,
+            rtt_ms: 10.0,
+            jitter_ms: 1.0,
             queue_limit_ms: 50.0,
         }
     }
@@ -308,7 +326,7 @@ impl Link {
     }
 }
 
-fn draw_bandwidth(profile: &LinkProfile, rng: &mut SmallRng) -> f64 {
+pub(crate) fn draw_bandwidth(profile: &LinkProfile, rng: &mut SmallRng) -> f64 {
     // uniform draw scaled so the factor's standard deviation equals the
     // CV, floored at 5% of the mean so the link never fully dies
     let u: f64 = rng.gen::<f64>();

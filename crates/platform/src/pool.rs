@@ -21,7 +21,10 @@
 //! binary's `--threads` flag), the `GSS_THREADS` environment variable, or
 //! the default of `available_parallelism` capped at 8. The `*_with`
 //! variants take an explicit count for paired scalar-vs-parallel identity
-//! tests that must not touch global state.
+//! tests that must not touch global state, and [`PoolHandle`] captures the
+//! count once at session construction and [binds](PoolHandle::bind) it to
+//! the stepping thread, so concurrent sessions in one process cannot
+//! clobber each other through the global knob.
 //!
 //! Threads come from the vendored `crossbeam::thread::scope` shim (real OS
 //! threads, structured join), so borrowed inputs flow into workers without
@@ -188,6 +191,106 @@ pub fn set_workers(n: usize) {
     WORKERS.store(n.max(1), Ordering::Relaxed);
 }
 
+thread_local! {
+    /// Per-thread worker-count override installed by [`PoolHandle::bind`];
+    /// `0` means "no binding, use the process-wide knob".
+    static BOUND_WORKERS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The worker count in effect on this thread: a [`PoolHandle`] binding if
+/// one is active, otherwise the process-wide knob. All implicit entry
+/// points ([`map_indexed`], [`for_each_band_mut`], [`build_rows`]) resolve
+/// through this, so a bound session never observes a concurrent
+/// [`set_workers`] from another session in the same process.
+pub fn effective_workers() -> usize {
+    let bound = BOUND_WORKERS.with(|w| w.get());
+    if bound > 0 {
+        bound
+    } else {
+        workers()
+    }
+}
+
+/// An explicit, immutable worker-count capacity resolved once — the
+/// per-session alternative to the process-wide [`set_workers`] knob.
+///
+/// Two sessions stepped in one process used to race on the global atomic:
+/// whichever called `set_workers` last silently reconfigured the other's
+/// kernels mid-frame. A handle is captured at session construction
+/// ([`PoolHandle::current`]) and [bound](PoolHandle::bind) for the duration
+/// of each stepping scope, so every `pool::` entry point under that scope
+/// resolves to the session's own capacity regardless of what other
+/// sessions do to the global knob. Outputs are bit-identical at any count
+/// by the determinism contract; the handle pins *scheduling*, not results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolHandle {
+    workers: usize,
+}
+
+impl PoolHandle {
+    /// Snapshot of the worker count in effect right now (a binding if one
+    /// is active, else the process-wide knob).
+    pub fn current() -> Self {
+        Self {
+            workers: effective_workers(),
+        }
+    }
+
+    /// A handle with an explicit worker count (clamped to ≥ 1).
+    pub fn with_workers(n: usize) -> Self {
+        Self { workers: n.max(1) }
+    }
+
+    /// The capacity this handle resolves to.
+    pub fn workers(self) -> usize {
+        self.workers
+    }
+
+    /// Installs this handle as the calling thread's worker count until the
+    /// returned guard drops; nested bindings stack. While bound, implicit
+    /// pool entry points ignore [`set_workers`] from other threads.
+    pub fn bind(self) -> PoolBinding {
+        let prev = BOUND_WORKERS.with(|w| w.replace(self.workers));
+        PoolBinding { prev }
+    }
+
+    /// [`map_indexed_with`] at this handle's capacity.
+    pub fn map_indexed<T, F>(self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        map_indexed_with(n, self.workers, f)
+    }
+
+    /// [`for_each_mut_with`] at this handle's capacity.
+    pub fn for_each_mut<T, F>(self, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        for_each_mut_with(data, self.workers, f);
+    }
+}
+
+impl Default for PoolHandle {
+    fn default() -> Self {
+        Self::current()
+    }
+}
+
+/// Guard restoring the previous thread binding; see [`PoolHandle::bind`].
+#[derive(Debug)]
+pub struct PoolBinding {
+    prev: usize,
+}
+
+impl Drop for PoolBinding {
+    fn drop(&mut self) {
+        BOUND_WORKERS.with(|w| w.set(self.prev));
+    }
+}
+
 /// Cyclic chunk→worker assignment: worker `i` owns chunks
 /// `i, i + parts, i + 2·parts, …`. Per the determinism contract the
 /// assignment only picks *which worker* runs a chunk; chunk boundaries and
@@ -204,7 +307,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    map_indexed_with(n, workers(), f)
+    map_indexed_with(n, effective_workers(), f)
 }
 
 /// [`map_indexed`] with an explicit worker count. Output is identical for
@@ -269,7 +372,7 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    for_each_band_mut_with(data, band_len, workers(), f);
+    for_each_band_mut_with(data, band_len, effective_workers(), f);
 }
 
 /// [`for_each_band_mut`] with an explicit worker count. Each band is a
@@ -322,6 +425,59 @@ where
             s.spawn(move |_| {
                 for (i, band) in group {
                     f(i, band);
+                }
+            });
+        }
+    })
+    .expect("pool scope panicked");
+}
+
+/// Visits every element of `data` exactly once as a disjoint `&mut`,
+/// cyclically assigned across `workers` threads. Unlike
+/// [`for_each_band_mut_with`] there is no inline-size floor: this is for
+/// *heavyweight* elements (e.g. whole simulator sessions) where even a
+/// handful justify threads. Each element's computation must be
+/// self-contained for the determinism contract to carry: assignment picks
+/// only which thread runs an element, never what it computes.
+pub fn for_each_mut_with<T, F>(data: &mut [T], workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = data.len();
+    if workers <= 1 || n <= 1 {
+        for (i, item) in data.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let parts = workers.min(n);
+    let mut groups: Vec<Vec<(usize, &mut T)>> = (0..parts).map(|_| Vec::new()).collect();
+    for (i, item) in data.iter_mut().enumerate() {
+        groups[i % parts].push((i, item));
+    }
+    if ACCOUNTING.load(Ordering::Relaxed) {
+        let (mut work, mut span) = (0u64, 0u64);
+        let mut per_worker = Vec::with_capacity(parts);
+        for group in groups {
+            let t = Instant::now();
+            for (i, item) in group {
+                f(i, item);
+            }
+            let ns = t.elapsed().as_nanos() as u64;
+            work += ns;
+            span = span.max(ns);
+            per_worker.push(ns);
+        }
+        record_region(work, span, &per_worker);
+        return;
+    }
+    let f = &f;
+    crossbeam::thread::scope(|s| {
+        for group in groups {
+            s.spawn(move |_| {
+                for (i, item) in group {
+                    f(i, item);
                 }
             });
         }
@@ -430,11 +586,26 @@ mod tests {
     }
 
     #[test]
-    fn worker_count_floor_is_one() {
+    fn worker_count_floor_is_one_and_bindings_shield_the_thread() {
         set_workers(0);
         assert_eq!(workers(), 1);
         set_workers(4);
         assert_eq!(workers(), 4);
+        // a bound handle shields this thread from the global knob
+        {
+            let _bind = PoolHandle::with_workers(3).bind();
+            assert_eq!(effective_workers(), 3);
+            set_workers(7);
+            assert_eq!(effective_workers(), 3);
+            // nested bindings stack and restore
+            {
+                let _inner = PoolHandle::with_workers(2).bind();
+                assert_eq!(effective_workers(), 2);
+            }
+            assert_eq!(effective_workers(), 3);
+        }
+        assert_eq!(effective_workers(), workers());
+        set_workers(4);
     }
 
     #[test]
@@ -496,5 +667,23 @@ mod tests {
         assert!(map_indexed_with(0, 4, |i| i).is_empty());
         let mut empty: Vec<u8> = Vec::new();
         for_each_band_mut_with(&mut empty, 16, 4, |_, _| panic!("no bands"));
+        let mut none: Vec<u8> = Vec::new();
+        for_each_mut_with(&mut none, 4, |_, _| panic!("no elements"));
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_element_once_at_any_worker_count() {
+        for w in [1usize, 2, 3, 8, 16] {
+            let mut data = vec![0u32; 13];
+            for_each_mut_with(&mut data, w, |i, v| *v += i as u32 + 1);
+            let expect: Vec<u32> = (1..=13).collect();
+            assert_eq!(data, expect, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn handle_workers_floor_is_one() {
+        assert_eq!(PoolHandle::with_workers(0).workers(), 1);
+        assert!(PoolHandle::current().workers() >= 1);
     }
 }

@@ -45,7 +45,7 @@ pub use sink::{
 };
 pub use slo::{FrameHealth, Objective, SloEngine, SloEvent, SloSpec, SloStatus, SloSummary};
 pub use summary::{CounterSummary, GaugeSummary, StageSummary, TelemetrySummary};
-pub use trace::{TraceFrame, TraceInstant, TraceSession, TraceSink, TraceSpan};
+pub use trace::{chrome_trace_json, TraceFrame, TraceInstant, TraceSession, TraceSink, TraceSpan};
 
 /// The 60 FPS real-time frame budget in milliseconds (16.66 ms). This is
 /// the canonical definition; `gss_platform::REALTIME_BUDGET_MS` re-exports

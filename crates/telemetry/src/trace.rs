@@ -323,12 +323,23 @@ impl TraceSink {
     /// shifted so the earliest is 0 and converted to microseconds. Output
     /// is byte-deterministic for identical event streams.
     pub fn to_chrome_json(&self) -> String {
-        let sessions = self.sessions();
+        chrome_trace_json(&self.sessions())
+    }
+}
+
+/// Renders a set of traced sessions — possibly collected from *several*
+/// sinks, e.g. one per fleet session — as one Chrome trace-event JSON
+/// document (see [`TraceSink::to_chrome_json`] for the event mapping).
+/// Each [`TraceSession`] becomes one Chrome process; callers merging
+/// sinks must assign unique `pid`s (and matching `trace_id`s) first.
+/// Output is byte-deterministic for identical inputs.
+pub fn chrome_trace_json(sessions: &[TraceSession]) -> String {
+    {
         // Global shift: Chrome viewers dislike negative timestamps, and
         // frame 0's root starts before t=0 (the server-side pipeline leads
         // the send timestamp the session clock is anchored on).
         let mut min_ms = f64::INFINITY;
-        for s in &sessions {
+        for s in sessions {
             for f in &s.frames {
                 for sp in &f.spans {
                     min_ms = min_ms.min(sp.start_ms);
@@ -344,7 +355,7 @@ impl TraceSink {
         let us = |ms: f64| json_f64((ms - min_ms) * 1000.0);
 
         let mut events: Vec<String> = Vec::new();
-        for s in &sessions {
+        for s in sessions {
             let name = if s.label.is_empty() {
                 "(unlabelled)".to_owned()
             } else {
@@ -366,7 +377,7 @@ impl TraceSink {
                 ));
             }
         }
-        for s in &sessions {
+        for s in sessions {
             for f in &s.frames {
                 let root = &f.spans[0];
                 let id_hex = format!("0x{:x}", f.trace_id);

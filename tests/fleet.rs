@@ -1,0 +1,211 @@
+//! Fleet-simulator contract tests: bit-determinism at any worker count,
+//! join/leave churn soaks, one-session decoder-crash isolation, and the
+//! deadline-miss attribution floor.
+
+use gamestreamsr::fleet::{AdmissionPolicy, FleetConfig, FleetReport, FleetSessionSpec, FleetSim};
+use gss_net::{FaultEvent, FaultKind, FaultPlan, LinkProfile};
+use gss_platform::pool::PoolHandle;
+use gss_platform::DeviceProfile;
+use gss_render::GameId;
+
+fn device(i: usize) -> DeviceProfile {
+    if i.is_multiple_of(2) {
+        DeviceProfile::s8_tab()
+    } else {
+        DeviceProfile::pixel7_pro()
+    }
+}
+
+/// A four-session fleet with staggered joins, one mid-run leaver, one
+/// decoder-crash storm and one bandwidth-fade timeline — every code path
+/// the determinism contract must cover.
+fn mixed_fleet(ticks: usize, pool: PoolHandle) -> FleetConfig {
+    let mut config = FleetConfig::new(LinkProfile::fiber(), 0xf1ee7).with_ticks(ticks);
+    config.session_rate_mbps = 18.0;
+    config.pool = pool;
+    config = config
+        .with_session(FleetSessionSpec::new(GameId::G1, device(0)))
+        .with_session(
+            FleetSessionSpec::new(GameId::G2, device(1))
+                .joining_at(3)
+                .leaving_at(ticks * 2 / 3),
+        )
+        .with_session(
+            FleetSessionSpec::new(GameId::G3, device(2))
+                .joining_at(6)
+                .with_faults(FaultPlan::new(vec![FaultEvent {
+                    start_ms: 150.0,
+                    end_ms: 400.0,
+                    kind: FaultKind::DecoderCrash,
+                }])),
+        )
+        .with_session(
+            FleetSessionSpec::new(GameId::G4, device(3))
+                .joining_at(9)
+                .with_faults(FaultPlan::new(vec![FaultEvent {
+                    start_ms: 300.0,
+                    end_ms: 700.0,
+                    kind: FaultKind::BandwidthCollapse { factor: 0.4 },
+                }])),
+        );
+    config
+}
+
+/// Per-session digests that must replay bit-identically: the telemetry,
+/// SLO and attribution JSON documents of every session.
+fn session_digests(report: &FleetReport) -> Vec<String> {
+    report
+        .sessions
+        .iter()
+        .map(|s| {
+            format!(
+                "{}|{}|{}|{}",
+                s.label,
+                s.telemetry.to_json(),
+                s.slo.to_json(),
+                s.attribution.to_json()
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_report_is_bit_identical_at_1_and_8_workers() {
+    let serial = FleetSim::new(mixed_fleet(90, PoolHandle::with_workers(1)))
+        .run_until_idle()
+        .expect("serial fleet");
+    let wide = FleetSim::new(mixed_fleet(90, PoolHandle::with_workers(8)))
+        .run_until_idle()
+        .expect("wide fleet");
+    assert_eq!(
+        serial.to_json(),
+        wide.to_json(),
+        "fleet report must not depend on the worker count"
+    );
+    assert_eq!(
+        session_digests(&serial),
+        session_digests(&wide),
+        "per-session telemetry/SLO/attribution digests must not depend on the worker count"
+    );
+}
+
+#[test]
+fn fleet_trace_is_bit_identical_at_1_and_8_workers() {
+    let mut serial = FleetSim::new(mixed_fleet(60, PoolHandle::with_workers(1)));
+    serial.run_until_idle().expect("serial fleet");
+    let mut wide = FleetSim::new(mixed_fleet(60, PoolHandle::with_workers(8)));
+    wide.run_until_idle().expect("wide fleet");
+    assert_eq!(serial.to_chrome_json(), wide.to_chrome_json());
+}
+
+/// Join/leave churn every 12 ticks across a 2-slot server: the compressed
+/// always-on variant of the CI soak below.
+fn churn_fleet(ticks: usize, period: usize, capacity: usize) -> FleetConfig {
+    let mut config = FleetConfig::new(LinkProfile::fiber(), 0xc0ffee).with_ticks(ticks);
+    config.session_rate_mbps = 18.0;
+    config.admission = AdmissionPolicy {
+        capacity,
+        queue_limit: 3,
+    };
+    let mut i = 0;
+    let mut join = 0;
+    while join < ticks {
+        let spec = FleetSessionSpec::new(GameId::ALL[i % GameId::ALL.len()], device(i))
+            .joining_at(join)
+            .leaving_at((join + period * 5).min(ticks));
+        config = config.with_session(spec);
+        i += 1;
+        join += period;
+    }
+    config
+}
+
+#[test]
+fn churn_soak_compressed_stays_consistent() {
+    let report = FleetSim::new(churn_fleet(120, 12, 2))
+        .run_until_idle()
+        .expect("churn fleet");
+    assert!(report.admission.admitted >= 2, "churn admitted nobody");
+    assert!(report.flows_consistent());
+    for s in &report.sessions {
+        assert!(
+            s.left_tick > s.joined_tick,
+            "session {} left before it joined",
+            s.spec
+        );
+        assert_eq!(
+            s.frames as usize,
+            s.left_tick - s.joined_tick,
+            "session {} frame ledger does not match its tenancy",
+            s.spec
+        );
+    }
+    assert!(
+        report.attributed_fraction() >= 0.95,
+        "churn attribution below the 95% floor: {:.3}",
+        report.attributed_fraction()
+    );
+}
+
+/// The full CI soak: one minute of logical time, a join every 2 s, each
+/// tenancy 10 s, an 8-slot server. Heavy — run with `--release -- --ignored`.
+#[test]
+#[ignore = "heavy soak; CI runs it with --release -- --ignored"]
+fn churn_soak_full_minute() {
+    let report = FleetSim::new(churn_fleet(3600, 120, 8))
+        .run_until_idle()
+        .expect("churn fleet");
+    assert!(report.admission.admitted >= 20);
+    assert!(report.flows_consistent());
+    assert!(
+        report.attributed_fraction() >= 0.95,
+        "soak attribution below the 95% floor: {:.3}",
+        report.attributed_fraction()
+    );
+    let identical = FleetSim::new(churn_fleet(3600, 120, 8))
+        .run_until_idle()
+        .expect("churn fleet replay");
+    assert_eq!(report.to_json(), identical.to_json());
+}
+
+#[test]
+fn decoder_crash_storm_stays_inside_its_session() {
+    let mut config = FleetConfig::new(LinkProfile::fiber(), 7).with_ticks(120);
+    config.session_rate_mbps = 18.0;
+    config = config
+        .with_session(FleetSessionSpec::new(GameId::G1, device(0)))
+        .with_session(
+            FleetSessionSpec::new(GameId::G2, device(1))
+                .joining_at(1)
+                .with_faults(FaultPlan::crash_storm_scaled(0.2)),
+        )
+        .with_session(FleetSessionSpec::new(GameId::G3, device(2)).joining_at(2));
+    let report = FleetSim::new(config).run_until_idle().expect("crash fleet");
+    let victim = &report.sessions[1];
+    assert!(
+        victim.drops_decoder_down > 0,
+        "the storm session never lost a frame to its dead decoder"
+    );
+    assert!(
+        victim.recovery.is_some(),
+        "the storm session must carry a recovery summary"
+    );
+    for s in [&report.sessions[0], &report.sessions[2]] {
+        assert_eq!(
+            s.drops_decoder_down, 0,
+            "decoder crash leaked into session {}",
+            s.spec
+        );
+        assert_eq!(
+            s.frames,
+            120 - s.joined_tick as u64,
+            "bystander session {} lost frames",
+            s.spec
+        );
+    }
+    assert!(
+        report.attributed_fraction() >= 0.95,
+        "crash-storm attribution below the 95% floor: {:.3}",
+        report.attributed_fraction()
+    );
+}
