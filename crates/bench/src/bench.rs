@@ -23,7 +23,7 @@
 //! - **Informational** (raw wall-clock): recorded for trend archaeology,
 //!   never gated (`None` tolerances — the check always passes them).
 
-use crate::experiments::{consolidate, recovery, resilience, scaling};
+use crate::experiments::{consolidate, fleetwatch, recovery, resilience, scaling};
 use crate::{RunOptions, Table};
 use gss_telemetry::json::{self, Json};
 
@@ -273,6 +273,51 @@ pub(crate) fn consolidate_metrics(sweep: &consolidate::ConsolidationSweep) -> Ve
     out
 }
 
+/// The deterministic metric set of one fleet-watch churn storm — knee
+/// placement, fairness extremes, anomaly tallies, admission outcome and
+/// the fleet series envelopes. All modeled or exact: the watch layer
+/// samples only modeled values in the serial phase, so any drift is a
+/// real behavior change.
+pub fn fleetwatch_metrics(run: &fleetwatch::FleetwatchRun) -> Vec<BenchMetric> {
+    let r = &run.report;
+    let w = &r.watch;
+    let mut out = vec![
+        BenchMetric::exact(
+            "fleetwatch.knee_tick",
+            w.knee_tick.map_or(-1.0, |t| t as f64),
+        ),
+        BenchMetric::modeled("fleetwatch.fairness_min", w.fairness_min),
+        BenchMetric::modeled("fleetwatch.fairness_mean", w.fairness_mean),
+        BenchMetric::exact("fleetwatch.rung_flaps", w.rung_flaps as f64),
+        BenchMetric::exact("fleetwatch.starvation_events", w.starvation_events as f64),
+        BenchMetric::exact("fleetwatch.starved_max_streak", w.starved_max_streak as f64),
+        BenchMetric::exact("fleetwatch.admission_storms", w.admission_storms as f64),
+        BenchMetric::exact("fleetwatch.admitted", r.admission.admitted as f64),
+        BenchMetric::exact("fleetwatch.rejected", r.admission.rejected.len() as f64),
+        BenchMetric::exact("fleetwatch.abandoned", r.admission.abandoned.len() as f64),
+        BenchMetric::exact("fleetwatch.peak_queue", r.admission.peak_queue as f64),
+        BenchMetric::exact(
+            "fleetwatch.peak_concurrency",
+            r.admission.peak_concurrency as f64,
+        ),
+        BenchMetric::exact("fleetwatch.frames", r.total_frames() as f64),
+        BenchMetric::exact("fleetwatch.frozen", r.total_frozen() as f64),
+        BenchMetric::modeled("fleetwatch.min_fps_effective", r.min_fps_effective()),
+        BenchMetric::modeled("fleetwatch.mean_fps_effective", r.mean_fps_effective()),
+    ];
+    for (name, quantity) in [
+        ("p99-critical-ms", "p99_critical_max_ms"),
+        ("alloc-mbps", "alloc_mbps_max"),
+        ("consumed-mbps", "consumed_mbps_max"),
+        ("slo-burn-fast", "burn_fast_max"),
+        ("slo-burn-slow", "burn_slow_max"),
+    ] {
+        let max = w.series.get(name).and_then(|s| s.max()).unwrap_or(0.0);
+        out.push(BenchMetric::modeled(format!("fleetwatch.{quantity}"), max));
+    }
+    out
+}
+
 /// Runs the benchmarked experiments and collects the metric set.
 pub fn collect(options: &RunOptions) -> Baseline {
     let mut metrics = Vec::new();
@@ -325,6 +370,15 @@ pub fn collect(options: &RunOptions) -> Baseline {
     metrics.push(BenchMetric::informational(
         "consolidate.wall_ms",
         consolidate_wall_ms,
+    ));
+
+    let t0 = std::time::Instant::now();
+    let watch_run = fleetwatch::measure(options);
+    let fleetwatch_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    metrics.extend(fleetwatch_metrics(&watch_run));
+    metrics.push(BenchMetric::informational(
+        "fleetwatch.wall_ms",
+        fleetwatch_wall_ms,
     ));
 
     Baseline {

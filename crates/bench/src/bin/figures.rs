@@ -4,6 +4,7 @@
 //! figures [--quick] [--threads N] [--telemetry out.jsonl] [--trace out.json] [experiment-id ...]
 //! figures bench [--quick] [--threads N] [--host TAG] (--emit-baseline PATH | --check PATH)
 //! figures triage [--quick] [--threads N] [--baseline PATH] [--out PATH] [--prom PATH] [--folded PATH] [--gate]
+//! figures fleetwatch [--quick] [--threads N] [--out PATH] [--trace PATH] [--prom PATH] [--check PATH]
 //! ```
 //!
 //! `--telemetry` streams every session's frame-scoped event trace (stage
@@ -30,7 +31,9 @@
 //! leaves more than 5% of its misses unattributed, or drifts off the
 //! baseline.
 
-use gss_bench::{bench, run_experiment, triage, RunOptions, ALL_EXPERIMENTS};
+use gss_bench::{
+    bench, experiments::fleetwatch, run_experiment, triage, RunOptions, ALL_EXPERIMENTS,
+};
 use gss_telemetry::{JsonlSink, Level, MultiSink, SinkHandle, TraceSink};
 use std::process::ExitCode;
 
@@ -41,6 +44,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("triage") {
         return run_triage(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fleetwatch") {
+        return run_fleetwatch(&args[1..]);
     }
     run_figures(&args)
 }
@@ -84,6 +90,9 @@ fn run_figures(args: &[String]) -> ExitCode {
                 );
                 println!(
                     "       figures triage [--quick] [--threads N] [--baseline PATH] [--out PATH] [--prom PATH] [--folded PATH] [--gate]"
+                );
+                println!(
+                    "       figures fleetwatch [--quick] [--threads N] [--out PATH] [--trace PATH] [--prom PATH] [--check PATH]"
                 );
                 println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 return ExitCode::SUCCESS;
@@ -262,6 +271,166 @@ fn run_bench(args: &[String]) -> ExitCode {
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+fn run_fleetwatch(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--threads" => match args.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => gss_platform::pool::set_workers(n),
+                _ => {
+                    eprintln!("error: --threads needs a worker count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => out_path = args.next().cloned(),
+            "--trace" => trace_path = args.next().cloned(),
+            "--prom" => prom_path = args.next().cloned(),
+            "--check" => check = args.next().cloned(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures fleetwatch [--quick] [--threads N] [--out PATH] [--trace PATH] [--prom PATH] [--check PATH]"
+                );
+                println!("  --out PATH    write the deterministic fleet report JSON (watch rollup included)");
+                println!("  --trace PATH  write the merged Chrome trace with fleet counter tracks and anomaly markers");
+                println!("  --prom PATH   write a fleet-labeled Prometheus text snapshot");
+                println!(
+                    "  --check PATH  gate the fleetwatch.* metrics against a benchmark baseline"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown fleetwatch argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let options = RunOptions {
+        quick,
+        telemetry: None,
+    };
+    let t0 = std::time::Instant::now();
+    let run = fleetwatch::measure(&options);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    fleetwatch::print(&run);
+
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, run.report.to_json()) {
+            eprintln!("error: cannot write fleet report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("fleet report written to {path}");
+    }
+    if let Some(path) = &trace_path {
+        if let Err(e) = std::fs::write(path, run.sim.to_chrome_json()) {
+            eprintln!("error: cannot write fleet trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("fleet chrome trace written to {path} (open in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = &prom_path {
+        let watch = &run.report.watch;
+        let snapshot = gss_telemetry::prom::render_fleet(&gss_telemetry::prom::PromFleet {
+            name: fleetwatch::FLEET_NAME,
+            series: &watch.series,
+            anomalies: &watch.anomalies(),
+            knee_tick: watch.knee_tick,
+        });
+        if let Err(e) = std::fs::write(path, snapshot) {
+            eprintln!("error: cannot write prometheus snapshot {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("prometheus snapshot written to {path}");
+    }
+
+    let Some(path) = check else {
+        return ExitCode::SUCCESS;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let full = match bench::Baseline::from_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: malformed baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if full.quick != quick {
+        eprintln!(
+            "error: baseline {path} was recorded with quick={}, this run has quick={} — re-run with {}",
+            full.quick,
+            quick,
+            if full.quick { "--quick" } else { "no --quick" }
+        );
+        return ExitCode::FAILURE;
+    }
+    let metrics: Vec<bench::BenchMetric> = full
+        .metrics
+        .iter()
+        .filter(|m| m.name.starts_with("fleetwatch."))
+        .cloned()
+        .collect();
+    if metrics.is_empty() {
+        eprintln!("error: baseline {path} has no fleetwatch.* metrics — re-emit it");
+        return ExitCode::FAILURE;
+    }
+    let baseline = bench::Baseline {
+        host: full.host.clone(),
+        quick: full.quick,
+        metrics,
+    };
+    let mut current_metrics = bench::fleetwatch_metrics(&run);
+    current_metrics.push(bench::BenchMetric {
+        name: "fleetwatch.wall_ms".to_owned(),
+        value: wall_ms,
+        abs_tol: None,
+        rel_tol: None,
+    });
+    let current = bench::Baseline {
+        host: full.host,
+        quick,
+        metrics: current_metrics,
+    };
+    let drifts = baseline.check(&current);
+    println!("{}", bench::drift_table(&drifts));
+    let failures: Vec<&bench::Drift> = drifts.iter().filter(|d| d.is_failure()).collect();
+    if failures.is_empty() {
+        println!(
+            "fleetwatch check passed: {} metrics within tolerance of {path}",
+            drifts.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "fleetwatch check FAILED: {} of {} metrics out of tolerance vs {path}:",
+            failures.len(),
+            drifts.len()
+        );
+        for d in &failures {
+            eprintln!(
+                "  {}: baseline {} -> current {} (|d| {}, rel {:.2}%)",
+                d.name,
+                d.baseline,
+                d.current,
+                d.abs_delta,
+                d.rel_delta * 100.0
+            );
+        }
+        ExitCode::FAILURE
     }
 }
 

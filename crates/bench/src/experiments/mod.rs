@@ -12,6 +12,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig7;
 pub mod fig9;
+pub mod fleetwatch;
 pub mod loss;
 pub mod recovery;
 pub mod resilience;

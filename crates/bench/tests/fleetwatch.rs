@@ -1,0 +1,120 @@
+//! Fleet-watch gate: the churn storm must trip every streaming detector
+//! deterministically, and the watch layer's artifacts (report JSON with
+//! the watch rollup, counter-track Chrome trace, Prometheus snapshot)
+//! must be byte-identical at any worker count. Lives in its own test
+//! binary because it runs several full fleets back to back.
+
+use gss_bench::bench::fleetwatch_metrics;
+use gss_bench::experiments::fleetwatch::{storm_config, FleetwatchRun, FLEET_NAME};
+use gss_platform::pool::PoolHandle;
+use gss_telemetry::prom::{render_fleet, PromFleet};
+
+const TICKS: usize = 160; // the storm's --quick length
+
+#[test]
+fn churn_storm_trips_every_detector() {
+    let report = gamestreamsr::run_fleet(storm_config(TICKS)).expect("storm fleet");
+    let w = &report.watch;
+    assert!(
+        w.knee_tick.is_some(),
+        "the storm must have a fairness/latency knee"
+    );
+    assert!(
+        w.fairness_min < 0.9,
+        "the outage victim must drag fairness below the knee threshold, got {}",
+        w.fairness_min
+    );
+    assert!(
+        w.starvation_events >= 1,
+        "the outage victim must starve under its fair share"
+    );
+    assert!(
+        w.starved_max_streak >= 12,
+        "starvation must persist past the detector threshold, got {}",
+        w.starved_max_streak
+    );
+    assert!(
+        w.admission_storms >= 1,
+        "the flash crowd must register as an admission storm"
+    );
+    assert!(
+        !report.admission.rejected.is_empty(),
+        "the flash crowd must overflow the wait queue"
+    );
+    // the knee must not predate the first outage window (fairness holds
+    // while every session is served)
+    let first_outage_tick = (TICKS as f64 * 0.25) as u64;
+    assert!(
+        report.watch.knee_tick.unwrap() >= first_outage_tick,
+        "knee at tick {:?} predates the first outage window at {first_outage_tick}",
+        report.watch.knee_tick
+    );
+}
+
+#[test]
+fn watch_artifacts_are_bit_identical_at_1_and_8_workers() {
+    let run_at = |workers: usize| {
+        let mut config = storm_config(TICKS);
+        config.pool = PoolHandle::with_workers(workers);
+        let mut sim = gamestreamsr::fleet::FleetSim::new(config);
+        let report = sim.run_until_idle().expect("storm fleet");
+        let trace = sim.to_chrome_json();
+        let prom = render_fleet(&PromFleet {
+            name: FLEET_NAME,
+            series: &report.watch.series,
+            anomalies: &report.watch.anomalies(),
+            knee_tick: report.watch.knee_tick,
+        });
+        (report.to_json(), trace, prom)
+    };
+    let (report1, trace1, prom1) = run_at(1);
+    let (report8, trace8, prom8) = run_at(8);
+    assert_eq!(report1, report8, "watch report depends on the worker count");
+    assert_eq!(
+        trace1, trace8,
+        "counter-track trace depends on the worker count"
+    );
+    assert_eq!(
+        prom1, prom8,
+        "prometheus snapshot depends on the worker count"
+    );
+
+    // the merged trace must actually carry the watch extensions: a pid-0
+    // fleet process, counter samples and at least one anomaly marker
+    assert!(trace1.contains("\"name\":\"fleet\""), "no fleet process");
+    assert!(trace1.contains("\"ph\":\"C\""), "no counter events");
+    assert!(trace1.contains("\"ph\":\"i\""), "no anomaly markers");
+    assert!(
+        prom1.contains("gss_fleet_series{"),
+        "no fleet series family"
+    );
+    assert!(prom1.contains("gss_fleet_knee_tick{"), "no knee gauge");
+}
+
+#[test]
+fn metric_set_is_fully_gated_and_prefixed() {
+    let mut sim = gamestreamsr::fleet::FleetSim::new(storm_config(TICKS));
+    let report = sim.run_until_idle().expect("storm fleet");
+    let metrics = fleetwatch_metrics(&FleetwatchRun {
+        ticks: TICKS,
+        report,
+        sim,
+    });
+    assert!(
+        metrics.len() >= 20,
+        "want at least 20 gated fleetwatch metrics, got {}",
+        metrics.len()
+    );
+    for m in &metrics {
+        assert!(
+            m.name.starts_with("fleetwatch."),
+            "metric {} escapes the fleetwatch namespace",
+            m.name
+        );
+        assert!(
+            m.abs_tol.is_some() || m.rel_tol.is_some(),
+            "metric {} is not gated",
+            m.name
+        );
+    }
+}

@@ -54,9 +54,14 @@ use gss_net::{DropCause, FaultPlan, FlowStats, LinkProfile, SharedLink};
 use gss_platform::pool::PoolHandle;
 use gss_platform::{DeviceProfile, ServerModel, REALTIME_BUDGET_MS};
 use gss_render::GameId;
+use gss_telemetry::timeseries::{
+    jain_fairness, AdmissionStormDetector, RungFlapDetector, SeriesSet, StarvationDetector,
+    DEFAULT_CAPACITY,
+};
 use gss_telemetry::{
-    Attributor, Counter, FrameHealth, Gauge, InstantKind, Level, Recorder, SessionAttribution,
-    SinkHandle, SloEngine, SloSummary, TelemetrySummary, TraceSession, TraceSink,
+    chrome_trace_json_ext, Attributor, Counter, CounterTrack, FrameHealth, Gauge, InstantKind,
+    Level, Recorder, SessionAttribution, SinkHandle, SloEngine, SloSummary, TelemetrySummary,
+    TraceInstant, TraceSession, TraceSink,
 };
 
 /// One session's place in the fleet timeline.
@@ -260,6 +265,21 @@ struct ActiveSession {
     drops_decoder_down: u64,
     max_rung: usize,
     mtp_totals: Vec<f64>,
+    // per-tick observability, fed by the serial transport phase and read
+    // by the fleet-watch sampler after it
+    prev_delivered: u64,
+    last_rung: usize,
+    last_critical_ms: f64,
+    last_alloc_mbps: f64,
+    last_consumed_mbps: f64,
+    // EMA of consumed rate (time constant ~16 ticks): fairness must not
+    // dip on GOP phase (a keyframe tick delivers several times a delta
+    // tick), only on sustained under-service
+    consumed_ema: f64,
+    flap: RungFlapDetector,
+    starve: StarvationDetector,
+    alloc_track: Vec<(f64, f64)>,
+    consumed_track: Vec<(f64, f64)>,
 }
 
 impl ActiveSession {
@@ -544,6 +564,31 @@ impl ActiveSession {
         self.max_rung = self.max_rung.max(staged.rung);
         self.mtp_totals.push(mtp_breakdown.total_ms());
 
+        // per-tick observability: delivered-byte delta against the shared
+        // ledger, the allocator's grant, and the streaming anomaly
+        // detectors (all serial-phase, modeled values only)
+        let delivered = link.stats(self.flow).bytes_delivered;
+        let consumed_mbps = (delivered - self.prev_delivered) as f64 * 8.0 * 60.0 / 1e6;
+        self.prev_delivered = delivered;
+        let alloc_mbps = config.session_rate_mbps * self.alloc_scale;
+        self.last_rung = staged.rung;
+        self.last_critical_ms = upscale.critical_ms;
+        self.last_alloc_mbps = alloc_mbps;
+        self.last_consumed_mbps = consumed_mbps;
+        self.consumed_ema += (consumed_mbps - self.consumed_ema) / 16.0;
+        self.alloc_track.push((now_ms, alloc_mbps));
+        self.consumed_track.push((now_ms, consumed_mbps));
+        if let Some(msg) = self.flap.observe(self.frame as u64, staged.rung) {
+            self.rec.incr(Counter::AnomalyRungFlap);
+            self.rec.log(Level::Warn, msg.clone());
+            self.rec.instant(InstantKind::Anomaly, now_ms, msg);
+        }
+        if let Some(msg) = self.starve.observe(consumed_mbps, alloc_mbps) {
+            self.rec.incr(Counter::AnomalyStarvation);
+            self.rec.log(Level::Warn, msg.clone());
+            self.rec.instant(InstantKind::Anomaly, now_ms, msg);
+        }
+
         if let Some(ctl) = &mut self.controller {
             if let Some(step) = ctl.observe(dropped || !deadline_met) {
                 let rung = ctl.rung_params();
@@ -682,6 +727,148 @@ pub struct AdmissionSummary {
     pub peak_concurrency: usize,
 }
 
+/// Per-rung occupancy series names, one per [`LADDER`] rung (the array
+/// length is pinned to the ladder at compile time).
+const RUNG_SERIES: [&str; LADDER.len()] = [
+    "rung-occupancy-0",
+    "rung-occupancy-1",
+    "rung-occupancy-2",
+    "rung-occupancy-3",
+    "rung-occupancy-4",
+];
+
+/// Fleet series mirrored into full-resolution Chrome counter tracks
+/// (pid 0 of the merged trace); everything else lives only in the
+/// downsampled [`SeriesSet`].
+const FLEET_TRACKS: [&str; 6] = [
+    "active-sessions",
+    "fairness-jain",
+    "alloc-mbps",
+    "consumed-mbps",
+    "p99-critical-ms",
+    "slo-burn-fast",
+];
+
+/// Streaming fleet-watch state: the downsampled time-series rings, the
+/// admission-storm detector, full-resolution counter-track samples for
+/// the merged trace, anomaly tallies and the knee tick. Sampled once per
+/// tick in the serial phase, so it is bit-deterministic at any worker
+/// count.
+#[derive(Debug, Clone)]
+struct FleetWatch {
+    series: SeriesSet,
+    storm: AdmissionStormDetector,
+    markers: Vec<TraceInstant>,
+    tracks: Vec<(&'static str, Vec<(f64, f64)>)>,
+    knee_tick: Option<u64>,
+    fairness_min: f64,
+    fairness_sum: f64,
+    fairness_ticks: u64,
+    rung_flaps: u64,
+    starvation_events: u64,
+    starved_max_streak: u64,
+}
+
+impl FleetWatch {
+    fn new() -> Self {
+        FleetWatch {
+            series: SeriesSet::new(DEFAULT_CAPACITY),
+            storm: AdmissionStormDetector::new(),
+            markers: Vec::new(),
+            tracks: FLEET_TRACKS.iter().map(|&n| (n, Vec::new())).collect(),
+            knee_tick: None,
+            fairness_min: 1.0,
+            fairness_sum: 0.0,
+            fairness_ticks: 0,
+            rung_flaps: 0,
+            starvation_events: 0,
+            starved_max_streak: 0,
+        }
+    }
+
+    fn track(&mut self, name: &str, ts_ms: f64, value: f64) {
+        if let Some((_, samples)) = self.tracks.iter_mut().find(|(n, _)| *n == name) {
+            samples.push((ts_ms, value));
+        }
+    }
+
+    fn summarize(&self) -> FleetWatchSummary {
+        FleetWatchSummary {
+            knee_tick: self.knee_tick,
+            fairness_min: self.fairness_min,
+            fairness_mean: if self.fairness_ticks == 0 {
+                1.0
+            } else {
+                self.fairness_sum / self.fairness_ticks as f64
+            },
+            rung_flaps: self.rung_flaps,
+            starvation_events: self.starvation_events,
+            starved_max_streak: self.starved_max_streak,
+            admission_storms: self.storm.events,
+            series: self.series.clone(),
+        }
+    }
+}
+
+/// Fleet-watch rollup carried on [`FleetReport`]: knee, fairness
+/// extremes, anomaly tallies and the downsampled series rings.
+#[derive(Debug, Clone)]
+pub struct FleetWatchSummary {
+    /// First tick where Jain fairness fell below 0.9 or the fleet p99
+    /// critical path missed the realtime budget; `None` if neither
+    /// happened.
+    pub knee_tick: Option<u64>,
+    /// Worst per-tick Jain fairness over consumed/allocated shares.
+    pub fairness_min: f64,
+    /// Mean per-tick Jain fairness (1.0 when no tick had active
+    /// sessions).
+    pub fairness_mean: f64,
+    /// Rung-flap anomalies across every session.
+    pub rung_flaps: u64,
+    /// Starvation anomalies across every session.
+    pub starvation_events: u64,
+    /// Longest starved-tick streak any session saw.
+    pub starved_max_streak: u64,
+    /// Admission-storm anomalies (flash-crowd joins).
+    pub admission_storms: u64,
+    /// The downsampled fleet series (min/max/last per bucket).
+    pub series: SeriesSet,
+}
+
+impl FleetWatchSummary {
+    /// Anomaly tallies as `(kind, count)` pairs, for the Prometheus
+    /// fleet snapshot.
+    pub fn anomalies(&self) -> [(&'static str, u64); 3] {
+        [
+            ("rung-flap", self.rung_flaps),
+            ("starvation", self.starvation_events),
+            ("admission-storm", self.admission_storms),
+        ]
+    }
+
+    /// Deterministic single-line JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"knee_tick\":{},\"fairness_min\":{},\"fairness_mean\":{},\
+             \"rung_flaps\":{},\"starvation_events\":{},\"starved_max_streak\":{},\
+             \"admission_storms\":{},\"series\":{}}}",
+            self.knee_tick
+                .map_or_else(|| "null".to_owned(), |t| t.to_string()),
+            jnum(self.fairness_min),
+            jnum(self.fairness_mean),
+            self.rung_flaps,
+            self.starvation_events,
+            self.starved_max_streak,
+            self.admission_storms,
+            self.series.summary_json(),
+        );
+        out
+    }
+}
+
 /// The fleet-aggregate report: per-session reports plus cross-session
 /// rollups. [`FleetReport::to_json`] is byte-deterministic.
 #[derive(Debug, Clone)]
@@ -703,6 +890,8 @@ pub struct FleetReport {
     pub mtp_p50_ms: f64,
     /// Exact fleet-wide MTP p99, ms.
     pub mtp_p99_ms: f64,
+    /// Fleet-watch rollup: knee, fairness, anomalies, series rings.
+    pub watch: FleetWatchSummary,
 }
 
 impl FleetReport {
@@ -817,6 +1006,8 @@ impl FleetReport {
             total.drops_outage,
             total.bytes,
         );
+        out.push_str(",\"watch\":");
+        out.push_str(&self.watch.to_json());
         out.push_str(",\"sessions\":[");
         for (i, s) in self.sessions.iter().enumerate() {
             if i > 0 {
@@ -865,6 +1056,15 @@ fn percentile(samples: &mut [f64], q: f64) -> f64 {
     samples[rank - 1]
 }
 
+/// One finished session's trace plus its counter-track samples, keyed by
+/// spec index for pid assignment at export time.
+#[derive(Debug, Clone)]
+struct SessionTrace {
+    spec: usize,
+    session: TraceSession,
+    tracks: Vec<(&'static str, Vec<(f64, f64)>)>,
+}
+
 /// The discrete-event fleet driver. See the module docs for the per-tick
 /// phase order and the determinism contract.
 pub struct FleetSim {
@@ -874,10 +1074,11 @@ pub struct FleetSim {
     wait_queue: VecDeque<usize>,
     active: Vec<ActiveSession>,
     finished: Vec<FleetSessionReport>,
-    traces: Vec<(usize, TraceSession)>,
+    traces: Vec<SessionTrace>,
     admission: AdmissionSummary,
     fleet_mtp: Vec<f64>,
     server_factor: f64,
+    watch: FleetWatch,
 }
 
 impl FleetSim {
@@ -899,6 +1100,7 @@ impl FleetSim {
             admission: AdmissionSummary::default(),
             fleet_mtp: Vec::new(),
             server_factor: 1.0,
+            watch: FleetWatch::new(),
         }
     }
 
@@ -990,6 +1192,16 @@ impl FleetSim {
             drops_decoder_down: 0,
             max_rung: 0,
             mtp_totals: Vec::new(),
+            prev_delivered: 0,
+            last_rung: 0,
+            last_critical_ms: 0.0,
+            last_alloc_mbps: 0.0,
+            last_consumed_mbps: 0.0,
+            consumed_ema: config.session_rate_mbps,
+            flap: RungFlapDetector::new(),
+            starve: StarvationDetector::new(),
+            alloc_track: Vec::new(),
+            consumed_track: Vec::new(),
             controller: None,
             server: GameStreamServer::new(ServerConfig::new(spec.game, config.lr_size, roi_window)),
         };
@@ -1028,8 +1240,18 @@ impl FleetSim {
             .map(|sess| Attributor::new(REALTIME_BUDGET_MS).attribute(sess))
             .unwrap_or_default();
         if let Some(sess) = trace_sessions.into_iter().last() {
-            self.traces.push((s.spec_idx, sess));
+            self.traces.push(SessionTrace {
+                spec: s.spec_idx,
+                session: sess,
+                tracks: vec![
+                    ("alloc-mbps", std::mem::take(&mut s.alloc_track)),
+                    ("consumed-mbps", std::mem::take(&mut s.consumed_track)),
+                ],
+            });
         }
+        self.watch.rung_flaps += s.flap.events;
+        self.watch.starvation_events += s.starve.events;
+        self.watch.starved_max_streak = self.watch.starved_max_streak.max(s.starve.max_streak);
         self.fleet_mtp.append(&mut s.mtp_totals);
         let spec = &self.config.sessions[s.spec_idx];
         self.finished.push(FleetSessionReport {
@@ -1073,9 +1295,11 @@ impl FleetSim {
         }
 
         // ---- phase 2: admission ------------------------------------------
+        let mut joins_this_tick = 0usize;
         for idx in 0..self.config.sessions.len() {
             if self.config.sessions[idx].join_tick == tick {
                 self.wait_queue.push_back(idx);
+                joins_this_tick += 1;
             }
         }
         // queued sessions whose departure tick already passed gave up
@@ -1110,7 +1334,9 @@ impl FleetSim {
             let share = self.config.budget_mbps() / n as f64;
             let alloc = (share / self.config.session_rate_mbps.max(1e-9)).min(1.0);
             let lr_size = self.config.lr_size;
+            let alloc_mbps = self.config.session_rate_mbps * alloc;
             for s in &mut self.active {
+                self.link.note_allocation(s.flow, alloc_mbps);
                 if (s.alloc_scale - alloc).abs() > 1e-12 {
                     s.alloc_scale = alloc;
                     let rung = s.current_rung();
@@ -1139,8 +1365,112 @@ impl FleetSim {
             self.active[i].transport(link, now_ms, server_factor, config);
         }
 
+        // ---- phase 6: fleet-watch sampling (serial) ----------------------
+        self.sample_watch(tick, now_ms, joins_this_tick);
+
         self.tick += 1;
         Ok(())
+    }
+
+    /// Samples the fleet time-series, runs the admission-storm detector
+    /// and checks the knee condition. Serial and modeled-values-only, so
+    /// every series, marker and counter track is bit-deterministic at any
+    /// worker count.
+    fn sample_watch(&mut self, tick: usize, now_ms: f64, joins_this_tick: usize) {
+        let t = tick as u64;
+        if let Some(msg) = self.watch.storm.observe(t, joins_this_tick) {
+            self.watch.markers.push(TraceInstant {
+                kind: InstantKind::Anomaly,
+                ts_ms: now_ms,
+                detail: msg,
+            });
+        }
+        let n = self.active.len();
+        self.watch.series.push("active-sessions", t, n as f64);
+        self.watch
+            .series
+            .push("admission-admitted", t, self.admission.admitted as f64);
+        self.watch.series.push(
+            "admission-rejected",
+            t,
+            self.admission.rejected.len() as f64,
+        );
+        self.watch.series.push(
+            "admission-abandoned",
+            t,
+            self.admission.abandoned.len() as f64,
+        );
+        self.watch.track("active-sessions", now_ms, n as f64);
+        if n == 0 {
+            return;
+        }
+
+        // service share: smoothed consumed over allocated, capped at 1 —
+        // over-consumption (a keyframe burst) is not unfairness, only
+        // sustained under-service drags Jain's index down
+        let shares: Vec<f64> = self
+            .active
+            .iter()
+            .map(|s| {
+                if s.last_alloc_mbps > 0.0 {
+                    (s.consumed_ema / s.last_alloc_mbps).min(1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let fairness = jain_fairness(&shares);
+        let alloc_sum: f64 = self.active.iter().map(|s| s.last_alloc_mbps).sum();
+        let consumed_sum: f64 = self.active.iter().map(|s| s.last_consumed_mbps).sum();
+        let mut crits: Vec<f64> = self.active.iter().map(|s| s.last_critical_ms).collect();
+        let p50 = percentile(&mut crits, 0.50);
+        let p99 = percentile(&mut crits, 0.99);
+        let (mut burn_fast, mut burn_slow) = (0.0, 0.0);
+        for s in &self.active {
+            if let Some((fast, slow)) = s.slo.current_burn("effective-fps") {
+                burn_fast += fast;
+                burn_slow += slow;
+            }
+        }
+        burn_fast /= n as f64;
+        burn_slow /= n as f64;
+        let mut occupancy = [0u64; LADDER.len()];
+        for s in &self.active {
+            occupancy[s.last_rung.min(LADDER.len() - 1)] += 1;
+        }
+
+        self.watch.series.push("fairness-jain", t, fairness);
+        self.watch.series.push("alloc-mbps", t, alloc_sum);
+        self.watch.series.push("consumed-mbps", t, consumed_sum);
+        self.watch.series.push("p50-critical-ms", t, p50);
+        self.watch.series.push("p99-critical-ms", t, p99);
+        self.watch.series.push("slo-burn-fast", t, burn_fast);
+        self.watch.series.push("slo-burn-slow", t, burn_slow);
+        for (r, &count) in occupancy.iter().enumerate() {
+            self.watch.series.push(RUNG_SERIES[r], t, count as f64);
+        }
+        self.watch.track("fairness-jain", now_ms, fairness);
+        self.watch.track("alloc-mbps", now_ms, alloc_sum);
+        self.watch.track("consumed-mbps", now_ms, consumed_sum);
+        self.watch.track("p99-critical-ms", now_ms, p99);
+        self.watch.track("slo-burn-fast", now_ms, burn_fast);
+
+        self.watch.fairness_min = self.watch.fairness_min.min(fairness);
+        self.watch.fairness_sum += fairness;
+        self.watch.fairness_ticks += 1;
+
+        if self.watch.knee_tick.is_none()
+            && (fairness < 0.9 || !gss_telemetry::deadline_met(p99, REALTIME_BUDGET_MS))
+        {
+            self.watch.knee_tick = Some(t);
+            self.watch.markers.push(TraceInstant {
+                kind: InstantKind::Anomaly,
+                ts_ms: now_ms,
+                detail: format!(
+                    "fleet knee at tick {t}: fairness {fairness:.3}, p99 critical {p99:.2} ms"
+                ),
+            });
+        }
     }
 
     /// Runs every remaining tick, finalizes every session, and returns
@@ -1173,30 +1503,61 @@ impl FleetSim {
             sessions: self.finished.clone(),
             mtp_p50_ms: percentile(&mut mtp, 0.50),
             mtp_p99_ms: percentile(&mut mtp, 0.99),
+            watch: self.watch.summarize(),
         };
         self.fleet_mtp = mtp;
         Ok(report)
     }
 
     /// Merged Perfetto/Chrome trace of every finished session — one
-    /// Chrome process per fleet session, pids in spec order. Call after
-    /// [`FleetSim::run_until_idle`]. Byte-deterministic.
+    /// Chrome process per fleet session, pids in spec order, plus a
+    /// pid-0 `fleet` process carrying the fleet counter tracks
+    /// (Perfetto counter rows) and anomaly markers. Per-session
+    /// allocated/consumed counter tracks ride on each session's pid.
+    /// Call after [`FleetSim::run_until_idle`]. Byte-deterministic.
     pub fn to_chrome_json(&self) -> String {
         let mut traces = self.traces.clone();
-        traces.sort_by_key(|(spec, _)| *spec);
+        traces.sort_by_key(|st| st.spec);
+        let mut counters: Vec<CounterTrack> = self
+            .watch
+            .tracks
+            .iter()
+            .filter(|(_, samples)| !samples.is_empty())
+            .map(|(name, samples)| CounterTrack {
+                pid: 0,
+                name: (*name).to_owned(),
+                samples: samples.clone(),
+            })
+            .collect();
         let sessions: Vec<TraceSession> = traces
             .into_iter()
             .enumerate()
-            .map(|(i, (_, mut sess))| {
+            .map(|(i, st)| {
                 let pid = (i + 1) as u64;
+                let mut sess = st.session;
                 sess.pid = pid;
                 for f in &mut sess.frames {
                     f.trace_id = pid * 1_000_000 + f.frame;
                 }
+                for (name, samples) in st.tracks {
+                    if !samples.is_empty() {
+                        counters.push(CounterTrack {
+                            pid,
+                            name: name.to_owned(),
+                            samples,
+                        });
+                    }
+                }
                 sess
             })
             .collect();
-        gss_telemetry::chrome_trace_json(&sessions)
+        let markers: Vec<(u64, TraceInstant)> = self
+            .watch
+            .markers
+            .iter()
+            .map(|m| (0u64, m.clone()))
+            .collect();
+        chrome_trace_json_ext(&sessions, &[(0, "fleet")], &counters, &markers)
     }
 }
 

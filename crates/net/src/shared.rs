@@ -46,6 +46,17 @@ pub struct FlowStats {
     pub drops_outage: u64,
     /// Payload bytes this flow offered (delivered or not).
     pub bytes: u64,
+    /// Payload bytes the link actually delivered for this flow — the
+    /// numerator of the flow's *consumed* rate, as opposed to `bytes`
+    /// (offered) and the allocated rate below.
+    pub bytes_delivered: u64,
+    /// Sum of per-tick fair-share allocations granted to this flow, in
+    /// kbit/s fixed point (f64 rates rounded to whole kbit/s keep the
+    /// struct `Eq` and the ledger bit-deterministic).
+    pub allocated_kbps_sum: u64,
+    /// Ticks over which an allocation was recorded (the denominator of
+    /// [`FlowStats::mean_allocated_mbps`]).
+    pub alloc_ticks: u64,
 }
 
 impl FlowStats {
@@ -55,6 +66,16 @@ impl FlowStats {
             0.0
         } else {
             self.dropped as f64 / self.sent as f64
+        }
+    }
+
+    /// Mean fair-share rate allocated to this flow across the recorded
+    /// ticks, Mbit/s. `None` when no allocation was ever recorded.
+    pub fn mean_allocated_mbps(&self) -> Option<f64> {
+        if self.alloc_ticks == 0 {
+            None
+        } else {
+            Some(self.allocated_kbps_sum as f64 / self.alloc_ticks as f64 / 1000.0)
         }
     }
 
@@ -139,6 +160,17 @@ impl SharedLink {
     /// This flow's transmission accounting so far.
     pub fn stats(&self, flow: usize) -> FlowStats {
         self.flows[flow].stats
+    }
+
+    /// Records the fair-share rate allocated to `flow` for one tick. The
+    /// allocator (the fleet loop) calls this every tick for every active
+    /// flow, so the ledger carries allocated-vs-consumed alongside the
+    /// drop causes. Rates are rounded to whole kbit/s (fixed point keeps
+    /// [`FlowStats`] `Eq`).
+    pub fn note_allocation(&mut self, flow: usize, mbps: f64) {
+        let stats = &mut self.flows[flow].stats;
+        stats.allocated_kbps_sum += (mbps.max(0.0) * 1000.0).round() as u64;
+        stats.alloc_ticks += 1;
     }
 
     /// The bottleneck goodput at the link's current clock, with any active
@@ -236,6 +268,7 @@ impl SharedLink {
             };
         }
         self.queue_bits += bits;
+        self.flows[flow].stats.bytes_delivered += bytes as u64;
         let jitter = self.jitter_sample() * self.flows[flow].fault_plan.jitter_factor(send_time_ms);
         let transit = queue_after_ms + self.profile.rtt_ms / 2.0 + jitter;
         Transfer {
@@ -423,6 +456,38 @@ mod tests {
             out
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ledger_tracks_delivered_bytes_and_allocated_rate() {
+        let profile = LinkProfile {
+            bandwidth_cv: 0.0,
+            jitter_ms: 0.0,
+            ..LinkProfile::wifi()
+        };
+        let mut link = SharedLink::new(profile, 11);
+        let f = link.add_flow(FaultPlan::new(vec![FaultEvent {
+            start_ms: 200.0,
+            end_ms: 400.0,
+            kind: FaultKind::Outage,
+        }]));
+        for i in 0..60 {
+            let t = i as f64 * 16.66;
+            link.note_allocation(f, 18.0);
+            let _ = link.send(f, 10_000, t);
+        }
+        let s = link.stats(f);
+        assert!(s.dropped > 0, "the outage window must drop frames");
+        assert_eq!(
+            s.bytes_delivered,
+            s.bytes - s.dropped * 10_000,
+            "delivered bytes must exclude exactly the dropped frames"
+        );
+        assert_eq!(s.alloc_ticks, 60);
+        assert_eq!(s.allocated_kbps_sum, 60 * 18_000);
+        assert_eq!(s.mean_allocated_mbps(), Some(18.0));
+        assert_eq!(FlowStats::default().mean_allocated_mbps(), None);
+        assert!(s.consistent());
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod recorder;
 mod sink;
 pub mod slo;
 mod summary;
+pub mod timeseries;
 pub mod trace;
 
 pub use attribution::{Attributor, BlameEntry, MissCause, MissRecord, SessionAttribution};
@@ -45,7 +46,14 @@ pub use sink::{
 };
 pub use slo::{FrameHealth, Objective, SloEngine, SloEvent, SloSpec, SloStatus, SloSummary};
 pub use summary::{CounterSummary, GaugeSummary, StageSummary, TelemetrySummary};
-pub use trace::{chrome_trace_json, TraceFrame, TraceInstant, TraceSession, TraceSink, TraceSpan};
+pub use timeseries::{
+    jain_fairness, AdmissionStormDetector, Bucket, RungFlapDetector, SeriesSet, StarvationDetector,
+    TimeSeries,
+};
+pub use trace::{
+    chrome_trace_json, chrome_trace_json_ext, CounterTrack, TraceFrame, TraceInstant, TraceSession,
+    TraceSink, TraceSpan,
+};
 
 /// The 60 FPS real-time frame budget in milliseconds (16.66 ms). This is
 /// the canonical definition; `gss_platform::REALTIME_BUDGET_MS` re-exports
@@ -176,11 +184,20 @@ pub enum Counter {
     /// Decoder reconfigure attempts started by the recovery state machine
     /// (> crashes when keyframe resync times out and the attempt retries).
     DecoderReconfigures,
+    /// Rung-flap anomalies: the degradation ladder reversed direction often
+    /// enough inside a short window to count as oscillation.
+    AnomalyRungFlap,
+    /// Starvation anomalies: the session's consumed rate stayed under its
+    /// fair-share allocation for a sustained streak of ticks.
+    AnomalyStarvation,
+    /// Admission-storm anomalies: a flash crowd of join requests dense
+    /// enough to blow through the wait queue (fleet-level counter).
+    AnomalyAdmissionStorm,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 20;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -201,6 +218,9 @@ impl Counter {
         Counter::DropsDecoderDown,
         Counter::DecoderCrashes,
         Counter::DecoderReconfigures,
+        Counter::AnomalyRungFlap,
+        Counter::AnomalyStarvation,
+        Counter::AnomalyAdmissionStorm,
     ];
 
     /// Stable array index of this counter.
@@ -228,6 +248,9 @@ impl Counter {
             Counter::DropsDecoderDown => "drops-decoder-down",
             Counter::DecoderCrashes => "decoder-crashes",
             Counter::DecoderReconfigures => "decoder-reconfigures",
+            Counter::AnomalyRungFlap => "anomaly-rung-flap",
+            Counter::AnomalyStarvation => "anomaly-starvation",
+            Counter::AnomalyAdmissionStorm => "anomaly-admission-storm",
         }
     }
 }

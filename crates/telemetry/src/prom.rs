@@ -16,6 +16,7 @@ use crate::attribution::SessionAttribution;
 use crate::sink::json_f64;
 use crate::slo::SloSummary;
 use crate::summary::TelemetrySummary;
+use crate::timeseries::SeriesSet;
 use crate::{Counter, Gauge};
 use std::fmt::Write as _;
 
@@ -305,6 +306,92 @@ pub fn render(sessions: &[PromSession<'_>]) -> String {
     out
 }
 
+/// Fleet-level exportable state: the per-tick series set plus the anomaly
+/// and knee verdicts the fleet loop derived from it.
+#[derive(Debug, Clone, Copy)]
+pub struct PromFleet<'a> {
+    /// Value of the `fleet` label on every sample.
+    pub name: &'a str,
+    /// Fleet time series (active sessions, fairness, latency, …).
+    pub series: &'a SeriesSet,
+    /// `(detector label, episode count)` pairs, in a fixed caller order.
+    pub anomalies: &'a [(&'a str, u64)],
+    /// First tick where fairness or the latency budget gave way, if any.
+    pub knee_tick: Option<u64>,
+}
+
+/// Renders a fleet snapshot as a Prometheus text exposition: per-series
+/// `min`/`max`/`last` summary gauges with sample counts, anomaly episode
+/// counters, and the knee tick (−1 when the run never kneeled). Same
+/// determinism contract as [`render`]: fixed family order, insertion-order
+/// series, modeled values only.
+pub fn render_fleet(fleet: &PromFleet<'_>) -> String {
+    let mut out = String::new();
+    let name = escape_label(fleet.name);
+
+    family(
+        &mut out,
+        "gss_fleet_series",
+        "gauge",
+        "Fleet time-series summary statistics (min/max/last over the run).",
+    );
+    for s in fleet.series.iter() {
+        for (stat, v) in [
+            ("min", s.min().unwrap_or(f64::NAN)),
+            ("max", s.max().unwrap_or(f64::NAN)),
+            ("last", s.last().unwrap_or(f64::NAN)),
+        ] {
+            let _ = writeln!(
+                out,
+                "gss_fleet_series{{fleet=\"{name}\",series=\"{}\",stat=\"{stat}\"}} {}",
+                escape_label(s.name()),
+                value(v)
+            );
+        }
+    }
+    family(
+        &mut out,
+        "gss_fleet_series_samples_total",
+        "counter",
+        "Per-tick samples folded into each fleet series.",
+    );
+    for s in fleet.series.iter() {
+        let _ = writeln!(
+            out,
+            "gss_fleet_series_samples_total{{fleet=\"{name}\",series=\"{}\"}} {}",
+            escape_label(s.name()),
+            s.samples()
+        );
+    }
+    family(
+        &mut out,
+        "gss_fleet_anomalies_total",
+        "counter",
+        "Streaming anomaly-detector episodes, by detector kind.",
+    );
+    for (kind, count) in fleet.anomalies {
+        let _ = writeln!(
+            out,
+            "gss_fleet_anomalies_total{{fleet=\"{name}\",kind=\"{}\"}} {count}",
+            escape_label(kind)
+        );
+    }
+    family(
+        &mut out,
+        "gss_fleet_knee_tick",
+        "gauge",
+        "First tick where fairness < 0.9 or fleet p99 missed budget (-1: never).",
+    );
+    let knee = fleet.knee_tick.map_or(-1.0, |t| t as f64);
+    let _ = writeln!(
+        out,
+        "gss_fleet_knee_tick{{fleet=\"{name}\"}} {}",
+        value(knee)
+    );
+
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +452,44 @@ mod tests {
         let a = render(&sess);
         assert_eq!(a, render(&sess));
         assert!(a.contains("session=\"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    fn fleet_snapshot_renders_series_anomalies_and_knee() {
+        let mut series = SeriesSet::new(16);
+        for tick in 0..10u64 {
+            series.push("active-sessions", tick, (tick % 4) as f64);
+            series.push("fairness-jain", tick, 1.0 - tick as f64 * 0.02);
+        }
+        let fleet = PromFleet {
+            name: "storm",
+            series: &series,
+            anomalies: &[("rung-flap", 2), ("starvation", 1), ("admission-storm", 1)],
+            knee_tick: Some(7),
+        };
+        let text = render_fleet(&fleet);
+        assert_eq!(text, render_fleet(&fleet), "snapshot must be deterministic");
+        assert!(text.contains(
+            "gss_fleet_series{fleet=\"storm\",series=\"active-sessions\",stat=\"max\"} 3"
+        ));
+        assert!(text.contains(
+            "gss_fleet_series_samples_total{fleet=\"storm\",series=\"fairness-jain\"} 10"
+        ));
+        assert!(text.contains("gss_fleet_anomalies_total{fleet=\"storm\",kind=\"starvation\"} 1"));
+        assert!(text.contains("gss_fleet_knee_tick{fleet=\"storm\"} 7"));
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (metric, v) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(metric.contains('{') && metric.ends_with('}'), "{line}");
+            assert!(v == "NaN" || v.parse::<f64>().is_ok(), "{line}");
+        }
+        // a kneeless run exports the -1 sentinel
+        let calm = PromFleet {
+            knee_tick: None,
+            ..fleet
+        };
+        assert!(render_fleet(&calm).contains("gss_fleet_knee_tick{fleet=\"storm\"} -1"));
     }
 }

@@ -65,6 +65,9 @@ pub enum InstantKind {
     /// carries the transition: crash detected, reconfigure attempt,
     /// keyframe resync, safe-profile fallback).
     Recovery,
+    /// A streaming anomaly detector fired (detail carries the detector's
+    /// description: rung flap, starvation, or admission storm).
+    Anomaly,
 }
 
 impl InstantKind {
@@ -78,6 +81,7 @@ impl InstantKind {
             InstantKind::Fault => "fault",
             InstantKind::SloBreach => "slo-breach",
             InstantKind::Recovery => "recovery",
+            InstantKind::Anomaly => "anomaly",
         }
     }
 }
@@ -321,9 +325,14 @@ impl Sink for MemorySink {
 /// atomically and the sink flushes on [`Drop`], so a run that ends without
 /// an explicit [`Sink::flush`] (early return, panic unwinding) still leaves
 /// a valid JSONL file of complete lines on disk.
+///
+/// Every line carries a leading monotonic `"seq"` field, so several
+/// sessions' JSONL streams can be merged (and a merge re-split) by sorting
+/// on `(file, seq)` without any trace post-processing.
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: BufWriter<File>,
+    seq: u64,
 }
 
 impl JsonlSink {
@@ -332,14 +341,20 @@ impl JsonlSink {
         let file = File::create(path)?;
         Ok(JsonlSink {
             writer: BufWriter::new(file),
+            seq: 0,
         })
     }
 }
 
 impl Sink for JsonlSink {
     fn emit(&mut self, event: &Event) {
+        // Every Event::to_json() starts with `{"event":…`, so the sequence
+        // number splices in as the first field without re-serializing.
         // Serialization is infallible; a full disk surfaces via flush.
-        let _ = writeln!(self.writer, "{}", event.to_json());
+        let json = event.to_json();
+        debug_assert!(json.starts_with('{'));
+        let _ = writeln!(self.writer, "{{\"seq\":{},{}", self.seq, &json[1..]);
+        self.seq += 1;
     }
 
     fn flush(&mut self) {
@@ -507,11 +522,12 @@ mod tests {
             InstantKind::Fault,
             InstantKind::SloBreach,
             InstantKind::Recovery,
+            InstantKind::Anomaly,
         ]
         .iter()
         .map(|k| k.label())
         .collect();
-        assert_eq!(labels.len(), 7, "instant labels must be unique");
+        assert_eq!(labels.len(), 8, "instant labels must be unique");
     }
 
     #[test]
@@ -560,8 +576,8 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with("{\"event\":\"session_start\""));
-        assert!(lines[1].starts_with("{\"event\":\"frame_start\""));
+        assert!(lines[0].starts_with("{\"seq\":0,\"event\":\"session_start\""));
+        assert!(lines[1].starts_with("{\"seq\":1,\"event\":\"frame_start\""));
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -337,6 +337,17 @@ impl SloEngine {
         events
     }
 
+    /// The current `(fast, slow)` burn rates of a named objective — the
+    /// live value a streaming exporter samples each tick, as opposed to the
+    /// end-of-run maxima in [`SloEngine::summary`]. `None` for an unknown
+    /// objective name.
+    pub fn current_burn(&self, name: &str) -> Option<(f64, f64)> {
+        self.states
+            .iter()
+            .find(|st| st.spec.name == name)
+            .map(SloState::burn_rates)
+    }
+
     /// The per-objective standings so far.
     pub fn summary(&self) -> SloSummary {
         SloSummary {

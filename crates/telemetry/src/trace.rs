@@ -327,6 +327,21 @@ impl TraceSink {
     }
 }
 
+/// One Chrome counter track: a named per-process series of `(ts_ms, value)`
+/// samples rendered as `C` (counter) events. Perfetto draws one counter
+/// track per `(pid, name)` pair, so fleet-wide series live on a dedicated
+/// "fleet" process while per-session series share the session's pid and sit
+/// directly under its span lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTrack {
+    /// Chrome process the track belongs to.
+    pub pid: u64,
+    /// Track (and counter-event) name.
+    pub name: String,
+    /// `(modeled ms, value)` samples in time order.
+    pub samples: Vec<(f64, f64)>,
+}
+
 /// Renders a set of traced sessions — possibly collected from *several*
 /// sinks, e.g. one per fleet session — as one Chrome trace-event JSON
 /// document (see [`TraceSink::to_chrome_json`] for the event mapping).
@@ -334,6 +349,29 @@ impl TraceSink {
 /// sinks must assign unique `pid`s (and matching `trace_id`s) first.
 /// Output is byte-deterministic for identical inputs.
 pub fn chrome_trace_json(sessions: &[TraceSession]) -> String {
+    chrome_trace_json_ext(sessions, &[], &[], &[])
+}
+
+/// [`chrome_trace_json`] extended with synthetic processes, counter tracks
+/// and process-scoped markers — the fleet-trace form.
+///
+/// - `extra_processes` — `(pid, name)` pairs that get `process_name`
+///   metadata without any span lanes (e.g. pid 0 `"fleet"` for
+///   fleet-aggregate tracks).
+/// - `counters` — [`CounterTrack`]s rendered as `C` events in input order.
+/// - `markers` — `(pid, instant)` pairs rendered as process-scoped `i`
+///   events in input order (e.g. fleet-level anomaly markers).
+///
+/// Counter samples and markers participate in the global minimum-timestamp
+/// shift, and with all three extensions empty the output is byte-identical
+/// to [`chrome_trace_json`]. Determinism contract unchanged: identical
+/// inputs render byte-identical JSON at any worker count.
+pub fn chrome_trace_json_ext(
+    sessions: &[TraceSession],
+    extra_processes: &[(u64, &str)],
+    counters: &[CounterTrack],
+    markers: &[(u64, TraceInstant)],
+) -> String {
     {
         // Global shift: Chrome viewers dislike negative timestamps, and
         // frame 0's root starts before t=0 (the server-side pipeline leads
@@ -348,6 +386,14 @@ pub fn chrome_trace_json(sessions: &[TraceSession]) -> String {
                     min_ms = min_ms.min(i.ts_ms);
                 }
             }
+        }
+        for c in counters {
+            for (ts, _) in &c.samples {
+                min_ms = min_ms.min(*ts);
+            }
+        }
+        for (_, m) in markers {
+            min_ms = min_ms.min(m.ts_ms);
         }
         if !min_ms.is_finite() {
             min_ms = 0.0;
@@ -374,6 +420,24 @@ pub fn chrome_trace_json(sessions: &[TraceSession]) -> String {
                 events.push(format!(
                     "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
                     s.pid, tid, tid
+                ));
+            }
+        }
+        for (pid, name) in extra_processes {
+            events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                pid,
+                json_escape(name)
+            ));
+        }
+        for c in counters {
+            for (ts, value) in &c.samples {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":0,\"args\":{{\"value\":{}}}}}",
+                    json_escape(&c.name),
+                    us(*ts),
+                    c.pid,
+                    json_f64(*value)
                 ));
             }
         }
@@ -416,6 +480,15 @@ pub fn chrome_trace_json(sessions: &[TraceSession]) -> String {
                     FRAME_SPAN, f.frame, id_hex, us(root.end_ms), s.pid
                 ));
             }
+        }
+        for (pid, m) in markers {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\"pid\":{},\"tid\":0,\"args\":{{\"detail\":\"{}\"}}}}",
+                m.kind.label(),
+                us(m.ts_ms),
+                pid,
+                json_escape(&m.detail)
+            ));
         }
 
         let mut out = String::new();
@@ -626,6 +699,118 @@ mod tests {
         assert!(phases.contains(&"X"));
         assert!(phases.contains(&"i"));
         assert!(phases.contains(&"M"));
+    }
+
+    #[test]
+    fn ext_with_empty_extensions_matches_the_plain_export() {
+        let trace = TraceSink::new();
+        let mut rec = traced_recorder(&trace);
+        record_one_frame(&mut rec, 0);
+        rec.finish();
+        let sessions = trace.sessions();
+        assert_eq!(
+            chrome_trace_json(&sessions),
+            chrome_trace_json_ext(&sessions, &[], &[], &[]),
+            "empty extensions must not perturb a single byte"
+        );
+    }
+
+    #[test]
+    fn counter_tracks_and_markers_render_and_shift_the_origin() {
+        let counters = [CounterTrack {
+            pid: 0,
+            name: "active-sessions".to_owned(),
+            samples: vec![(-5.0, 1.0), (11.0, 2.0)],
+        }];
+        let markers = [(
+            0u64,
+            TraceInstant {
+                kind: InstantKind::Anomaly,
+                ts_ms: 11.0,
+                detail: "admission storm: 5 join requests within 10 ticks".to_owned(),
+            },
+        )];
+        let json = chrome_trace_json_ext(&[], &[(0, "fleet")], &counters, &markers);
+        let doc = crate::json::parse(&json).expect("export parses");
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        // process metadata + 2 counter samples + 1 marker
+        assert_eq!(events.len(), 4);
+        // the earliest counter sample (-5 ms) defines the trace origin
+        let ts: Vec<f64> = events
+            .iter()
+            .filter_map(|e| e.get("ts").and_then(|t| t.as_f64()))
+            .collect();
+        assert_eq!(ts, [0.0, 16000.0, 16000.0]);
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+            .collect();
+        assert_eq!(phases, ["M", "C", "C", "i"]);
+        assert_eq!(
+            events[1]
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+    }
+
+    /// Satellite: `C` counter events survive an emit → parse → re-emit
+    /// cycle byte-identically. The re-emit rebuilds each event *from the
+    /// parsed values only*, so this pins both the emitter's field order and
+    /// the JSON parser's exact number round-tripping.
+    #[test]
+    fn counter_events_round_trip_byte_identically_through_the_parser() {
+        let counters = [
+            CounterTrack {
+                pid: 0,
+                name: "fairness-jain".to_owned(),
+                samples: vec![(0.0, 1.0), (16.666666666666668, 0.8731), (33.5, 0.25)],
+            },
+            CounterTrack {
+                pid: 3,
+                name: "alloc \"fair\" mbps".to_owned(),
+                samples: vec![(1.25, 18.0)],
+            },
+        ];
+        let emitted = chrome_trace_json_ext(&[], &[(0, "fleet")], &counters, &[]);
+        let doc = crate::json::parse(&emitted).expect("emitted trace parses");
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+
+        // Original event texts, recovered from the document layout
+        // (one event per line, comma-separated inside the array).
+        let originals: Vec<&str> = emitted
+            .lines()
+            .filter(|l| l.starts_with('{') && l.contains("\"ph\":\"C\""))
+            .map(|l| l.strip_suffix(',').unwrap_or(l))
+            .collect();
+        assert_eq!(originals.len(), 4);
+
+        let reemitted: Vec<String> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .map(|e| {
+                let name = e.get("name").and_then(|v| v.as_str()).unwrap();
+                let ts = e.get("ts").and_then(|v| v.as_f64()).unwrap();
+                let pid = e.get("pid").and_then(|v| v.as_f64()).unwrap() as u64;
+                let value = e
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(|v| v.as_f64())
+                    .unwrap();
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":0,\"args\":{{\"value\":{}}}}}",
+                    json_escape(name),
+                    json_f64(ts),
+                    pid,
+                    json_f64(value)
+                )
+            })
+            .collect();
+        assert_eq!(
+            originals, reemitted,
+            "C events must re-emit byte-identically"
+        );
     }
 
     #[test]
