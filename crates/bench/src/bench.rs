@@ -23,7 +23,7 @@
 //! - **Informational** (raw wall-clock): recorded for trend archaeology,
 //!   never gated (`None` tolerances — the check always passes them).
 
-use crate::experiments::{consolidate, fleetwatch, recovery, resilience, scaling};
+use crate::experiments::{bigfleet, consolidate, fleetwatch, recovery, resilience, scaling};
 use crate::{RunOptions, Table};
 use gss_telemetry::json::{self, Json};
 
@@ -318,6 +318,53 @@ pub fn fleetwatch_metrics(run: &fleetwatch::FleetwatchRun) -> Vec<BenchMetric> {
     out
 }
 
+/// The deterministic metric set of one big-fleet sampled storm: the
+/// fleet outcome, the full-vs-sampled report identity, and the tail
+/// sampler's retention ledger. Trace byte counts are exact — the
+/// merged traces are byte-deterministic, so even a one-byte drift
+/// means the export format or the keep policy changed.
+pub fn bigfleet_metrics(run: &bigfleet::BigfleetRun) -> Vec<BenchMetric> {
+    let r = &run.report;
+    let s = &run.sampling;
+    vec![
+        BenchMetric::exact("bigfleet.sessions", r.sessions.len() as f64),
+        BenchMetric::exact("bigfleet.admitted", r.admission.admitted as f64),
+        BenchMetric::exact("bigfleet.rejected", r.admission.rejected.len() as f64),
+        BenchMetric::exact("bigfleet.abandoned", r.admission.abandoned.len() as f64),
+        BenchMetric::exact("bigfleet.frames", r.total_frames() as f64),
+        BenchMetric::exact("bigfleet.deadline_misses", r.total_deadline_misses() as f64),
+        BenchMetric::exact(
+            "bigfleet.knee_tick",
+            r.watch.knee_tick.map_or(-1.0, |t| t as f64),
+        ),
+        BenchMetric::modeled("bigfleet.fairness_min", r.watch.fairness_min),
+        BenchMetric::exact(
+            "bigfleet.report_identical",
+            if run.report_identical { 1.0 } else { 0.0 },
+        ),
+        BenchMetric::exact("sampling.frames", s.frames as f64),
+        BenchMetric::exact("sampling.retained", s.retained as f64),
+        BenchMetric::exact("sampling.evicted", s.evicted as f64),
+        BenchMetric::exact("sampling.anomaly_frames", s.anomaly_frames as f64),
+        BenchMetric::exact("sampling.anomaly_kept", s.anomaly_kept as f64),
+        BenchMetric::exact("sampling.baseline_kept", s.baseline_kept as f64),
+        BenchMetric::exact("sampling.context_kept", s.context_kept as f64),
+        BenchMetric::exact("sampling.exemplars", s.exemplars as f64),
+        BenchMetric::exact("sampling.anomaly_coverage", s.anomaly_coverage()),
+        BenchMetric::modeled("sampling.retention_ratio", s.retention_ratio()),
+        BenchMetric::exact(
+            "sampling.budget_ok",
+            if run.budget_ok() { 1.0 } else { 0.0 },
+        ),
+        BenchMetric::exact("sampling.full_trace_bytes", run.full_trace_bytes as f64),
+        BenchMetric::exact(
+            "sampling.sampled_trace_bytes",
+            run.sampled_trace_bytes as f64,
+        ),
+        BenchMetric::modeled("sampling.trace_byte_ratio", run.trace_byte_ratio()),
+    ]
+}
+
 /// Runs the benchmarked experiments and collects the metric set.
 pub fn collect(options: &RunOptions) -> Baseline {
     let mut metrics = Vec::new();
@@ -379,6 +426,30 @@ pub fn collect(options: &RunOptions) -> Baseline {
     metrics.push(BenchMetric::informational(
         "fleetwatch.wall_ms",
         fleetwatch_wall_ms,
+    ));
+
+    let t0 = std::time::Instant::now();
+    let big_run = bigfleet::measure(options);
+    let bigfleet_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    metrics.extend(bigfleet_metrics(&big_run));
+    metrics.push(BenchMetric::informational(
+        "bigfleet.wall_ms",
+        bigfleet_wall_ms,
+    ));
+
+    // trend-archaeology rows for the tracing tax in both sink modes;
+    // the hard < 3% overhead assertions live in the bench_gate tests
+    let t0 = std::time::Instant::now();
+    let _ = trace_overhead_ratio(1);
+    metrics.push(BenchMetric::informational(
+        "tracing.overhead_full.wall_ms",
+        t0.elapsed().as_secs_f64() * 1e3,
+    ));
+    let t0 = std::time::Instant::now();
+    let _ = trace_overhead_ratio_sampled(1);
+    metrics.push(BenchMetric::informational(
+        "tracing.overhead_sampled.wall_ms",
+        t0.elapsed().as_secs_f64() * 1e3,
     ));
 
     Baseline {
@@ -562,12 +633,29 @@ pub fn drift_table(drifts: &[Drift]) -> String {
 /// fraction of the untraced time, floored at 0 (scheduler noise can make
 /// the traced run measure faster).
 pub fn trace_overhead_ratio(rounds: usize) -> f64 {
+    overhead_ratio(rounds, false)
+}
+
+/// Same measurement with the tail sampler as the sink instead of the
+/// full trace. The sampler does strictly more per-frame work
+/// (classification + ring upkeep on top of span bookkeeping), so this
+/// bounds the cost of running sampled telemetry always-on.
+pub fn trace_overhead_ratio_sampled(rounds: usize) -> f64 {
+    overhead_ratio(rounds, true)
+}
+
+fn overhead_ratio(rounds: usize, sampled: bool) -> f64 {
     let rounds = rounds.max(1);
     let wall = |traced: bool| -> f64 {
         let options = RunOptions {
             quick: true,
-            telemetry: traced
-                .then(|| gss_telemetry::SinkHandle::new(gss_telemetry::TraceSink::new())),
+            telemetry: traced.then(|| {
+                if sampled {
+                    gss_telemetry::SinkHandle::new(gss_telemetry::SamplingTraceSink::default())
+                } else {
+                    gss_telemetry::SinkHandle::new(gss_telemetry::TraceSink::new())
+                }
+            }),
         };
         let t0 = std::time::Instant::now();
         let points = scaling::measure(&options);

@@ -4,7 +4,8 @@
 //! figures [--quick] [--threads N] [--telemetry out.jsonl] [--trace out.json] [experiment-id ...]
 //! figures bench [--quick] [--threads N] [--host TAG] (--emit-baseline PATH | --check PATH)
 //! figures triage [--quick] [--threads N] [--baseline PATH] [--out PATH] [--prom PATH] [--folded PATH] [--gate]
-//! figures fleetwatch [--quick] [--threads N] [--out PATH] [--trace PATH] [--prom PATH] [--check PATH]
+//! figures fleetwatch [--quick] [--sample] [--threads N] [--out PATH] [--trace PATH] [--prom PATH] [--check PATH]
+//! figures bigfleet [--quick] [--threads N] [--out PATH] [--trace PATH] [--full-trace PATH] [--prom PATH] [--check PATH]
 //! ```
 //!
 //! `--telemetry` streams every session's frame-scoped event trace (stage
@@ -32,7 +33,9 @@
 //! baseline.
 
 use gss_bench::{
-    bench, experiments::fleetwatch, run_experiment, triage, RunOptions, ALL_EXPERIMENTS,
+    bench,
+    experiments::{bigfleet, fleetwatch},
+    run_experiment, triage, RunOptions, ALL_EXPERIMENTS,
 };
 use gss_telemetry::{JsonlSink, Level, MultiSink, SinkHandle, TraceSink};
 use std::process::ExitCode;
@@ -47,6 +50,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("fleetwatch") {
         return run_fleetwatch(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bigfleet") {
+        return run_bigfleet(&args[1..]);
     }
     run_figures(&args)
 }
@@ -93,6 +99,9 @@ fn run_figures(args: &[String]) -> ExitCode {
                 );
                 println!(
                     "       figures fleetwatch [--quick] [--threads N] [--out PATH] [--trace PATH] [--prom PATH] [--check PATH]"
+                );
+                println!(
+                    "       figures bigfleet [--quick] [--threads N] [--out PATH] [--trace PATH] [--full-trace PATH] [--prom PATH] [--check PATH]"
                 );
                 println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 return ExitCode::SUCCESS;
@@ -276,6 +285,7 @@ fn run_bench(args: &[String]) -> ExitCode {
 
 fn run_fleetwatch(args: &[String]) -> ExitCode {
     let mut quick = false;
+    let mut sample = false;
     let mut out_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut prom_path: Option<String> = None;
@@ -284,6 +294,7 @@ fn run_fleetwatch(args: &[String]) -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--sample" => sample = true,
             "--threads" => match args.next().map(|s| s.parse::<usize>()) {
                 Some(Ok(n)) if n >= 1 => gss_platform::pool::set_workers(n),
                 _ => {
@@ -297,8 +308,9 @@ fn run_fleetwatch(args: &[String]) -> ExitCode {
             "--check" => check = args.next().cloned(),
             "--help" | "-h" => {
                 println!(
-                    "usage: figures fleetwatch [--quick] [--threads N] [--out PATH] [--trace PATH] [--prom PATH] [--check PATH]"
+                    "usage: figures fleetwatch [--quick] [--sample] [--threads N] [--out PATH] [--trace PATH] [--prom PATH] [--check PATH]"
                 );
+                println!("  --sample      run behind the tail sampler: same report, --trace keeps only retained frames");
                 println!("  --out PATH    write the deterministic fleet report JSON (watch rollup included)");
                 println!("  --trace PATH  write the merged Chrome trace with fleet counter tracks and anomaly markers");
                 println!("  --prom PATH   write a fleet-labeled Prometheus text snapshot");
@@ -319,7 +331,11 @@ fn run_fleetwatch(args: &[String]) -> ExitCode {
         telemetry: None,
     };
     let t0 = std::time::Instant::now();
-    let run = fleetwatch::measure(&options);
+    let run = if sample {
+        fleetwatch::measure_sampled(&options, gss_telemetry::SamplingPolicy::default())
+    } else {
+        fleetwatch::measure(&options)
+    };
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     fleetwatch::print(&run);
 
@@ -428,6 +444,205 @@ fn run_fleetwatch(args: &[String]) -> ExitCode {
                 d.current,
                 d.abs_delta,
                 d.rel_delta * 100.0
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn run_bigfleet(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut full_trace_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--threads" => match args.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => gss_platform::pool::set_workers(n),
+                _ => {
+                    eprintln!("error: --threads needs a worker count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => out_path = args.next().cloned(),
+            "--trace" => trace_path = args.next().cloned(),
+            "--full-trace" => full_trace_path = args.next().cloned(),
+            "--prom" => prom_path = args.next().cloned(),
+            "--check" => check = args.next().cloned(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures bigfleet [--quick] [--threads N] [--out PATH] [--trace PATH] [--full-trace PATH] [--prom PATH] [--check PATH]"
+                );
+                println!(
+                    "  --out PATH        write the fleet report JSON plus the sampling ledger"
+                );
+                println!("  --trace PATH      write the tail-sampled merged Chrome trace");
+                println!("  --full-trace PATH write the unsampled reference Chrome trace");
+                println!(
+                    "  --prom PATH       write a Prometheus snapshot with p99 exemplar annotations"
+                );
+                println!(
+                    "  --check PATH      gate the bigfleet.* / sampling.* metrics against a benchmark baseline"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown bigfleet argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let options = RunOptions {
+        quick,
+        telemetry: None,
+    };
+    let t0 = std::time::Instant::now();
+    let run = bigfleet::measure(&options);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    bigfleet::print(&run);
+
+    if let Some(path) = &out_path {
+        // the fleet report (byte-identical to the full run's) plus the
+        // sampling ledger, which deliberately lives outside the report
+        let body = format!(
+            "{{\"report\":{},\"sampling\":{}}}",
+            run.report.to_json(),
+            run.sampling.to_json()
+        );
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: cannot write bigfleet report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bigfleet report written to {path}");
+    }
+    if let Some(path) = &trace_path {
+        if let Err(e) = std::fs::write(path, run.sim.to_chrome_json()) {
+            eprintln!("error: cannot write sampled trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("sampled chrome trace written to {path} (open in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = &full_trace_path {
+        if let Err(e) = std::fs::write(path, run.full_sim.to_chrome_json()) {
+            eprintln!("error: cannot write full trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("full chrome trace written to {path}");
+    }
+    if let Some(path) = &prom_path {
+        let watch = &run.report.watch;
+        let mut snapshot = gss_telemetry::prom::render_fleet(&gss_telemetry::prom::PromFleet {
+            name: bigfleet::FLEET_NAME,
+            series: &watch.series,
+            anomalies: &watch.anomalies(),
+            knee_tick: watch.knee_tick,
+        });
+        // per-session sections with p99 exemplars keyed to the sampled
+        // trace's ids (pid * 1e6 + frame) — paste one into Perfetto's
+        // search box to jump to the retained frame
+        let sampled = run.sim.sampled_sessions();
+        let exemplars = gss_telemetry::compute_exemplars(&sampled);
+        let sessions: Vec<gss_telemetry::prom::PromSession<'_>> = run
+            .report
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| gss_telemetry::prom::PromSession {
+                name: &r.label,
+                summary: &r.telemetry,
+                attribution: Some(&r.attribution),
+                slo: Some(&r.slo),
+                exemplars: exemplars.get(i),
+            })
+            .collect();
+        snapshot.push_str(&gss_telemetry::prom::render_opts(
+            &sessions,
+            gss_telemetry::prom::PromOptions { exemplars: true },
+        ));
+        if let Err(e) = std::fs::write(path, snapshot) {
+            eprintln!("error: cannot write prometheus snapshot {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("prometheus snapshot written to {path}");
+    }
+
+    let Some(path) = check else {
+        return ExitCode::SUCCESS;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let full = match bench::Baseline::from_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: malformed baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if full.quick != quick {
+        eprintln!(
+            "error: baseline {path} was recorded with quick={}, this run has quick={} — re-run with {}",
+            full.quick,
+            quick,
+            if full.quick { "--quick" } else { "no --quick" }
+        );
+        return ExitCode::FAILURE;
+    }
+    let metrics: Vec<bench::BenchMetric> = full
+        .metrics
+        .iter()
+        .filter(|m| m.name.starts_with("bigfleet.") || m.name.starts_with("sampling."))
+        .cloned()
+        .collect();
+    if metrics.is_empty() {
+        eprintln!("error: baseline {path} has no bigfleet.*/sampling.* metrics — re-emit it");
+        return ExitCode::FAILURE;
+    }
+    let baseline = bench::Baseline {
+        host: full.host.clone(),
+        quick: full.quick,
+        metrics,
+    };
+    let mut current_metrics = bench::bigfleet_metrics(&run);
+    current_metrics.push(bench::BenchMetric {
+        name: "bigfleet.wall_ms".to_owned(),
+        value: wall_ms,
+        abs_tol: None,
+        rel_tol: None,
+    });
+    let current = bench::Baseline {
+        host: full.host,
+        quick,
+        metrics: current_metrics,
+    };
+    let drifts = baseline.check(&current);
+    println!("{}", bench::drift_table(&drifts));
+    let failures: Vec<&bench::Drift> = drifts.iter().filter(|d| d.is_failure()).collect();
+    if failures.is_empty() {
+        println!(
+            "bigfleet check passed: {} metrics within tolerance of {path}",
+            drifts.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bigfleet check FAILED: {} of {} metrics out of tolerance vs {path}:",
+            failures.len(),
+            drifts.len()
+        );
+        for d in &failures {
+            eprintln!(
+                "  {}: baseline {} -> current {} (|d| {}, rel {:.2}%)",
+                d.name, d.baseline, d.current, d.abs_delta, d.rel_delta
             );
         }
         ExitCode::FAILURE

@@ -102,6 +102,21 @@ pub fn measure(options: &RunOptions) -> FleetwatchRun {
     FleetwatchRun { ticks, report, sim }
 }
 
+/// The same storm behind the tail sampler (`figures fleetwatch
+/// --sample`): the report — and with it every gated `fleetwatch.*`
+/// metric — is byte-identical to [`measure`]'s, but the exported Chrome
+/// trace carries only the retained frames plus the per-session
+/// `sampling-*` counter tracks.
+pub fn measure_sampled(
+    options: &RunOptions,
+    policy: gss_telemetry::SamplingPolicy,
+) -> FleetwatchRun {
+    let ticks = options.frames(480, 160);
+    let mut sim = FleetSim::new(storm_config(ticks).with_sampling(policy));
+    let report = sim.run_until_idle().expect("fleet run");
+    FleetwatchRun { ticks, report, sim }
+}
+
 /// Prints the fleet-watch series table and the anomaly/knee summary.
 pub fn run(options: &RunOptions) {
     print(&measure(options));

@@ -1,6 +1,7 @@
 //! One module per paper table/figure.
 
 pub mod ablation;
+pub mod bigfleet;
 pub mod common;
 pub mod consolidate;
 pub mod fig10;

@@ -271,6 +271,7 @@ impl TriageReport {
                 summary: &r.telemetry,
                 attribution: Some(&r.attribution),
                 slo: Some(&r.slo),
+                exemplars: None,
             })
             .collect();
         prom::render(&sessions)

@@ -1,0 +1,69 @@
+//! Integration contracts for the big-fleet sampled storm: the sampled
+//! run must export byte-identical traces and reports at any worker
+//! count, keep every anomaly frame, stay under the retention budget,
+//! and undercut the full trace's bytes — on the same 32-session config
+//! `figures bigfleet` ships, shortened for test time.
+
+use gss_bench::experiments::bigfleet;
+use gss_platform::pool::PoolHandle;
+
+const TICKS: usize = 90;
+
+fn run(
+    workers: usize,
+    sampled: bool,
+) -> (
+    gamestreamsr::fleet::FleetSim,
+    gamestreamsr::fleet::FleetReport,
+) {
+    let mut config = bigfleet::storm_config(TICKS);
+    config.pool = PoolHandle::with_workers(workers);
+    if sampled {
+        config = config.with_sampling(bigfleet::policy());
+    }
+    let mut sim = gamestreamsr::fleet::FleetSim::new(config);
+    let report = sim.run_until_idle().expect("fleet run");
+    (sim, report)
+}
+
+#[test]
+fn sampled_bigfleet_is_bit_identical_at_1_and_8_workers() {
+    let (serial, serial_report) = run(1, true);
+    let (wide, wide_report) = run(8, true);
+    assert_eq!(serial_report.to_json(), wide_report.to_json());
+    assert_eq!(serial.to_chrome_json(), wide.to_chrome_json());
+    assert_eq!(
+        serial.sampling_summary().expect("sampling on").to_json(),
+        wide.sampling_summary().expect("sampling on").to_json()
+    );
+}
+
+#[test]
+fn sampled_bigfleet_covers_anomalies_within_budget_and_fewer_bytes() {
+    let (full, full_report) = run(2, false);
+    let (sampled, sampled_report) = run(2, true);
+    assert_eq!(full_report.to_json(), sampled_report.to_json());
+    let summary = sampled.sampling_summary().expect("sampling on");
+
+    assert_eq!(
+        summary.anomaly_coverage(),
+        1.0,
+        "every anomaly frame must be retained: {} of {}",
+        summary.anomaly_kept,
+        summary.anomaly_frames
+    );
+    assert!(summary.anomaly_frames > 0, "storm produced no anomalies");
+    assert!(
+        summary.retained <= bigfleet::policy().budget.fleet as u64,
+        "retained {} frames over the {}-frame fleet budget",
+        summary.retained,
+        bigfleet::policy().budget.fleet
+    );
+
+    let full_bytes = full.to_chrome_json().len();
+    let sampled_bytes = sampled.to_chrome_json().len();
+    assert!(
+        sampled_bytes < full_bytes,
+        "sampled trace ({sampled_bytes} B) not smaller than full ({full_bytes} B)"
+    );
+}

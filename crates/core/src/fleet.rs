@@ -59,9 +59,10 @@ use gss_telemetry::timeseries::{
     DEFAULT_CAPACITY,
 };
 use gss_telemetry::{
-    chrome_trace_json_ext, Attributor, Counter, CounterTrack, FrameHealth, Gauge, InstantKind,
-    Level, Recorder, SessionAttribution, SinkHandle, SloEngine, SloSummary, TelemetrySummary,
-    TraceInstant, TraceSession, TraceSink,
+    chrome_trace_json_ext, enforce_fleet_cap, Attributor, Counter, CounterTrack, FrameHealth,
+    Gauge, InstantKind, Level, Recorder, SamplingPolicy, SamplingSummary, SamplingTraceSink,
+    SessionAttribution, SinkHandle, SloEngine, SloSummary, TelemetrySummary, TraceInstant,
+    TraceSession, TraceSink,
 };
 
 /// One session's place in the fleet timeline.
@@ -172,6 +173,11 @@ pub struct FleetConfig {
     /// Worker-pool capacity for the produce phase, captured once at
     /// construction (see [`PoolHandle`]).
     pub pool: PoolHandle,
+    /// Tail-based trace sampling policy. `None` keeps every frame's span
+    /// tree (full traces); `Some` retains only anomaly/context/baseline
+    /// frames under the policy's [`gss_telemetry::TraceBudget`], with the
+    /// fleet-wide cap enforced serially each tick in the phase-6 watch.
+    pub sampling: Option<SamplingPolicy>,
     /// The fleet timeline.
     pub sessions: Vec<FleetSessionSpec>,
 }
@@ -195,8 +201,15 @@ impl FleetConfig {
             degradation: Some(DegradationConfig::default()),
             admission: AdmissionPolicy::default(),
             pool: PoolHandle::current(),
+            sampling: None,
             sessions: Vec::new(),
         }
+    }
+
+    /// Enables tail-based trace sampling under `policy`.
+    pub fn with_sampling(mut self, policy: SamplingPolicy) -> Self {
+        self.sampling = Some(policy);
+        self
     }
 
     /// Adds a session spec.
@@ -244,6 +257,11 @@ struct ActiveSession {
     server: GameStreamServer,
     rec: Recorder,
     trace: TraceSink,
+    /// Tail-sampling collector fed the same event stream as `trace` when
+    /// [`FleetConfig::sampling`] is on. The full sink stays for
+    /// attribution replay at finalize; only the sampler's retained frames
+    /// survive into the merged trace.
+    sampler: Option<SamplingTraceSink>,
     slo: SloEngine,
     controller: Option<DegradationController>,
     pinned_rung: usize,
@@ -740,13 +758,16 @@ const RUNG_SERIES: [&str; LADDER.len()] = [
 /// Fleet series mirrored into full-resolution Chrome counter tracks
 /// (pid 0 of the merged trace); everything else lives only in the
 /// downsampled [`SeriesSet`].
-const FLEET_TRACKS: [&str; 6] = [
+const FLEET_TRACKS: [&str; 7] = [
     "active-sessions",
     "fairness-jain",
     "alloc-mbps",
     "consumed-mbps",
     "p99-critical-ms",
     "slo-burn-fast",
+    // Fleet-wide retained-frame count; only sampled (and thus only
+    // exported) when `FleetConfig::sampling` is on.
+    "sampling-retained",
 ];
 
 /// Streaming fleet-watch state: the downsampled time-series rings, the
@@ -892,6 +913,12 @@ pub struct FleetReport {
     pub mtp_p99_ms: f64,
     /// Fleet-watch rollup: knee, fairness, anomalies, series rings.
     pub watch: FleetWatchSummary,
+    /// Tail-sampling ledger when [`FleetConfig::sampling`] was on.
+    /// Deliberately *not* part of [`FleetReport::to_json`]: a sampled run
+    /// must report byte-identically to a full-trace run of the same
+    /// config (sampling observes the fleet, it never perturbs it); the
+    /// ledger exports separately via [`SamplingSummary::to_json`].
+    pub sampling: Option<SamplingSummary>,
 }
 
 impl FleetReport {
@@ -1057,11 +1084,15 @@ fn percentile(samples: &mut [f64], q: f64) -> f64 {
 }
 
 /// One finished session's trace plus its counter-track samples, keyed by
-/// spec index for pid assignment at export time.
+/// spec index for pid assignment at export time. Exactly one of `session`
+/// (full trace) and `sampler` (tail-sampled trace, kept live so the fleet
+/// cap can still evict its baselines) is populated, per
+/// [`FleetConfig::sampling`].
 #[derive(Debug, Clone)]
 struct SessionTrace {
     spec: usize,
-    session: TraceSession,
+    session: Option<TraceSession>,
+    sampler: Option<SamplingTraceSink>,
     tracks: Vec<(&'static str, Vec<(f64, f64)>)>,
 }
 
@@ -1145,6 +1176,16 @@ impl FleetSim {
         });
 
         let trace = TraceSink::new();
+        let sampler = config.sampling.map(SamplingTraceSink::new);
+        let sink = match &sampler {
+            // The sampler tees off the same event stream; the full sink
+            // stays so attribution replay at finalize sees every frame.
+            Some(sampler) => SinkHandle::fanout(vec![
+                SinkHandle::new(trace.clone()),
+                SinkHandle::new(sampler.clone()),
+            ]),
+            None => SinkHandle::new(trace.clone()),
+        };
         let rec = Recorder::new(
             format!(
                 "fleet#{spec_idx} {:?} @ {} ({})",
@@ -1152,7 +1193,7 @@ impl FleetSim {
             ),
             REALTIME_BUDGET_MS,
         )
-        .with_sink(SinkHandle::new(trace.clone()));
+        .with_sink(sink);
 
         let mut controller = config.degradation.map(DegradationController::new);
         let nack_cfg = config.degradation.unwrap_or_default();
@@ -1170,6 +1211,7 @@ impl FleetSim {
             frame: 0,
             rec,
             trace,
+            sampler,
             slo: SloEngine::standard(REALTIME_BUDGET_MS),
             pinned_rung: 0,
             nack,
@@ -1239,10 +1281,22 @@ impl FleetSim {
             .last()
             .map(|sess| Attributor::new(REALTIME_BUDGET_MS).attribute(sess))
             .unwrap_or_default();
-        if let Some(sess) = trace_sessions.into_iter().last() {
+        if let Some(sampler) = s.sampler.take() {
+            // Sampled mode: the full trace (and the full-resolution
+            // per-session rate tracks) are dropped here — only the
+            // sampler's retained frames and its sampling counter tracks
+            // survive into the merged export. That is the entire point.
             self.traces.push(SessionTrace {
                 spec: s.spec_idx,
-                session: sess,
+                session: None,
+                sampler: Some(sampler),
+                tracks: Vec::new(),
+            });
+        } else if let Some(sess) = trace_sessions.into_iter().last() {
+            self.traces.push(SessionTrace {
+                spec: s.spec_idx,
+                session: Some(sess),
+                sampler: None,
                 tracks: vec![
                     ("alloc-mbps", std::mem::take(&mut s.alloc_track)),
                     ("consumed-mbps", std::mem::take(&mut s.consumed_track)),
@@ -1401,6 +1455,16 @@ impl FleetSim {
             self.admission.abandoned.len() as f64,
         );
         self.watch.track("active-sessions", now_ms, n as f64);
+        if let Some(policy) = self.config.sampling {
+            // Fleet-wide retention budget: enforced serially here so
+            // eviction order (and the resulting trace bytes) are
+            // bit-deterministic at any worker count.
+            let sinks = self.samplers();
+            enforce_fleet_cap(&sinks, policy.budget.fleet, now_ms);
+            let retained: usize = sinks.iter().map(SamplingTraceSink::retained_count).sum();
+            self.watch
+                .track("sampling-retained", now_ms, retained as f64);
+        }
         if n == 0 {
             return;
         }
@@ -1504,9 +1568,59 @@ impl FleetSim {
             mtp_p50_ms: percentile(&mut mtp, 0.50),
             mtp_p99_ms: percentile(&mut mtp, 0.99),
             watch: self.watch.summarize(),
+            sampling: self.sampling_summary(),
         };
         self.fleet_mtp = mtp;
         Ok(report)
+    }
+
+    /// Every session's tail sampler in deterministic order: finished
+    /// sessions spec-sorted first, then still-active sessions in join
+    /// order. Sinks are `Arc`-shared clones, so mutating through them
+    /// (fleet-cap eviction) acts on the live sessions.
+    fn samplers(&self) -> Vec<SamplingTraceSink> {
+        let mut finished: Vec<&SessionTrace> = self.traces.iter().collect();
+        finished.sort_by_key(|st| st.spec);
+        finished
+            .into_iter()
+            .filter_map(|st| st.sampler.clone())
+            .chain(self.active.iter().filter_map(|s| s.sampler.clone()))
+            .collect()
+    }
+
+    /// Sampling roll-up across every session's tail sampler, or `None`
+    /// when the fleet runs without sampling. Deliberately not part of
+    /// [`FleetReport::to_json`] — a sampled run must report
+    /// byte-identically to a full-trace run; export this separately via
+    /// [`SamplingSummary::to_json`].
+    pub fn sampling_summary(&self) -> Option<SamplingSummary> {
+        self.config
+            .sampling
+            .map(|_| SamplingSummary::collect(&self.samplers()))
+    }
+
+    /// Retained trace sessions in merged-trace order (spec-sorted, pid
+    /// `i + 1`, trace ids re-keyed to the fleet pid — the same ids the
+    /// merged Chrome trace carries), when sampling is on. Pairs
+    /// index-for-index with [`FleetReport::sessions`] after
+    /// [`FleetSim::run_until_idle`]; empty without sampling.
+    pub fn sampled_sessions(&self) -> Vec<TraceSession> {
+        let mut traces: Vec<&SessionTrace> = self.traces.iter().collect();
+        traces.sort_by_key(|st| st.spec);
+        traces
+            .iter()
+            .enumerate()
+            .filter_map(|(i, st)| {
+                let sampler = st.sampler.as_ref()?;
+                let pid = (i + 1) as u64;
+                let mut sess = sampler.sessions().pop()?;
+                sess.pid = pid;
+                for f in &mut sess.frames {
+                    f.trace_id = pid * 1_000_000 + f.frame;
+                }
+                Some(sess)
+            })
+            .collect()
     }
 
     /// Merged Perfetto/Chrome trace of every finished session — one
@@ -1534,7 +1648,22 @@ impl FleetSim {
             .enumerate()
             .map(|(i, st)| {
                 let pid = (i + 1) as u64;
-                let mut sess = st.session;
+                let mut sess = match (st.session, &st.sampler) {
+                    // Sampled mode: only the retained frames survive,
+                    // plus the per-session sampling counter tracks.
+                    (None, Some(sampler)) => {
+                        for mut track in sampler.counter_tracks() {
+                            track.pid = pid;
+                            counters.push(track);
+                        }
+                        sampler.sessions().pop().unwrap_or_else(|| TraceSession {
+                            label: String::new(),
+                            pid,
+                            frames: Vec::new(),
+                        })
+                    }
+                    (sess, _) => sess.expect("full-trace session present"),
+                };
                 sess.pid = pid;
                 for f in &mut sess.frames {
                     f.trace_id = pid * 1_000_000 + f.frame;

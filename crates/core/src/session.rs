@@ -172,6 +172,23 @@ impl SessionConfig {
         self
     }
 
+    /// Attaches a tail-sampling trace collector
+    /// ([`gss_telemetry::SamplingTraceSink`]) under `policy`, fanning out
+    /// alongside any sink already configured, and returns a shared handle
+    /// for exporting the retained trace after the run.
+    pub fn with_sampled_trace(
+        mut self,
+        policy: gss_telemetry::SamplingPolicy,
+    ) -> (Self, gss_telemetry::SamplingTraceSink) {
+        let sampler = gss_telemetry::SamplingTraceSink::new(policy);
+        let handle = SinkHandle::new(sampler.clone());
+        self.telemetry = Some(match self.telemetry.take() {
+            Some(existing) => SinkHandle::fanout(vec![existing, handle]),
+            None => handle,
+        });
+        (self, sampler)
+    }
+
     /// Injects a scripted fault timeline into the session.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;

@@ -14,6 +14,23 @@
 /// decades keeps worst-case relative bucket width under ~20%.
 pub const BUCKETS: usize = 64;
 
+/// A trace-linked exemplar: the identity of the worst sample a histogram
+/// absorbed, so a percentile line in an exported snapshot can link straight
+/// back to the causal trace of the frame that produced it.
+///
+/// The exemplar always describes the *maximum* recorded sample, which by
+/// construction lives in the histogram's p99 bucket (the top non-empty
+/// bucket contains the max, and the p99 rank can never land above it), so
+/// annotating a p99 line with it is exact, never a bucket artifact.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct Exemplar {
+    /// Globally unique trace id of the frame that produced the sample
+    /// (`pid * 1_000_000 + frame` in the Chrome trace export).
+    pub trace_id: u64,
+    /// The exact sample value (not bucketed).
+    pub value: f64,
+}
+
 /// A geometric fixed-bucket histogram with per-bucket count and sum.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
@@ -30,6 +47,7 @@ pub struct Histogram {
     below_range: u64,
     above_range: u64,
     rejected: u64,
+    exemplar: Option<Exemplar>,
 }
 
 /// Compact summary of a recorded distribution.
@@ -84,6 +102,7 @@ impl Histogram {
             below_range: 0,
             above_range: 0,
             rejected: 0,
+            exemplar: None,
         }
     }
 
@@ -130,6 +149,32 @@ impl Histogram {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+    }
+
+    /// Records one sample and tags it with the trace id of the frame that
+    /// produced it. The histogram keeps the exemplar of the *largest*
+    /// accepted sample seen so far — on ties the first wins, so replaying
+    /// the same event stream always reproduces the same exemplar. Rejected
+    /// samples (non-finite / negative) never displace an exemplar.
+    pub fn record_with_exemplar(&mut self, value: f64, trace_id: u64) {
+        let before = self.count;
+        self.record(value);
+        if self.count == before {
+            return; // rejected
+        }
+        let worse = match self.exemplar {
+            Some(e) => value > e.value,
+            None => true,
+        };
+        if worse {
+            self.exemplar = Some(Exemplar { trace_id, value });
+        }
+    }
+
+    /// The exemplar of the worst recorded sample, if any sample was tagged
+    /// via [`Histogram::record_with_exemplar`].
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.exemplar
     }
 
     /// Number of recorded samples.
@@ -295,6 +340,51 @@ mod tests {
         assert_eq!(h.below_range(), 0);
         assert_eq!(h.above_range(), 0);
         assert_eq!(h.rejected(), 0);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_worst_sample_first_on_ties() {
+        let mut h = Histogram::latency_ms();
+        assert_eq!(h.exemplar(), None);
+        h.record_with_exemplar(5.0, 11);
+        h.record_with_exemplar(9.0, 22);
+        h.record_with_exemplar(3.0, 33);
+        h.record_with_exemplar(9.0, 44); // tie: the earlier frame keeps the slot
+        let e = h.exemplar().unwrap();
+        assert_eq!(e.trace_id, 22);
+        assert_eq!(e.value, 9.0);
+        // untagged samples never displace an exemplar
+        h.record(100.0);
+        assert_eq!(h.exemplar().unwrap().trace_id, 22);
+    }
+
+    #[test]
+    fn rejected_samples_never_become_exemplars() {
+        let mut h = Histogram::latency_ms();
+        h.record_with_exemplar(f64::NAN, 7);
+        h.record_with_exemplar(-2.0, 8);
+        assert_eq!(h.exemplar(), None);
+        assert_eq!(h.rejected(), 2);
+        h.record_with_exemplar(1.0, 9);
+        h.record_with_exemplar(f64::INFINITY, 10);
+        assert_eq!(h.exemplar().unwrap().trace_id, 9);
+    }
+
+    #[test]
+    fn exemplar_value_sits_in_the_top_bucket_with_the_max() {
+        // The exemplar is the exact max, so a p99 query over a skewed
+        // distribution lands in (or below) the exemplar's bucket — the
+        // annotation can never point above the distribution.
+        let mut h = Histogram::latency_ms();
+        for i in 0..200 {
+            h.record_with_exemplar(1.0 + (i % 7) as f64 * 0.01, 1000 + i);
+        }
+        h.record_with_exemplar(42.0, 9999);
+        let s = h.summary().unwrap();
+        let e = h.exemplar().unwrap();
+        assert_eq!(e.trace_id, 9999);
+        assert_eq!(e.value, s.max);
+        assert!(s.p99 <= e.value);
     }
 
     #[test]

@@ -32,6 +32,7 @@ mod hist;
 pub mod json;
 pub mod prom;
 mod recorder;
+pub mod sampling;
 mod sink;
 pub mod slo;
 mod summary;
@@ -39,8 +40,12 @@ pub mod timeseries;
 pub mod trace;
 
 pub use attribution::{Attributor, BlameEntry, MissCause, MissRecord, SessionAttribution};
-pub use hist::{DistSummary, Histogram, BUCKETS};
+pub use hist::{DistSummary, Exemplar, Histogram, BUCKETS};
 pub use recorder::{Recorder, TelemetryError, MAX_SPAN_DEPTH};
+pub use sampling::{
+    compute_exemplars, enforce_fleet_cap, KeepReason, SamplingPolicy, SamplingStats,
+    SamplingSummary, SamplingTraceSink, SessionExemplars, TraceBudget,
+};
 pub use sink::{
     Event, InstantKind, JsonlSink, Level, MemorySink, MultiSink, NullSink, Sink, SinkHandle,
 };

@@ -13,6 +13,8 @@
 //! the output is byte-identical across reruns and worker counts.
 
 use crate::attribution::SessionAttribution;
+use crate::hist::Exemplar;
+use crate::sampling::SessionExemplars;
 use crate::sink::json_f64;
 use crate::slo::SloSummary;
 use crate::summary::TelemetrySummary;
@@ -32,10 +34,26 @@ pub struct PromSession<'a> {
     pub attribution: Option<&'a SessionAttribution>,
     /// SLO standings, when computed.
     pub slo: Option<&'a SloSummary>,
+    /// Trace-linked exemplars over the session's retained trace, when a
+    /// sampling sink collected them (see [`crate::compute_exemplars`]).
+    /// Only rendered when [`PromOptions::exemplars`] is on.
+    pub exemplars: Option<&'a SessionExemplars>,
 }
 
-/// Escapes a Prometheus label value (backslash, quote, newline).
-fn escape_label(v: &str) -> String {
+/// Rendering options for [`render_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PromOptions {
+    /// Append OpenMetrics-style `# {trace_id="…"} value` exemplar
+    /// annotations to p99 latency and worst-case gauge lines. Off by
+    /// default: the annotation is an OpenMetrics extension that plain
+    /// Prometheus text-format parsers treat as a syntax error.
+    pub exemplars: bool,
+}
+
+/// Escapes a Prometheus label value. The exposition format requires `\\`,
+/// `\"` and `\n` escapes inside quoted label values — a raw newline would
+/// split the sample line and corrupt the whole exposition.
+pub fn escape_label(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
     for c in v.chars() {
         match c {
@@ -63,8 +81,34 @@ fn family(out: &mut String, name: &str, kind: &str, help: &str) {
     let _ = writeln!(out, "# TYPE {name} {kind}");
 }
 
-/// Renders the sessions as one Prometheus text exposition.
+/// Formats the OpenMetrics exemplar suffix appended to an annotated sample
+/// line: `` # {trace_id="0x…"} value``. [`parse_exemplar`] inverts this
+/// byte-exactly.
+pub fn format_exemplar(e: Exemplar) -> String {
+    format!(" # {{trace_id=\"0x{:x}\"}} {}", e.trace_id, value(e.value))
+}
+
+/// Parses an exemplar annotation off a sample line, returning the trace id
+/// and exemplar value when the line carries one. Round-trips with
+/// [`format_exemplar`]: re-formatting the parse reproduces the suffix.
+pub fn parse_exemplar(line: &str) -> Option<Exemplar> {
+    let (_, suffix) = line.split_once(" # {trace_id=\"0x")?;
+    let (hex, rest) = suffix.split_once('"')?;
+    let trace_id = u64::from_str_radix(hex, 16).ok()?;
+    let value: f64 = rest.strip_prefix("} ")?.parse().ok()?;
+    Some(Exemplar { trace_id, value })
+}
+
+/// Renders the sessions as one Prometheus text exposition with default
+/// options (no exemplar annotations — plain-parser safe).
 pub fn render(sessions: &[PromSession<'_>]) -> String {
+    render_opts(sessions, PromOptions::default())
+}
+
+/// [`render`] with explicit [`PromOptions`]. With exemplars enabled, p99
+/// stage-latency lines and worst-case (`stat="max"`) gauge lines gain a
+/// `# {trace_id="…"}` suffix linking into the retained Chrome trace.
+pub fn render_opts(sessions: &[PromSession<'_>], opts: PromOptions) -> String {
     let mut out = String::new();
 
     family(
@@ -134,9 +178,19 @@ pub fn render(sessions: &[PromSession<'_>]) -> String {
                     ("max", stats.max),
                     ("mean", mean),
                 ] {
+                    // The worst-frame exemplar annotates the worst-case
+                    // (max) line: that is the sample it identifies.
+                    let exemplar = if opts.exemplars && stat == "max" {
+                        s.exemplars
+                            .and_then(|e| e.worst_frame)
+                            .map(format_exemplar)
+                            .unwrap_or_default()
+                    } else {
+                        String::new()
+                    };
                     let _ = writeln!(
                         out,
-                        "gss_gauge{{session=\"{}\",gauge=\"{}\",stat=\"{stat}\"}} {}",
+                        "gss_gauge{{session=\"{}\",gauge=\"{}\",stat=\"{stat}\"}} {}{exemplar}",
                         escape_label(s.name),
                         g.label(),
                         value(v)
@@ -160,9 +214,19 @@ pub fn render(sessions: &[PromSession<'_>]) -> String {
                 ("0.95", st.dist.p95),
                 ("0.99", st.dist.p99),
             ] {
+                // The per-stage exemplar is the worst retained sample,
+                // which lives in the p99 bucket — see `hist::Exemplar`.
+                let exemplar = if opts.exemplars && q == "0.99" {
+                    s.exemplars
+                        .and_then(|e| e.stage(st.stage))
+                        .map(format_exemplar)
+                        .unwrap_or_default()
+                } else {
+                    String::new()
+                };
                 let _ = writeln!(
                     out,
-                    "gss_stage_latency_ms{{session=\"{}\",stage=\"{}\",quantile=\"{q}\"}} {}",
+                    "gss_stage_latency_ms{{session=\"{}\",stage=\"{}\",quantile=\"{q}\"}} {}{exemplar}",
                     escape_label(s.name),
                     st.stage.label(),
                     value(v)
@@ -417,6 +481,7 @@ mod tests {
             summary: &s,
             attribution: None,
             slo: None,
+            exemplars: None,
         }]);
         assert!(text.contains("gss_frames_total{session=\"controller\"} 4"));
         assert!(text.contains("# TYPE gss_counter_total counter"));
@@ -448,10 +513,97 @@ mod tests {
             summary: &s,
             attribution: None,
             slo: None,
+            exemplars: None,
         }];
         let a = render(&sess);
         assert_eq!(a, render(&sess));
         assert!(a.contains("session=\"a\\\"b\\\\c\""));
+    }
+
+    /// Satellite regression: a raw newline in a label value would split the
+    /// sample line and corrupt the exposition; it must render as `\n`.
+    #[test]
+    fn escape_label_escapes_newlines() {
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        assert_eq!(escape_label("x\\y\"z\n"), "x\\\\y\\\"z\\n");
+        let s = summary();
+        let sess = [PromSession {
+            name: "line\nbreak",
+            summary: &s,
+            attribution: None,
+            slo: None,
+            exemplars: None,
+        }];
+        let text = render(&sess);
+        assert!(text.contains("session=\"line\\nbreak\""));
+        // every non-comment line still parses as `name{labels} value`
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (metric, v) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(metric.contains('{') && metric.ends_with('}'), "{line}");
+            assert!(v == "NaN" || v.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn exemplar_annotations_render_behind_the_flag_and_round_trip() {
+        let s = summary();
+        let exemplars = SessionExemplars {
+            label: "test".to_owned(),
+            pid: 1,
+            worst_frame: Some(Exemplar {
+                trace_id: 1_000_003,
+                value: 12.0,
+            }),
+            stages: vec![(
+                Stage::NpuSr,
+                Exemplar {
+                    trace_id: 1_000_002,
+                    value: 4.0,
+                },
+            )],
+        };
+        let sess = [PromSession {
+            name: "controller",
+            summary: &s,
+            attribution: None,
+            slo: None,
+            exemplars: Some(&exemplars),
+        }];
+        // Flag off: byte-identical to a session without exemplars, so the
+        // default stays plain-parser safe.
+        let plain = render(&sess);
+        assert!(!plain.contains("# {trace_id="));
+
+        let annotated = render_opts(&sess, PromOptions { exemplars: true });
+        let p99_line = annotated
+            .lines()
+            .find(|l| l.contains("stage=\"npu-sr\",quantile=\"0.99\""))
+            .expect("p99 line present");
+        let e = parse_exemplar(p99_line).expect("p99 line carries an exemplar");
+        assert_eq!(e.trace_id, 1_000_002);
+        assert_eq!(e.value, 4.0);
+        // round trip: re-formatting the parse reproduces the suffix bytes
+        assert!(p99_line.ends_with(&format_exemplar(e)), "{p99_line}");
+
+        let max_line = annotated
+            .lines()
+            .find(|l| l.contains("gss_gauge{") && l.contains("stat=\"max\""))
+            .expect("gauge max line present");
+        let w = parse_exemplar(max_line).expect("gauge max line carries an exemplar");
+        assert_eq!(w.trace_id, 1_000_003);
+        assert!(max_line.ends_with(&format_exemplar(w)));
+
+        // unannotated lines parse as no-exemplar
+        assert_eq!(parse_exemplar("gss_frames_total{session=\"x\"} 4"), None);
+        // quantiles below p99 stay clean even with the flag on
+        for line in annotated.lines() {
+            if line.contains("quantile=\"0.5\"") {
+                assert_eq!(parse_exemplar(line), None, "{line}");
+            }
+        }
     }
 
     #[test]

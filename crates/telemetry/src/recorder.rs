@@ -142,6 +142,13 @@ impl Recorder {
         self.frames
     }
 
+    /// Exemplar of the worst motion-to-photon frame so far: its frame
+    /// number (as the exemplar id) and exact MTP milliseconds. `None`
+    /// until the first [`Recorder::end_frame`].
+    pub fn worst_frame(&self) -> Option<crate::hist::Exemplar> {
+        self.mtp_hist.exemplar()
+    }
+
     /// How many spans are currently open on the checked stack.
     pub fn open_spans(&self) -> usize {
         self.depth
@@ -280,7 +287,10 @@ impl Recorder {
         if self.depth != 0 {
             return Err(TelemetryError::UnbalancedSpans { open: self.depth });
         }
-        self.mtp_hist.record(mtp_ms);
+        // Tag the MTP sample with the frame number so the worst frame is
+        // recoverable as an exemplar (the exporter upgrades it to a full
+        // trace id once the session's pid is known).
+        self.mtp_hist.record_with_exemplar(mtp_ms, self.frame);
         self.bytes_hist.record(bytes as f64);
         // Matches the session simulator's real-time test: a frame is on time
         // when it fits the budget up to float noise.
@@ -381,6 +391,19 @@ mod tests {
         assert_eq!(render.dist.p99, 4.0);
         assert_eq!(s.mtp_ms.unwrap().count, 10);
         assert_eq!(s.frame_bytes.unwrap().p50, 1000.0);
+    }
+
+    #[test]
+    fn worst_frame_exemplar_follows_the_mtp_maximum() {
+        let mut rec = Recorder::new("unit", 16.0);
+        assert_eq!(rec.worst_frame(), None);
+        for (frame, mtp) in [(0u64, 14.0), (1, 31.5), (2, 12.0)] {
+            rec.begin_frame(frame);
+            rec.end_frame(mtp, mtp, 100).unwrap();
+        }
+        let worst = rec.worst_frame().unwrap();
+        assert_eq!(worst.trace_id, 1);
+        assert_eq!(worst.value, 31.5);
     }
 
     #[test]

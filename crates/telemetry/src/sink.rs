@@ -418,6 +418,13 @@ impl SinkHandle {
         SinkHandle::new(NullSink)
     }
 
+    /// A handle to a [`MultiSink`] fanning events out to `sinks`, in
+    /// emission order — the one-call form of the common "file *and* trace
+    /// collector off the same session" wiring.
+    pub fn fanout(sinks: Vec<SinkHandle>) -> Self {
+        SinkHandle::new(MultiSink::new(sinks))
+    }
+
     /// Forwards one event to the sink.
     pub fn emit(&self, event: &Event) {
         self.inner
@@ -528,6 +535,17 @@ mod tests {
         .map(|k| k.label())
         .collect();
         assert_eq!(labels.len(), 8, "instant labels must be unique");
+    }
+
+    #[test]
+    fn fanout_handle_is_equivalent_to_an_explicit_multi_sink() {
+        let a = MemorySink::new();
+        let b = MemorySink::new();
+        let fan = SinkHandle::fanout(vec![SinkHandle::new(a.clone()), SinkHandle::new(b.clone())]);
+        fan.emit(&Event::FrameStart { frame: 7 });
+        fan.flush();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

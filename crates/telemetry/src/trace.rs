@@ -146,11 +146,15 @@ pub struct TraceSession {
     pub frames: Vec<TraceFrame>,
 }
 
+/// An in-flight frame before `FrameEnd` settles its deadline verdict.
+/// Shared with the sampling sink (`crate::sampling`), which reconstructs
+/// frames from the same event stream via [`build_frame`] so a retained
+/// frame is structurally identical to its full-trace counterpart.
 #[derive(Debug, Default)]
-struct OpenFrame {
-    frame: u64,
-    spans: Vec<(Stage, f64, f64)>,
-    instants: Vec<TraceInstant>,
+pub(crate) struct OpenFrame {
+    pub(crate) frame: u64,
+    pub(crate) spans: Vec<(Stage, f64, f64)>,
+    pub(crate) instants: Vec<TraceInstant>,
 }
 
 #[derive(Debug, Default)]
@@ -175,7 +179,7 @@ impl SessionState {
     }
 }
 
-fn build_frame(open: OpenFrame, deadline_met: bool) -> TraceFrame {
+pub(crate) fn build_frame(open: OpenFrame, deadline_met: bool) -> TraceFrame {
     let mut spans = Vec::with_capacity(open.spans.len() + 2);
     // Reserve id 0 for the root; fill its envelope afterwards.
     spans.push(TraceSpan {
